@@ -1,0 +1,129 @@
+// Ablation benchmarks for the design decisions called out in DESIGN.md
+// §4. (The bit-parallel gate evaluation ablation lives next to its
+// subject: internal/gates.BenchmarkGateEvalScalarVsParallel.)
+package harpocrates_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"harpocrates/internal/core"
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/gen"
+	"harpocrates/internal/mutate"
+	"harpocrates/internal/uarch"
+)
+
+// BenchmarkAblationMutationStrategy compares the paper's uniform
+// instruction replacement (§V-B1) against point mutation and k-point
+// crossover under identical budgets, reporting the final coverage each
+// strategy reaches.
+func BenchmarkAblationMutationStrategy(b *testing.B) {
+	strategies := []struct {
+		name string
+		fn   func(*gen.Genotype, *gen.Config, *rand.Rand) *gen.Genotype
+	}{
+		{"replace-all", mutate.ReplaceAll},
+		{"point", mutate.Point},
+		{"crossover2", func(g *gen.Genotype, cfg *gen.Config, rng *rand.Rand) *gen.Genotype {
+			other := gen.NewRandom(cfg, rng)
+			return mutate.CrossoverK(g, other, 2, rng)
+		}},
+	}
+	for _, s := range strategies {
+		s := s
+		b.Run(s.name, func(b *testing.B) {
+			var final float64
+			for i := 0; i < b.N; i++ {
+				o := core.PresetFor(coverage.IntAdder, 1)
+				o.Gen.NumInstrs = 300
+				o.PopSize, o.TopK, o.MutantsPerParent = 12, 3, 4
+				o.Iterations = 15
+				o.Seed = 4242
+				o.Mutate = s.fn
+				res, err := core.Run(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				final = res.Best.Fitness
+			}
+			b.ReportMetric(100*final, "%final-coverage")
+		})
+	}
+}
+
+// BenchmarkAblationAceWidthMask measures the IRF ACE coverage of the
+// same program with and without per-read width masks (DESIGN.md §4.3):
+// ignoring widths inflates the metric and blunts the signal that rewards
+// full-width register traffic.
+func BenchmarkAblationAceWidthMask(b *testing.B) {
+	cfg := gen.DefaultConfig()
+	cfg.NumInstrs = 2000
+	rng := rand.New(rand.NewPCG(77, 78))
+	p := gen.Materialize(gen.NewRandom(&cfg, rng), &cfg)
+
+	for _, mode := range []struct {
+		name   string
+		ignore bool
+	}{{"width-masked", false}, {"ignore-widths", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var vuln float64
+			for i := 0; i < b.N; i++ {
+				ccfg := uarch.DefaultConfig()
+				ccfg.TrackIRF = true
+				ccfg.ACEIgnoreWidths = mode.ignore
+				r := uarch.Run(p.Insts, p.NewState(), ccfg)
+				if !r.Clean() {
+					b.Fatal("program failed")
+				}
+				vuln = r.IRFVuln
+			}
+			b.ReportMetric(100*vuln, "%irf-coverage")
+		})
+	}
+}
+
+// BenchmarkAblationL1DConstraints quantifies the cache-aware generation
+// constraints of the L1D preset (fixed-stride sequential references in a
+// region intentionally sized to the 32 KB cache, memory-heavy
+// selection): the initial random population starts at far higher L1D
+// coverage than generation over an oversized region — the paper's ~77%
+// starting-point phenomenon (§VI-B2).
+func BenchmarkAblationL1DConstraints(b *testing.B) {
+	mean := func(cfg gen.Config, seed uint64) float64 {
+		rng := rand.New(rand.NewPCG(seed, seed+1))
+		total := 0.0
+		n := 6
+		for k := 0; k < n; k++ {
+			p := gen.Materialize(gen.NewRandom(&cfg, rng), &cfg)
+			ccfg := uarch.DefaultConfig()
+			ccfg.TrackL1D = true
+			r := uarch.Run(p.Insts, p.NewState(), ccfg)
+			if !r.Clean() {
+				b.Fatal("program failed")
+			}
+			total += r.L1DVuln
+		}
+		return total / float64(n)
+	}
+	b.Run("cache-aware", func(b *testing.B) {
+		o := core.PresetFor(coverage.L1D, 1)
+		var v float64
+		for i := 0; i < b.N; i++ {
+			v = mean(o.Gen, 91)
+		}
+		b.ReportMetric(100*v, "%initial-l1d-coverage")
+	})
+	b.Run("oversized-region", func(b *testing.B) {
+		o := core.PresetFor(coverage.L1D, 1)
+		cfg := o.Gen
+		cfg.Weights = nil
+		cfg.Mem.RegionBytes = 256 * 1024 // 8x the cache
+		var v float64
+		for i := 0; i < b.N; i++ {
+			v = mean(cfg, 91)
+		}
+		b.ReportMetric(100*v, "%initial-l1d-coverage")
+	})
+}

@@ -1,0 +1,109 @@
+// Command bench regenerates the paper's tables and figures (the same
+// harnesses as the repository-level Go benchmarks, in CLI form).
+//
+// Usage:
+//
+//	bench -fig 4          # one figure
+//	bench -table 1
+//	bench -rate -speed
+//	bench -all            # everything (Table I, Figs 1,4,5,6,8,10,11, §VI-A, §VI-C)
+//
+// Scale with HARPO_SCALE.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/experiments"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "figure number: 1, 4, 5, 6, 8, 10, 11")
+		table     = flag.Int("table", 0, "table number: 1")
+		rate      = flag.Bool("rate", false, "§VI-A generation-rate comparison")
+		interplay = flag.Bool("interplay", false, "fault-type interplay sweep (§II-D, Fig. 2)")
+		speed     = flag.Bool("speed", false, "§VI-C detection-speed comparison")
+		all       = flag.Bool("all", false, "run everything")
+	)
+	flag.Parse()
+
+	pp := experiments.DefaultParams()
+	fmt.Printf("scale=%d (HARPO_SCALE), injections per campaign: bit-array=%d adder=%d mul=%d fp=%d\n\n",
+		pp.Scale, pp.InjBitArray, pp.InjAdder, pp.InjMul, pp.InjFP)
+
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	figBase := func(title string, f func(experiments.Params) ([]experiments.Measurement, error)) {
+		ms, err := f(pp)
+		die(err)
+		experiments.FprintMeasurements(os.Stdout, title, ms)
+		experiments.FprintSummaries(os.Stdout, title+" — aggregates", experiments.Summarize(ms))
+		fmt.Println()
+	}
+
+	if *all || *fig == 1 {
+		experiments.FprintFig1(os.Stdout)
+		fmt.Println()
+	}
+	if *all || *fig == 4 {
+		figBase("Fig. 4 — IRF and L1D (transient faults)", experiments.Fig4)
+	}
+	if *all || *fig == 5 {
+		figBase("Fig. 5 — Integer adder and multiplier (permanent gate faults)", experiments.Fig5)
+	}
+	if *all || *fig == 6 {
+		figBase("Fig. 6 — SSE FP adder and multiplier (permanent gate faults)", experiments.Fig6)
+	}
+	if *all || *fig == 8 {
+		experiments.FprintFig8(os.Stdout, experiments.Fig8Scenario(pp))
+		fmt.Println()
+	}
+	if *all || *fig == 10 {
+		for _, st := range experiments.AllStructures() {
+			c, err := experiments.Fig10(st, pp)
+			die(err)
+			experiments.FprintConvergence(os.Stdout, c)
+			fmt.Println()
+		}
+	}
+	if *all || *fig == 11 {
+		ss, _, err := experiments.Fig11(pp)
+		die(err)
+		experiments.FprintFig11(os.Stdout, ss)
+		fmt.Println()
+	}
+	if *all || *table == 1 {
+		s, err := experiments.Table1(pp)
+		die(err)
+		experiments.FprintTable1(os.Stdout, s)
+		fmt.Println()
+	}
+	if *all || *interplay {
+		for _, st := range []coverage.Structure{coverage.IRF, coverage.L1D} {
+			r, err := experiments.Interplay(st, pp)
+			die(err)
+			experiments.FprintInterplay(os.Stdout, r)
+			fmt.Println()
+		}
+	}
+	if *all || *rate {
+		r, err := experiments.GenRate(pp)
+		die(err)
+		experiments.FprintGenRate(os.Stdout, r)
+		fmt.Println()
+	}
+	if *all || *speed {
+		r, err := experiments.DetectionSpeed(pp)
+		die(err)
+		experiments.FprintSpeed(os.Stdout, r)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,132 @@
+// Command faultsim runs a statistical fault-injection campaign (the
+// GeFIN-style evaluation of §II-E) on a chosen test program: a baseline
+// suite workload or a freshly generated random program.
+//
+// Usage:
+//
+//	faultsim -list
+//	faultsim -suite mibench -prog mibench/qsort -target l1d -n 100
+//	faultsim -random 2000 -target intadd -type intermittent -n 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"harpocrates"
+	"harpocrates/internal/baselines/dcdiag"
+	"harpocrates/internal/baselines/mibench"
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/inject"
+	"harpocrates/internal/prog"
+	"harpocrates/internal/uarch"
+)
+
+func structures() map[string]coverage.Structure {
+	return map[string]coverage.Structure{
+		"irf": coverage.IRF, "l1d": coverage.L1D, "fprf": coverage.FPRF,
+		"intadd": coverage.IntAdder, "intmul": coverage.IntMul,
+		"fpadd": coverage.FPAdd, "fpmul": coverage.FPMul,
+	}
+}
+
+func main() {
+	var (
+		suite  = flag.String("suite", "mibench", "program source: mibench, dcdiag")
+		name   = flag.String("prog", "", "program name within the suite")
+		random = flag.Int("random", 0, "use a freshly generated random program of N instructions instead")
+		load   = flag.String("load", "", "load a saved .hxpg program file instead")
+		target = flag.String("target", "irf", "target structure: irf, l1d, intadd, intmul, fpadd, fpmul")
+		ftype  = flag.String("type", "", "fault type: transient, intermittent, permanent (default per structure)")
+		n      = flag.Int("n", 50, "number of injections")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		scale  = flag.Int("scale", 1, "workload scale")
+		window = flag.Uint64("window", 100, "intermittent fault window (cycles)")
+		list   = flag.Bool("list", false, "list available programs and exit")
+	)
+	flag.Parse()
+
+	suites := map[string][]*prog.Program{
+		"mibench": mibench.Programs(*scale),
+		"dcdiag":  dcdiag.Programs(*scale),
+	}
+	if *list {
+		for s, ps := range suites {
+			for _, p := range ps {
+				fmt.Printf("%-8s %s (%d instructions)\n", s, p.Name, len(p.Insts))
+			}
+		}
+		return
+	}
+
+	st, ok := structures()[strings.ToLower(*target)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown target %q\n", *target)
+		os.Exit(2)
+	}
+
+	var p *prog.Program
+	switch {
+	case *load != "":
+		var err error
+		p, err = prog.Load(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *random > 0:
+		cfg := harpocrates.DefaultGenConfig()
+		cfg.NumInstrs = *random
+		p = harpocrates.Generate(&cfg, *seed)
+		p.Name = fmt.Sprintf("random-%d", *random)
+	default:
+		for _, cand := range suites[*suite] {
+			if *name == "" || cand.Name == *name {
+				p = cand
+				break
+			}
+		}
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "program %q not found in suite %q (try -list)\n", *name, *suite)
+			os.Exit(2)
+		}
+	}
+
+	ft := inject.DefaultFaultType(st)
+	switch strings.ToLower(*ftype) {
+	case "transient":
+		ft = inject.Transient
+	case "intermittent":
+		ft = inject.Intermittent
+	case "permanent":
+		ft = inject.Permanent
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown fault type %q\n", *ftype)
+		os.Exit(2)
+	}
+
+	c := &inject.Campaign{
+		Prog:            p.Insts,
+		Init:            p.InitFunc(),
+		Target:          st,
+		Type:            ft,
+		N:               *n,
+		IntermittentLen: *window,
+		Seed:            *seed,
+		Cfg:             uarch.DefaultConfig(),
+	}
+	golden := c.Golden()
+	fmt.Printf("program %s: %d instructions, %d cycles golden, IPC %.2f\n",
+		p.Name, golden.Instructions, golden.Cycles,
+		float64(golden.Instructions)/float64(golden.Cycles))
+	fmt.Printf("campaign: target=%v faults=%v injections=%d\n", st, ft, *n)
+	stats, err := c.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(" ", stats)
+}

@@ -1,0 +1,113 @@
+// Command harpocrates runs the program-refinement loop for a target
+// hardware structure and reports the evolved test program's coverage and
+// fault detection capability.
+//
+// Usage:
+//
+//	harpocrates -structure intmul -scale 1 -detect 50 -dump 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"harpocrates"
+)
+
+func parseStructure(s string) (harpocrates.Structure, error) {
+	switch strings.ToLower(s) {
+	case "irf":
+		return harpocrates.IRF, nil
+	case "l1d":
+		return harpocrates.L1D, nil
+	case "fprf":
+		return harpocrates.FPRF, nil
+	case "intadd", "intadder", "adder":
+		return harpocrates.IntAdder, nil
+	case "intmul", "multiplier":
+		return harpocrates.IntMul, nil
+	case "fpadd":
+		return harpocrates.FPAdd, nil
+	case "fpmul":
+		return harpocrates.FPMul, nil
+	}
+	return 0, fmt.Errorf("unknown structure %q (irf, l1d, fprf, intadd, intmul, fpadd, fpmul)", s)
+}
+
+func main() {
+	var (
+		structure  = flag.String("structure", "intadd", "target structure: irf, l1d, fprf, intadd, intmul, fpadd, fpmul")
+		scale      = flag.Int("scale", 1, "experiment scale factor (1 = laptop scale)")
+		iterations = flag.Int("iterations", 0, "override the preset iteration count")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		detect     = flag.Int("detect", 0, "run a final fault-injection campaign with N injections")
+		dump       = flag.Int("dump", 0, "print the first N instructions of the best program")
+		save       = flag.String("save", "", "save the best program to a .hxpg file")
+	)
+	flag.Parse()
+
+	st, err := parseStructure(*structure)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	o := harpocrates.Preset(st, *scale)
+	o.Seed = *seed
+	if *iterations > 0 {
+		o.Iterations = *iterations
+	}
+
+	fmt.Printf("Harpocrates loop: structure=%v programs=%d instructions=%d topK=%d iterations=%d\n",
+		st, o.PopSize, o.Gen.NumInstrs, o.TopK, o.Iterations)
+	res, err := harpocrates.Evolve(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	h := res.History
+	for it := 0; it < len(h.Best); it += max(1, len(h.Best)/20) {
+		fmt.Printf("  it %4d  best coverage %6.2f%%  (top-%d mean %6.2f%%)\n",
+			it, 100*h.Best[it], o.TopK, 100*h.MeanTopK[it])
+	}
+	fmt.Printf("converged=%v after %d iterations; best %v coverage %.2f%%\n",
+		res.Converged, res.Iterations, st, 100*res.Best.Fitness)
+	fmt.Printf("loop step breakdown: mutation %v, generation %v, compilation %v, evaluation %v (totals)\n",
+		h.Times.Mutation, h.Times.Generation, h.Times.Compilation, h.Times.Evaluation)
+	fmt.Printf("throughput: %d programs, %d instructions generated and evaluated\n",
+		h.EvaluatedPrograms, h.EvaluatedInstructions)
+
+	best := harpocrates.BestProgram(res, &o)
+	if *dump > 0 {
+		lines := strings.Split(best.Disassemble(), "\n")
+		n := min(*dump, len(lines))
+		fmt.Printf("best program (first %d of %d instructions):\n%s\n",
+			n, len(best.Insts), strings.Join(lines[:n], "\n"))
+	}
+	if *save != "" {
+		if err := best.Save(*save); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved best program to %s (%d instructions)\n", *save, len(best.Insts))
+	}
+	if *detect > 0 {
+		fmt.Printf("running %v SFI campaign (%d injections, %s faults)...\n",
+			st, *detect, faultName(st))
+		stats, err := harpocrates.MeasureDetection(best, st, *detect, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %v\n", stats)
+	}
+}
+
+func faultName(st harpocrates.Structure) string {
+	if st.IsFunctionalUnit() {
+		return "permanent gate-level stuck-at"
+	}
+	return "transient bit-flip"
+}

@@ -1,0 +1,52 @@
+// Baselines evaluates the three public-framework stand-ins the paper
+// compares against (§III): the MiBench kernels, an OpenDCDiag-style test
+// suite, and SiliFuzz-style fuzzed tests — measuring hardware coverage
+// and fault detection for a chosen structure, like Figs. 4-6.
+//
+//	go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harpocrates"
+	"harpocrates/internal/baselines/dcdiag"
+	"harpocrates/internal/baselines/mibench"
+	"harpocrates/internal/baselines/silifuzz"
+	"harpocrates/internal/prog"
+)
+
+func main() {
+	st := harpocrates.IntAdder
+	fmt.Printf("coverage and detection for the %v (permanent gate faults)\n\n", st)
+
+	sf := silifuzz.Run(silifuzz.Options{
+		Seed: 5, Rounds: 3000, MaxInputBytes: 100,
+		TargetInstrs: 1000, NumTests: 2, SnapshotSteps: 512,
+	})
+	fmt.Printf("silifuzz session: %d raw inputs, %d runnable (%.0f%% discarded), %d tests\n\n",
+		sf.Stats.RawInputs, sf.Stats.Runnable,
+		100*float64(sf.Stats.Discarded)/float64(sf.Stats.RawInputs), len(sf.Tests))
+
+	suites := map[string][]*prog.Program{
+		"MiBench":    mibench.Programs(1),
+		"OpenDCDiag": dcdiag.Programs(1),
+		"SiliFuzz":   sf.Tests,
+	}
+	for fw, ps := range suites {
+		fmt.Printf("%s:\n", fw)
+		for _, p := range ps {
+			sim := harpocrates.Simulate(p, st)
+			if !sim.Clean() {
+				log.Fatalf("%s failed: %v", p.Name, sim.Crash)
+			}
+			det, err := harpocrates.MeasureDetection(p, st, 12, 9)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-26s coverage %5.1f%%  detection %5.1f%%  (%d cycles)\n",
+				p.Name, 100*sim.Value(st), 100*det.Detection(), sim.Cycles)
+		}
+	}
+}

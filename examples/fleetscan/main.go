@@ -1,0 +1,65 @@
+// Fleetscan demonstrates the two fleet-screening deployment modes of
+// §IV-B (after Meta's Ripple and Fleetscanner):
+//
+//   - Ripple: in-production periodic scans need *short* programs — the
+//     loop is constrained to a small instruction budget and maximizes
+//     detection under it;
+//
+//   - Fleetscanner: out-of-production scans run until a (very high)
+//     detection target is reached, without an execution-time constraint.
+//
+//     go run ./examples/fleetscan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harpocrates"
+)
+
+func main() {
+	structures := []harpocrates.Structure{
+		harpocrates.IntAdder, harpocrates.IntMul,
+	}
+
+	fmt.Println("=== Ripple mode: 400-instruction budget per structure ===")
+	for _, st := range structures {
+		o := harpocrates.Preset(st, 1)
+		o.Gen.NumInstrs = 400 // the duration constraint
+		o.Iterations = 10
+		o.Seed = 3
+		res, err := harpocrates.Evolve(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := harpocrates.BestProgram(res, &o)
+		sim := harpocrates.Simulate(best, st)
+		det, err := harpocrates.MeasureDetection(best, st, 16, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9v %4d instructions, %6d cycles: %s\n",
+			st, len(best.Insts), sim.Cycles, det)
+	}
+
+	fmt.Println("\n=== Fleetscanner mode: iterate until coverage converges ===")
+	st := harpocrates.IntAdder
+	o := harpocrates.Preset(st, 1)
+	o.Iterations = 200
+	o.ConvergeWindow = 8
+	o.ConvergeEps = 0.0005 // stop when coverage stops improving
+	o.Seed = 4
+	res, err := harpocrates.Evolve(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := harpocrates.BestProgram(res, &o)
+	det, err := harpocrates.MeasureDetection(best, st, 48, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %v converged=%v after %d iterations, coverage %.2f%%\n",
+		st, res.Converged, res.Iterations, 100*res.Best.Fitness)
+	fmt.Printf("  final: %s\n", det)
+}

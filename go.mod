@@ -1,0 +1,3 @@
+module harpocrates
+
+go 1.24

@@ -1,0 +1,64 @@
+package harpocrates_test
+
+import (
+	"testing"
+
+	"harpocrates"
+)
+
+func TestPublicAPIQuickSession(t *testing.T) {
+	// The README quickstart, as a test.
+	cfg := harpocrates.DefaultGenConfig()
+	cfg.NumInstrs = 200
+	p := harpocrates.Generate(&cfg, 42)
+	if len(p.Insts) != 200 {
+		t.Fatalf("generated %d instructions", len(p.Insts))
+	}
+	res := harpocrates.Simulate(p, harpocrates.IntAdder)
+	if !res.Clean() {
+		t.Fatalf("generated program failed: %v", res.Crash)
+	}
+	if res.IBR[harpocrates.IntAdder] <= 0 {
+		t.Fatal("no adder coverage")
+	}
+	st, err := harpocrates.MeasureDetection(p, harpocrates.IntAdder, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 8 {
+		t.Fatalf("campaign N = %d", st.N)
+	}
+}
+
+func TestPublicAPIEvolve(t *testing.T) {
+	o := harpocrates.Preset(harpocrates.IntMul, 1)
+	o.Gen.NumInstrs = 150
+	o.PopSize, o.TopK, o.MutantsPerParent = 8, 2, 3
+	o.Iterations = 5
+	o.Seed = 9
+	res, err := harpocrates.Evolve(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := harpocrates.BestProgram(res, &o)
+	if len(best.Insts) != 150 {
+		t.Fatal("best program has wrong size")
+	}
+	sim := harpocrates.Simulate(best, harpocrates.IntMul)
+	if sim.Value(harpocrates.IntMul) != res.Best.Fitness {
+		t.Fatalf("re-simulated fitness %f != recorded %f",
+			sim.Value(harpocrates.IntMul), res.Best.Fitness)
+	}
+}
+
+func TestPresetsCoverAllStructures(t *testing.T) {
+	for _, st := range []harpocrates.Structure{
+		harpocrates.IRF, harpocrates.L1D, harpocrates.IntAdder,
+		harpocrates.IntMul, harpocrates.FPAdd, harpocrates.FPMul,
+	} {
+		o := harpocrates.Preset(st, 1)
+		if o.Gen.NumInstrs == 0 || o.Iterations == 0 {
+			t.Fatalf("empty preset for %v", st)
+		}
+	}
+}

@@ -1,0 +1,575 @@
+package arch
+
+import (
+	"math"
+	"math/bits"
+
+	"harpocrates/internal/isa"
+)
+
+// Step executes prog[s.PC], updating state and PC. A non-nil result is an
+// architectural crash; state may be partially updated.
+func (s *State) Step(prog []isa.Inst) *CrashError {
+	if s.PC < 0 || s.PC >= len(prog) {
+		return &CrashError{Kind: CrashBadBranch, PC: s.PC}
+	}
+	pc := s.PC
+	in := &prog[pc]
+	if err := s.exec(in); err != nil {
+		err.PC = pc
+		return err
+	}
+	s.InstRet++
+	return nil
+}
+
+// Run executes the program until it falls off the end (PC == len(prog)),
+// crashes, or exceeds maxSteps. It returns the number of retired
+// instructions.
+func Run(prog []isa.Inst, s *State, maxSteps int) (int, *CrashError) {
+	for steps := 0; ; steps++ {
+		if s.PC == len(prog) {
+			return steps, nil
+		}
+		if steps >= maxSteps {
+			return steps, &CrashError{Kind: CrashWatchdog, PC: s.PC}
+		}
+		if err := s.Step(prog); err != nil {
+			return steps, err
+		}
+	}
+}
+
+// --- register and operand access -------------------------------------
+
+func signExtend(v uint64, w isa.Width) uint64 {
+	sh := 64 - 8*uint(w)
+	return uint64(int64(v<<sh) >> sh)
+}
+
+// EffAddr computes the effective address of a memory reference.
+func (s *State) EffAddr(m isa.MemRef) uint64 {
+	a := s.GPR[m.Base] + uint64(int64(m.Disp))
+	if m.HasIndex {
+		a += s.GPR[m.Index] * uint64(m.Scale)
+	}
+	return a
+}
+
+// ReadGPR reads a register at a given width (zero-extended).
+func (s *State) ReadGPR(r isa.Reg, w isa.Width) uint64 { return s.GPR[r] & w.Mask() }
+
+// WriteGPR writes a register with x86 width rules: 64-bit writes the full
+// register, 32-bit zero-extends, 8/16-bit merge into the low bits.
+func (s *State) WriteGPR(r isa.Reg, w isa.Width, v uint64) {
+	switch w {
+	case isa.W64:
+		s.GPR[r] = v
+	case isa.W32:
+		s.GPR[r] = v & 0xffffffff
+	default:
+		m := w.Mask()
+		s.GPR[r] = (s.GPR[r] &^ m) | (v & m)
+	}
+}
+
+// readOp reads an integer operand value (zero-extended to 64 bits).
+func (s *State) readOp(op *isa.Operand, w isa.Width) (uint64, *CrashError) {
+	switch op.Kind {
+	case isa.KReg:
+		return s.ReadGPR(op.Reg, w), nil
+	case isa.KImm:
+		return uint64(op.Imm) & w.Mask(), nil
+	case isa.KMem:
+		return s.Mem.Read(s.EffAddr(op.Mem), uint64(w))
+	}
+	return 0, &CrashError{Kind: CrashInvalidOpcode}
+}
+
+// writeOp writes an integer operand.
+func (s *State) writeOp(op *isa.Operand, w isa.Width, v uint64) *CrashError {
+	switch op.Kind {
+	case isa.KReg:
+		s.WriteGPR(op.Reg, w, v)
+		return nil
+	case isa.KMem:
+		return s.Mem.Write(s.EffAddr(op.Mem), uint64(w), v&w.Mask())
+	}
+	return &CrashError{Kind: CrashInvalidOpcode}
+}
+
+// readX reads a 128-bit operand (xmm or memory).
+func (s *State) readX(op *isa.Operand, w isa.Width) ([2]uint64, *CrashError) {
+	switch op.Kind {
+	case isa.KXmm:
+		return s.XMM[op.X], nil
+	case isa.KMem:
+		addr := s.EffAddr(op.Mem)
+		if w == isa.W128 {
+			if addr&15 != 0 {
+				return [2]uint64{}, &CrashError{Kind: CrashMisaligned, Addr: addr}
+			}
+			return s.Mem.Read128(addr)
+		}
+		v, err := s.Mem.Read(addr, uint64(w))
+		return [2]uint64{v, 0}, err
+	}
+	return [2]uint64{}, &CrashError{Kind: CrashInvalidOpcode}
+}
+
+// --- flags -------------------------------------------------------------
+
+func parityEven(b uint64) bool { return bits.OnesCount8(uint8(b))%2 == 0 }
+
+func (s *State) setZSP(res uint64, w isa.Width) {
+	s.Flags &^= isa.ZF | isa.SF | isa.PF
+	if res&w.Mask() == 0 {
+		s.Flags |= isa.ZF
+	}
+	if res&w.SignBit() != 0 {
+		s.Flags |= isa.SF
+	}
+	if parityEven(res) {
+		s.Flags |= isa.PF
+	}
+}
+
+func (s *State) setLogicFlags(res uint64, w isa.Width) {
+	s.Flags &^= isa.CF | isa.OF
+	s.setZSP(res, w)
+}
+
+func (s *State) setBool(f isa.Flags, v bool) {
+	if v {
+		s.Flags |= f
+	} else {
+		s.Flags &^= f
+	}
+}
+
+// addCore computes a + b + cin at width w, routing through the integer
+// adder hook when installed. CF and OF are derived from the (possibly
+// faulty) result via carry reconstruction, so a stuck-at fault in the
+// adder consistently corrupts the flags it would corrupt in hardware.
+func (s *State) addCore(a, b uint64, cin bool, w isa.Width) (res uint64, cf, of bool) {
+	a &= w.Mask()
+	b &= w.Mask()
+	var sum uint64
+	if s.FU != nil && s.FU.IntAdd != nil {
+		sum = s.FU.IntAdd(a, b, cin)
+	} else {
+		sum = a + b
+		if cin {
+			sum++
+		}
+	}
+	res = sum & w.Mask()
+	ci := a ^ b ^ res              // carry-in per bit (bit 0 equals cin)
+	co := (a & b) | ((a | b) & ci) // carry-out per bit
+	msb := uint(w.Bits() - 1)
+	cf = (co>>msb)&1 != 0
+	of = ((ci^co)>>msb)&1 != 0
+	return res, cf, of
+}
+
+// subCore computes a - b - bin via the adder (two's-complement), matching
+// how hardware ALUs subtract.
+func (s *State) subCore(a, b uint64, bin bool, w isa.Width) (res uint64, cf, of bool) {
+	res, c, of := s.addCore(a, ^b&w.Mask(), !bin, w)
+	return res, !c, of
+}
+
+// mulCore computes the widening product of a and b at width w, routed
+// through the multiplier hook when installed.
+func (s *State) mulCore(a, b uint64, w isa.Width, signed bool) (lo, hi uint64) {
+	if signed {
+		a = signExtend(a, w)
+		b = signExtend(b, w)
+	} else {
+		a &= w.Mask()
+		b &= w.Mask()
+	}
+	var phi, plo uint64
+	if s.FU != nil && s.FU.IntMul != nil {
+		plo, phi = s.FU.IntMul(a, b)
+	} else {
+		phi, plo = bits.Mul64(a, b)
+	}
+	if signed {
+		if int64(a) < 0 {
+			phi -= b
+		}
+		if int64(b) < 0 {
+			phi -= a
+		}
+	}
+	if w == isa.W64 {
+		return plo, phi
+	}
+	return plo & w.Mask(), (plo >> (8 * uint(w))) & w.Mask()
+}
+
+// --- FP helpers ----------------------------------------------------------
+
+func (s *State) fpAdd64(a, b uint64) uint64 {
+	if s.FU != nil && s.FU.FPAdd64 != nil {
+		return s.FU.FPAdd64(a, b)
+	}
+	return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+}
+
+func (s *State) fpSub64(a, b uint64) uint64 {
+	return s.fpAdd64(a, b^(1<<63))
+}
+
+func (s *State) fpMul64(a, b uint64) uint64 {
+	if s.FU != nil && s.FU.FPMul64 != nil {
+		return s.FU.FPMul64(a, b)
+	}
+	return math.Float64bits(math.Float64frombits(a) * math.Float64frombits(b))
+}
+
+func (s *State) fpAdd32(a, b uint32) uint32 {
+	if s.FU != nil && s.FU.FPAdd32 != nil {
+		return s.FU.FPAdd32(a, b)
+	}
+	return math.Float32bits(math.Float32frombits(a) + math.Float32frombits(b))
+}
+
+func (s *State) fpMul32(a, b uint32) uint32 {
+	if s.FU != nil && s.FU.FPMul32 != nil {
+		return s.FU.FPMul32(a, b)
+	}
+	return math.Float32bits(math.Float32frombits(a) * math.Float32frombits(b))
+}
+
+// --- main dispatch ---------------------------------------------------------
+
+func (s *State) exec(in *isa.Inst) *CrashError {
+	v := isa.Lookup(in.V)
+	w := v.Width
+	nextPC := s.PC + 1
+
+	switch v.Op {
+	case isa.OpINVALID:
+		return &CrashError{Kind: CrashInvalidOpcode}
+
+	case isa.OpADD, isa.OpADC, isa.OpSUB, isa.OpSBB, isa.OpCMP:
+		a, err := s.readOp(&in.Ops[0], w)
+		if err != nil {
+			return err
+		}
+		b, err := s.readOp(&in.Ops[1], w)
+		if err != nil {
+			return err
+		}
+		cin := false
+		if v.Op == isa.OpADC || v.Op == isa.OpSBB {
+			cin = s.Flags&isa.CF != 0
+		}
+		var res uint64
+		var cf, of bool
+		if v.Op == isa.OpADD || v.Op == isa.OpADC {
+			res, cf, of = s.addCore(a, b, cin, w)
+		} else {
+			res, cf, of = s.subCore(a, b, cin, w)
+		}
+		s.setBool(isa.CF, cf)
+		s.setBool(isa.OF, of)
+		s.setZSP(res, w)
+		if v.Op != isa.OpCMP {
+			if err := s.writeOp(&in.Ops[0], w, res); err != nil {
+				return err
+			}
+		}
+
+	case isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpTEST:
+		a, err := s.readOp(&in.Ops[0], w)
+		if err != nil {
+			return err
+		}
+		b, err := s.readOp(&in.Ops[1], w)
+		if err != nil {
+			return err
+		}
+		var res uint64
+		switch v.Op {
+		case isa.OpAND, isa.OpTEST:
+			res = a & b
+		case isa.OpOR:
+			res = a | b
+		case isa.OpXOR:
+			res = a ^ b
+		}
+		s.setLogicFlags(res, w)
+		if v.Op != isa.OpTEST {
+			if err := s.writeOp(&in.Ops[0], w, res); err != nil {
+				return err
+			}
+		}
+
+	case isa.OpMOV:
+		b, err := s.readOp(&in.Ops[1], w)
+		if err != nil {
+			return err
+		}
+		if err := s.writeOp(&in.Ops[0], w, b); err != nil {
+			return err
+		}
+
+	case isa.OpINC, isa.OpDEC:
+		a, err := s.readOp(&in.Ops[0], w)
+		if err != nil {
+			return err
+		}
+		var res uint64
+		var of bool
+		if v.Op == isa.OpINC {
+			res, _, of = s.addCore(a, 1, false, w)
+		} else {
+			res, _, of = s.subCore(a, 1, false, w)
+		}
+		s.setBool(isa.OF, of) // CF preserved (x86 rule)
+		s.setZSP(res, w)
+		if err := s.writeOp(&in.Ops[0], w, res); err != nil {
+			return err
+		}
+
+	case isa.OpNEG:
+		a, err := s.readOp(&in.Ops[0], w)
+		if err != nil {
+			return err
+		}
+		res, _, of := s.subCore(0, a, false, w)
+		s.setBool(isa.CF, a&w.Mask() != 0)
+		s.setBool(isa.OF, of)
+		s.setZSP(res, w)
+		if err := s.writeOp(&in.Ops[0], w, res); err != nil {
+			return err
+		}
+
+	case isa.OpNOT:
+		a, err := s.readOp(&in.Ops[0], w)
+		if err != nil {
+			return err
+		}
+		if err := s.writeOp(&in.Ops[0], w, ^a); err != nil {
+			return err
+		}
+
+	case isa.OpSHL, isa.OpSHR, isa.OpSAR, isa.OpROL, isa.OpROR, isa.OpRCL, isa.OpRCR:
+		if err := s.execShift(in, v); err != nil {
+			return err
+		}
+
+	case isa.OpLEA:
+		s.WriteGPR(in.Ops[0].Reg, w, s.EffAddr(in.Ops[1].Mem))
+
+	case isa.OpMOVZX, isa.OpMOVSX:
+		srcW := v.Ops[1].Width
+		a, err := s.readOp(&in.Ops[1], srcW)
+		if err != nil {
+			return err
+		}
+		if v.Op == isa.OpMOVSX {
+			a = signExtend(a, srcW)
+		}
+		s.WriteGPR(in.Ops[0].Reg, w, a)
+
+	case isa.OpXCHG:
+		a, err := s.readOp(&in.Ops[0], w)
+		if err != nil {
+			return err
+		}
+		b, err := s.readOp(&in.Ops[1], w)
+		if err != nil {
+			return err
+		}
+		if err := s.writeOp(&in.Ops[0], w, b); err != nil {
+			return err
+		}
+		if err := s.writeOp(&in.Ops[1], w, a); err != nil {
+			return err
+		}
+
+	case isa.OpMUL, isa.OpIMUL:
+		a := s.ReadGPR(isa.RAX, w)
+		b, err := s.readOp(&in.Ops[0], w)
+		if err != nil {
+			return err
+		}
+		lo, hi := s.mulCore(a, b, w, v.Op == isa.OpIMUL)
+		s.WriteGPR(isa.RAX, w, lo)
+		s.WriteGPR(isa.RDX, w, hi)
+		overflow := hi != 0
+		if v.Op == isa.OpIMUL {
+			fill := uint64(0)
+			if lo&w.SignBit() != 0 {
+				fill = w.Mask()
+			}
+			overflow = hi != fill
+		}
+		s.setBool(isa.CF, overflow)
+		s.setBool(isa.OF, overflow)
+		s.setZSP(lo, w)
+
+	case isa.OpDIV, isa.OpIDIV:
+		if err := s.execDiv(in, v); err != nil {
+			return err
+		}
+
+	case isa.OpIMULRR, isa.OpIMULRRI:
+		var a, b uint64
+		var err *CrashError
+		if v.Op == isa.OpIMULRR {
+			a, err = s.readOp(&in.Ops[0], w)
+			if err != nil {
+				return err
+			}
+			b, err = s.readOp(&in.Ops[1], w)
+		} else {
+			a, err = s.readOp(&in.Ops[1], w)
+			if err != nil {
+				return err
+			}
+			b = uint64(in.Ops[2].Imm) & w.Mask()
+		}
+		if err != nil {
+			return err
+		}
+		lo, hi := s.mulCore(a, b, w, true)
+		fill := uint64(0)
+		if lo&w.SignBit() != 0 {
+			fill = w.Mask()
+		}
+		overflow := hi != fill
+		s.setBool(isa.CF, overflow)
+		s.setBool(isa.OF, overflow)
+		s.setZSP(lo, w)
+		s.WriteGPR(in.Ops[0].Reg, w, lo)
+
+	case isa.OpPUSH:
+		val, err := s.readOp(&in.Ops[0], isa.W64)
+		if err != nil {
+			return err
+		}
+		if in.Ops[0].Kind == isa.KImm {
+			val = signExtend(val, isa.W32)
+		}
+		sp := s.GPR[isa.RSP] - 8
+		if err := s.Mem.Write(sp, 8, val); err != nil {
+			return err
+		}
+		s.GPR[isa.RSP] = sp
+
+	case isa.OpPOP:
+		val, err := s.Mem.Read(s.GPR[isa.RSP], 8)
+		if err != nil {
+			return err
+		}
+		s.GPR[isa.RSP] += 8
+		if err := s.writeOp(&in.Ops[0], isa.W64, val); err != nil {
+			return err
+		}
+
+	case isa.OpSETcc:
+		var val uint64
+		if v.Cond.Eval(s.Flags) {
+			val = 1
+		}
+		if err := s.writeOp(&in.Ops[0], isa.W8, val); err != nil {
+			return err
+		}
+
+	case isa.OpCMOVcc:
+		src, err := s.readOp(&in.Ops[1], w)
+		if err != nil {
+			return err
+		}
+		val := s.ReadGPR(in.Ops[0].Reg, w)
+		if v.Cond.Eval(s.Flags) {
+			val = src
+		}
+		s.WriteGPR(in.Ops[0].Reg, w, val)
+
+	case isa.OpJcc, isa.OpJMP:
+		taken := v.Op == isa.OpJMP || v.Cond.Eval(s.Flags)
+		if taken {
+			nextPC = s.PC + 1 + int(in.Ops[0].Imm)
+		}
+
+	case isa.OpBSWAP:
+		a := s.ReadGPR(in.Ops[0].Reg, w)
+		if w == isa.W32 {
+			a = uint64(bits.ReverseBytes32(uint32(a)))
+		} else {
+			a = bits.ReverseBytes64(a)
+		}
+		s.WriteGPR(in.Ops[0].Reg, w, a)
+
+	case isa.OpBSF, isa.OpBSR, isa.OpPOPCNT, isa.OpLZCNT, isa.OpTZCNT:
+		if err := s.execBitScan(in, v); err != nil {
+			return err
+		}
+
+	case isa.OpBT, isa.OpBTS, isa.OpBTR, isa.OpBTC:
+		a, err := s.readOp(&in.Ops[0], w)
+		if err != nil {
+			return err
+		}
+		b, err := s.readOp(&in.Ops[1], w)
+		if err != nil {
+			return err
+		}
+		bit := uint(b) % uint(w.Bits())
+		s.setBool(isa.CF, (a>>bit)&1 != 0)
+		switch v.Op {
+		case isa.OpBTS:
+			a |= 1 << bit
+		case isa.OpBTR:
+			a &^= 1 << bit
+		case isa.OpBTC:
+			a ^= 1 << bit
+		}
+		if v.Op != isa.OpBT {
+			if err := s.writeOp(&in.Ops[0], w, a); err != nil {
+				return err
+			}
+		}
+
+	case isa.OpNOP:
+
+	case isa.OpRDTSC:
+		t := s.nondet()
+		s.WriteGPR(isa.RAX, isa.W32, t&0xffffffff)
+		s.WriteGPR(isa.RDX, isa.W32, t>>32)
+
+	case isa.OpRDRAND:
+		s.WriteGPR(in.Ops[0].Reg, isa.W64, s.nondet())
+		s.Flags |= isa.CF
+
+	case isa.OpCPUID:
+		t := s.nondet() ^ s.GPR[isa.RAX]*0x2545f4914f6cdd1d
+		s.GPR[isa.RAX] = t
+		s.GPR[isa.RBX] = bits.RotateLeft64(t, 17)
+		s.GPR[isa.RCX] = bits.RotateLeft64(t, 31)
+		s.GPR[isa.RDX] = bits.RotateLeft64(t, 47)
+
+	case isa.OpHLT, isa.OpINB, isa.OpOUTB:
+		return &CrashError{Kind: CrashPrivileged}
+
+	default:
+		handled, err := s.execExt(in, v)
+		if err != nil {
+			return err
+		}
+		if !handled {
+			if err := s.execSSE(in, v); err != nil {
+				return err
+			}
+		}
+	}
+
+	s.PC = nextPC
+	return nil
+}

@@ -1,0 +1,188 @@
+// Package arch implements the architectural state and full functional
+// semantics of the HX86 ISA: general-purpose and vector register files,
+// status flags, a region-based memory model with access checking, and an
+// executor used both for golden (fault-free) reference runs and as the
+// execute-stage semantics of the out-of-order core model.
+//
+// Faulty behaviour enters through two channels: direct state corruption
+// (the injector flips bits in registers, memory or cache lines between
+// steps) and functional-unit hooks (FUHooks) that reroute arithmetic
+// through gate-level netlists, possibly carrying a stuck-at fault.
+package arch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Region is a contiguous chunk of the guest address space.
+type Region struct {
+	Name     string
+	Base     uint64
+	Data     []byte
+	Writable bool
+}
+
+// End returns the first address past the region.
+func (r *Region) End() uint64 { return r.Base + uint64(len(r.Data)) }
+
+// Contains reports whether [addr, addr+size) falls inside the region.
+func (r *Region) Contains(addr, size uint64) bool {
+	return addr >= r.Base && size <= uint64(len(r.Data)) && addr-r.Base <= uint64(len(r.Data))-size
+}
+
+// MemBus is the memory seen by the executor. The functional emulator
+// binds it to a plain *Memory; the out-of-order core model binds it to a
+// bus that routes loads through the L1D cache and store-to-load
+// forwarding, and captures stores into the store queue.
+type MemBus interface {
+	Read(addr, size uint64) (uint64, *CrashError)
+	Write(addr, size, val uint64) *CrashError
+	Read128(addr uint64) ([2]uint64, *CrashError)
+	Write128(addr uint64, v [2]uint64) *CrashError
+	// Regions exposes the underlying address map (for signatures and
+	// bounds introspection).
+	Regions() []*Region
+}
+
+// Memory is a sparse, region-based guest memory. Accesses outside every
+// region fault, which is the main source of crashes for random byte
+// programs (the SiliFuzz baseline) and for fault-corrupted pointers.
+type Memory struct {
+	regions []*Region // sorted by Base
+}
+
+var _ MemBus = (*Memory)(nil)
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{} }
+
+// AddRegion registers a region. Regions must not overlap.
+func (m *Memory) AddRegion(r *Region) error {
+	for _, o := range m.regions {
+		if r.Base < o.End() && o.Base < r.End() {
+			return fmt.Errorf("arch: region %q [%#x,%#x) overlaps %q [%#x,%#x)",
+				r.Name, r.Base, r.End(), o.Name, o.Base, o.End())
+		}
+	}
+	m.regions = append(m.regions, r)
+	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Base < m.regions[j].Base })
+	return nil
+}
+
+// Regions returns the regions in address order. The slice must not be
+// modified.
+func (m *Memory) Regions() []*Region { return m.regions }
+
+// Region returns the named region, or nil.
+func (m *Memory) Region(name string) *Region {
+	for _, r := range m.regions {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// find locates the region containing [addr, addr+size).
+func (m *Memory) find(addr, size uint64) *Region {
+	// Linear scan: programs have 2-3 regions.
+	for _, r := range m.regions {
+		if r.Contains(addr, size) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Read reads size bytes (1..8) as a little-endian integer.
+func (m *Memory) Read(addr, size uint64) (uint64, *CrashError) {
+	r := m.find(addr, size)
+	if r == nil {
+		return 0, &CrashError{Kind: CrashBadAddress, Addr: addr}
+	}
+	off := addr - r.Base
+	var v uint64
+	for i := uint64(0); i < size; i++ {
+		v |= uint64(r.Data[off+i]) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write writes size bytes (1..8) little-endian.
+func (m *Memory) Write(addr, size, val uint64) *CrashError {
+	r := m.find(addr, size)
+	if r == nil || !r.Writable {
+		return &CrashError{Kind: CrashBadAddress, Addr: addr}
+	}
+	off := addr - r.Base
+	for i := uint64(0); i < size; i++ {
+		r.Data[off+i] = byte(val >> (8 * i))
+	}
+	return nil
+}
+
+// Read128 reads a 16-byte value as two little-endian 64-bit lanes.
+func (m *Memory) Read128(addr uint64) ([2]uint64, *CrashError) {
+	lo, err := m.Read(addr, 8)
+	if err != nil {
+		return [2]uint64{}, err
+	}
+	hi, err := m.Read(addr+8, 8)
+	if err != nil {
+		return [2]uint64{}, err
+	}
+	return [2]uint64{lo, hi}, nil
+}
+
+// Write128 writes a 16-byte value as two little-endian 64-bit lanes.
+func (m *Memory) Write128(addr uint64, v [2]uint64) *CrashError {
+	if err := m.Write(addr, 8, v[0]); err != nil {
+		return err
+	}
+	return m.Write(addr+8, 8, v[1])
+}
+
+// CheckWrite verifies that [addr, addr+size) is writable without writing.
+func (m *Memory) CheckWrite(addr, size uint64) *CrashError {
+	r := m.find(addr, size)
+	if r == nil || !r.Writable {
+		return &CrashError{Kind: CrashBadAddress, Addr: addr}
+	}
+	return nil
+}
+
+// ReadBytes copies [addr, addr+size) into dst (used for cache line
+// fills).
+func (m *Memory) ReadBytes(addr uint64, dst []byte) *CrashError {
+	r := m.find(addr, uint64(len(dst)))
+	if r == nil {
+		return &CrashError{Kind: CrashBadAddress, Addr: addr}
+	}
+	copy(dst, r.Data[addr-r.Base:])
+	return nil
+}
+
+// WriteBytes copies src to [addr, addr+len(src)) (cache line
+// writebacks). Unlike Write it ignores the Writable flag: a dirty line
+// can only exist for a region that accepted the original store.
+func (m *Memory) WriteBytes(addr uint64, src []byte) *CrashError {
+	r := m.find(addr, uint64(len(src)))
+	if r == nil {
+		return &CrashError{Kind: CrashBadAddress, Addr: addr}
+	}
+	copy(r.Data[addr-r.Base:], src)
+	return nil
+}
+
+// Clone deep-copies the memory (used to snapshot initial state for
+// repeated golden/faulty runs).
+func (m *Memory) Clone() *Memory {
+	c := &Memory{regions: make([]*Region, len(m.regions))}
+	for i, r := range m.regions {
+		nr := &Region{Name: r.Name, Base: r.Base, Writable: r.Writable, Data: make([]byte, len(r.Data))}
+		copy(nr.Data, r.Data)
+		c.regions[i] = nr
+	}
+	return c
+}

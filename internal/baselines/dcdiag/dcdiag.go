@@ -1,0 +1,335 @@
+// Package dcdiag implements an OpenDCDiag-style test suite in HX86
+// assembly (paper §III-A2): data-sensitive algorithmic kernels —
+// compression, CRC, a block cipher, integer and floating-point matrix
+// multiplication, a Jacobi SVD sweep, a memory pattern test and an
+// arithmetic stress loop — where corruption of inputs or intermediate
+// results is highly likely to corrupt the output.
+package dcdiag
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"harpocrates/internal/baselines/kasm"
+	"harpocrates/internal/isa"
+	"harpocrates/internal/prog"
+)
+
+// Programs returns the full suite at the given scale.
+func Programs(scale int) []*prog.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	return []*prog.Program{
+		Compress(scale),
+		CRC32(scale),
+		Cipher(scale),
+		MxMInt(scale),
+		MxMFP(scale),
+		SVD(scale),
+		Memtest(scale),
+		Stress(scale),
+	}
+}
+
+func putU64(b []byte, off int, v uint64) { binary.LittleEndian.PutUint64(b[off:], v) }
+
+// Compress: run-length encoding of a run-rich byte buffer (the suite's
+// zlib-style compression stand-in).
+func Compress(scale int) *prog.Program {
+	n := 1536 * scale
+	rng := rand.New(rand.NewPCG(0xc0de, 1))
+	data := make([]byte, n+2*n+16+64)
+	for i := 0; i < n; {
+		run := 1 + rng.IntN(40)
+		v := byte(rng.Uint32())
+		for k := 0; k < run && i < n; k++ {
+			data[i] = v
+			i++
+		}
+	}
+	outOff := n
+	lenOff := n + 2*n
+	lenOff += (8 - lenOff%8) % 8
+
+	b := kasm.New()
+	b.MovRI(isa.RSI, 0) // in pos
+	b.MovRI(isa.RDI, 0) // out pos
+	b.Label("outer")
+	b.LoadBZXIdx(isa.RAX, isa.R15, isa.RSI, 1, 0) // current byte
+	b.MovRI(isa.RCX, 1)                           // run length
+	b.Label("run")
+	b.MovRR(isa.RBX, isa.RSI)
+	b.AddRR(isa.RBX, isa.RCX)
+	b.CmpRI(isa.RBX, int64(n))
+	b.Jcc(isa.CondAE, "emit")
+	b.LoadBZXIdx(isa.RDX, isa.R15, isa.RBX, 1, 0)
+	b.CmpRR(isa.RDX, isa.RAX)
+	b.Jcc(isa.CondNE, "emit")
+	b.CmpRI(isa.RCX, 255)
+	b.Jcc(isa.CondE, "emit")
+	b.Inc(isa.RCX)
+	b.Jmp("run")
+	b.Label("emit")
+	b.StoreBIdx(isa.R15, isa.RDI, 1, int32(outOff), isa.RCX)
+	b.Inc(isa.RDI)
+	b.StoreBIdx(isa.R15, isa.RDI, 1, int32(outOff), isa.RAX)
+	b.Inc(isa.RDI)
+	b.AddRR(isa.RSI, isa.RCX)
+	b.CmpRI(isa.RSI, int64(n))
+	b.Jcc(isa.CondB, "outer")
+	b.Store(isa.R15, int32(lenOff), isa.RDI)
+	return kasm.Kernel("dcdiag/compress", b.Build(), data)
+}
+
+// CRC32: bitwise CRC-32 (poly 0xEDB88320) over a buffer, one bit per
+// iteration with a conditional-move poly fold.
+func CRC32(scale int) *prog.Program {
+	n := 768 * scale
+	rng := rand.New(rand.NewPCG(0xcc32, 2))
+	data := make([]byte, n+8+64)
+	for i := 0; i < n; i++ {
+		data[i] = byte(rng.Uint32())
+	}
+	b := kasm.New()
+	b.MovRI(isa.R8, 0xffffffff) // crc
+	b.MovRI(isa.R9, 0xedb88320) // poly
+	b.MovRI(isa.RSI, 0)
+	b.Label("byte")
+	b.LoadBZXIdx(isa.RAX, isa.R15, isa.RSI, 1, 0)
+	b.XorRR(isa.R8, isa.RAX)
+	for k := 0; k < 8; k++ {
+		b.MovRR(isa.RBX, isa.R8)
+		b.ShrRI(isa.RBX, 1)
+		b.MovRR(isa.RCX, isa.RBX)
+		b.XorRR(isa.RCX, isa.R9) // shifted ^ poly
+		b.I(kasm.Find(isa.OpBT, isa.W64, isa.KReg, isa.KImm), isa.RegOp(isa.R8), isa.ImmOp(0))
+		b.CmovRR(isa.CondB, isa.RBX, isa.RCX) // CF set: take folded value
+		b.MovRR(isa.R8, isa.RBX)
+	}
+	b.Inc(isa.RSI)
+	b.CmpRI(isa.RSI, int64(n))
+	b.Jcc(isa.CondNE, "byte")
+	b.XorRI(isa.R8, -1)
+	b.I(kasm.Find(isa.OpAND, isa.W64, isa.KReg, isa.KImm), isa.RegOp(isa.R8), isa.ImmOp(0xffffffff))
+	b.Store(isa.R15, int32(n), isa.R8)
+	return kasm.Kernel("dcdiag/crc32", b.Build(), data)
+}
+
+// Cipher: XTEA block encryption (32 rounds, 32-bit arithmetic).
+func Cipher(scale int) *prog.Program {
+	numBlocks := 24 * scale
+	rng := rand.New(rand.NewPCG(0x7ea, 3))
+	// layout: key[4] at 0, blocks (v0,v1 pairs) at 32.
+	blkOff := 32
+	data := make([]byte, blkOff+numBlocks*16+64)
+	for i := 0; i < 4; i++ {
+		putU64(data, i*8, uint64(rng.Uint32()))
+	}
+	for i := 0; i < numBlocks*2; i++ {
+		putU64(data, blkOff+i*8, uint64(rng.Uint32()))
+	}
+	const mask32 = 0xffffffff
+	const delta = 0x9e3779b9
+
+	b := kasm.New()
+	b.MovRI(isa.RSI, 0)
+	b.Label("blk")
+	b.MovRR(isa.RBX, isa.RSI)
+	b.ShlRI(isa.RBX, 4)
+	b.LoadIdx(isa.R8, isa.R15, isa.RBX, 1, int32(blkOff))   // v0
+	b.LoadIdx(isa.R9, isa.R15, isa.RBX, 1, int32(blkOff+8)) // v1
+	b.MovRI(isa.R10, 0)                                     // sum
+	for round := 0; round < 32; round++ {
+		// v0 += (((v1<<4) ^ (v1>>5)) + v1) ^ (sum + key[sum&3])
+		b.MovRR(isa.RAX, isa.R9)
+		b.ShlRI(isa.RAX, 4)
+		b.AndRI(isa.RAX, mask32)
+		b.MovRR(isa.RCX, isa.R9)
+		b.ShrRI(isa.RCX, 5)
+		b.XorRR(isa.RAX, isa.RCX)
+		b.AddRR(isa.RAX, isa.R9)
+		b.AndRI(isa.RAX, mask32)
+		b.MovRR(isa.RCX, isa.R10)
+		b.AndRI(isa.RCX, 3)
+		b.LoadIdx(isa.RDX, isa.R15, isa.RCX, 8, 0) // key[sum&3]
+		b.AddRR(isa.RDX, isa.R10)
+		b.AndRI(isa.RDX, mask32)
+		b.XorRR(isa.RAX, isa.RDX)
+		b.AddRR(isa.R8, isa.RAX)
+		b.AndRI(isa.R8, mask32)
+		// sum += delta
+		b.MovRI(isa.RAX, delta)
+		b.AddRR(isa.R10, isa.RAX)
+		b.AndRI(isa.R10, mask32)
+		// v1 += (((v0<<4) ^ (v0>>5)) + v0) ^ (sum + key[(sum>>11)&3])
+		b.MovRR(isa.RAX, isa.R8)
+		b.ShlRI(isa.RAX, 4)
+		b.AndRI(isa.RAX, mask32)
+		b.MovRR(isa.RCX, isa.R8)
+		b.ShrRI(isa.RCX, 5)
+		b.XorRR(isa.RAX, isa.RCX)
+		b.AddRR(isa.RAX, isa.R8)
+		b.AndRI(isa.RAX, mask32)
+		b.MovRR(isa.RCX, isa.R10)
+		b.ShrRI(isa.RCX, 11)
+		b.AndRI(isa.RCX, 3)
+		b.LoadIdx(isa.RDX, isa.R15, isa.RCX, 8, 0)
+		b.AddRR(isa.RDX, isa.R10)
+		b.AndRI(isa.RDX, mask32)
+		b.XorRR(isa.RAX, isa.RDX)
+		b.AddRR(isa.R9, isa.RAX)
+		b.AndRI(isa.R9, mask32)
+	}
+	b.StoreIdx(isa.R15, isa.RBX, 1, int32(blkOff), isa.R8)
+	b.StoreIdx(isa.R15, isa.RBX, 1, int32(blkOff+8), isa.R9)
+	b.Inc(isa.RSI)
+	b.CmpRI(isa.RSI, int64(numBlocks))
+	b.Jcc(isa.CondNE, "blk")
+	return kasm.Kernel("dcdiag/cipher", b.Build(), data)
+}
+
+// MxMInt: integer matrix multiplication C = A x B (the suite's MxM test,
+// integer flavour).
+func MxMInt(scale int) *prog.Program {
+	n := 12
+	reps := scale
+	rng := rand.New(rand.NewPCG(0x3a3a, 4))
+	aOff, bOff, cOff := 0, n*n*8, 2*n*n*8
+	data := make([]byte, 3*n*n*8+64)
+	for i := 0; i < n*n; i++ {
+		putU64(data, aOff+i*8, uint64(int64(rng.Uint32()%1000)-500))
+		putU64(data, bOff+i*8, uint64(int64(rng.Uint32()%1000)-500))
+	}
+	b := kasm.New()
+	b.MovRI(isa.R13, 0)
+	b.Label("rep")
+	b.MovRI(isa.RSI, 0) // i
+	b.Label("iloop")
+	b.MovRI(isa.RDI, 0) // j
+	b.Label("jloop")
+	b.MovRI(isa.RAX, 0) // acc
+	b.MovRI(isa.RCX, 0) // k
+	b.MovRR(isa.R10, isa.RSI)
+	b.ImulRRI(isa.R10, isa.RSI, int64(n)) // i*n
+	b.Label("kloop")
+	b.MovRR(isa.RBX, isa.R10)
+	b.AddRR(isa.RBX, isa.RCX)
+	b.LoadIdx(isa.RDX, isa.R15, isa.RBX, 8, int32(aOff)) // A[i][k]
+	b.MovRR(isa.RBX, isa.RCX)
+	b.ImulRRI(isa.RBX, isa.RCX, int64(n))
+	b.AddRR(isa.RBX, isa.RDI)
+	b.LoadIdx(isa.R11, isa.R15, isa.RBX, 8, int32(bOff)) // B[k][j]
+	b.ImulRR(isa.RDX, isa.R11)
+	b.AddRR(isa.RAX, isa.RDX)
+	b.Inc(isa.RCX)
+	b.CmpRI(isa.RCX, int64(n))
+	b.Jcc(isa.CondNE, "kloop")
+	b.MovRR(isa.RBX, isa.R10)
+	b.AddRR(isa.RBX, isa.RDI)
+	b.StoreIdx(isa.R15, isa.RBX, 8, int32(cOff), isa.RAX)
+	b.Inc(isa.RDI)
+	b.CmpRI(isa.RDI, int64(n))
+	b.Jcc(isa.CondNE, "jloop")
+	b.Inc(isa.RSI)
+	b.CmpRI(isa.RSI, int64(n))
+	b.Jcc(isa.CondNE, "iloop")
+	b.Inc(isa.R13)
+	b.CmpRI(isa.R13, int64(reps))
+	b.Jcc(isa.CondNE, "rep")
+	return kasm.Kernel("dcdiag/mxm-int", b.Build(), data)
+}
+
+// MxMFP: double-precision matrix multiplication (the suite's FP-heavy
+// MxM flavour).
+func MxMFP(scale int) *prog.Program {
+	n := 10
+	reps := scale
+	rng := rand.New(rand.NewPCG(0xf9f9, 5))
+	aOff, bOff, cOff := 0, n*n*8, 2*n*n*8
+	data := make([]byte, 3*n*n*8+64)
+	for i := 0; i < n*n; i++ {
+		putU64(data, aOff+i*8, math.Float64bits(rng.Float64()*2-1))
+		putU64(data, bOff+i*8, math.Float64bits(rng.Float64()*2-1))
+	}
+	b := kasm.New()
+	b.MovRI(isa.R13, 0)
+	b.Label("rep")
+	b.MovRI(isa.RSI, 0)
+	b.Label("iloop")
+	b.MovRI(isa.RDI, 0)
+	b.Label("jloop")
+	b.XorRR(isa.RAX, isa.RAX)
+	b.CvtSI2SD(0, isa.RAX) // acc = 0.0
+	b.MovRI(isa.RCX, 0)
+	b.MovRR(isa.R10, isa.RSI)
+	b.ImulRRI(isa.R10, isa.RSI, int64(n))
+	b.Label("kloop")
+	b.MovRR(isa.RBX, isa.R10)
+	b.AddRR(isa.RBX, isa.RCX)
+	b.LoadSDIdx(1, isa.R15, isa.RBX, 8, int32(aOff))
+	b.MovRR(isa.RBX, isa.RCX)
+	b.ImulRRI(isa.RBX, isa.RCX, int64(n))
+	b.AddRR(isa.RBX, isa.RDI)
+	b.LoadSDIdx(2, isa.R15, isa.RBX, 8, int32(bOff))
+	b.MulSD(1, 2)
+	b.AddSD(0, 1)
+	b.Inc(isa.RCX)
+	b.CmpRI(isa.RCX, int64(n))
+	b.Jcc(isa.CondNE, "kloop")
+	b.MovRR(isa.RBX, isa.R10)
+	b.AddRR(isa.RBX, isa.RDI)
+	b.StoreSDIdx(isa.R15, isa.RBX, 8, int32(cOff), 0)
+	b.Inc(isa.RDI)
+	b.CmpRI(isa.RDI, int64(n))
+	b.Jcc(isa.CondNE, "jloop")
+	b.Inc(isa.RSI)
+	b.CmpRI(isa.RSI, int64(n))
+	b.Jcc(isa.CondNE, "iloop")
+	b.Inc(isa.R13)
+	b.CmpRI(isa.R13, int64(reps))
+	b.Jcc(isa.CondNE, "rep")
+	return kasm.Kernel("dcdiag/mxm-fp", b.Build(), data)
+}
+
+// Stress: a mixed integer/FP arithmetic stress loop with data-dependent
+// FP branches (dcdiag's arithmetic stress tests flavour).
+func Stress(scale int) *prog.Program {
+	iters := int64(1200 * scale)
+	// layout: consts 1.0 and 1e-3 then two result slots.
+	data := make([]byte, 64)
+	putU64(data, 0, math.Float64bits(1.0))
+	putU64(data, 8, math.Float64bits(1e-3))
+
+	b := kasm.New()
+	b.MovRI(isa.R8, 0x123456789)
+	b.MovRI(isa.RSI, 0)
+	b.LoadSD(0, isa.R15, 0) // x = 1.0
+	b.LoadSD(3, isa.R15, 8) // eps
+	b.Label("loop")
+	// Integer mix.
+	b.MovRR(isa.RAX, isa.R8)
+	b.ImulRRI(isa.RAX, isa.R8, 6364136223846793005>>32) // golden-ratio-ish
+	b.RorRI(isa.RAX, 13)
+	b.AddRR(isa.R8, isa.RAX)
+	// FP mix: x = x*1.0000xxx + eps; occasionally renormalize.
+	b.CvtSI2SD(1, isa.RSI)
+	b.MulSD(1, 3) // i * eps
+	b.AddSD(0, 1)
+	b.LoadSD(2, isa.R15, 0) // 1.0
+	b.UcomiSD(0, 2)
+	b.Jcc(isa.CondB, "small")
+	b.SqrtSD(0, 0) // pull large values back
+	b.Label("small")
+	b.Inc(isa.RSI)
+	b.CmpRI(isa.RSI, iters)
+	b.Jcc(isa.CondNE, "loop")
+	b.Store(isa.R15, 16, isa.R8)
+	b.StoreSD(isa.R15, 24, 0)
+	return kasm.Kernel("dcdiag/stress", b.Build(), data)
+}
+
+// label helper for generated per-pair labels.
+func lbl(base string, p, q int) string { return fmt.Sprintf("%s_%d_%d", base, p, q) }

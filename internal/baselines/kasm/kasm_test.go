@@ -1,0 +1,104 @@
+package kasm
+
+import (
+	"testing"
+
+	"harpocrates/internal/arch"
+	"harpocrates/internal/isa"
+)
+
+func TestFindPanicsOnMissing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Find must panic for impossible variants")
+		}
+	}()
+	Find(isa.OpADD, isa.W128, isa.KXmm, isa.KXmm, isa.KXmm)
+}
+
+func TestLabelsAndFixups(t *testing.T) {
+	b := New()
+	b.MovRI(isa.RAX, 0)
+	b.Label("top")
+	b.Inc(isa.RAX)
+	b.CmpRI(isa.RAX, 3)
+	b.Jcc(isa.CondNE, "top")
+	b.Jmp("end")
+	b.Inc(isa.RAX) // skipped
+	b.Label("end")
+	insts := b.Build()
+
+	p := Kernel("kasm-test", insts, make([]byte, 64))
+	s := p.NewState()
+	if _, err := arch.Run(p.Insts, s, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if s.GPR[isa.RAX] != 3 {
+		t.Fatalf("rax = %d, want 3 (loop ran wrong count or skip failed)", s.GPR[isa.RAX])
+	}
+}
+
+func TestBackwardAndForwardOffsets(t *testing.T) {
+	b := New()
+	b.Label("l0")
+	b.Jmp("l1") // forward: offset +0? l1 is next instruction
+	b.Label("l1")
+	b.Jmp("l0") // backward
+	insts := b.Build()
+	if insts[0].Ops[0].Imm != 0 {
+		t.Fatalf("forward jump to next: offset %d, want 0", insts[0].Ops[0].Imm)
+	}
+	if insts[1].Ops[0].Imm != -2 {
+		t.Fatalf("backward jump: offset %d, want -2", insts[1].Ops[0].Imm)
+	}
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate label must panic")
+		}
+	}()
+	b := New()
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestUndefinedLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undefined label must panic at Build")
+		}
+	}()
+	b := New()
+	b.Jmp("nowhere")
+	b.Build()
+}
+
+func TestMovRIWideConstant(t *testing.T) {
+	b := New()
+	b.MovRI(isa.RAX, 0x0123456789abcdef)
+	b.MovRI(isa.RBX, -5)
+	insts := b.Build()
+	p := Kernel("kasm-movri", insts, make([]byte, 64))
+	s := p.NewState()
+	if _, err := arch.Run(p.Insts, s, 10); err != nil {
+		t.Fatal(err)
+	}
+	if s.GPR[isa.RAX] != 0x0123456789abcdef {
+		t.Fatalf("movabs: %#x", s.GPR[isa.RAX])
+	}
+	if int64(s.GPR[isa.RBX]) != -5 {
+		t.Fatalf("imm32 sign extension: %d", int64(s.GPR[isa.RBX]))
+	}
+}
+
+func TestKernelLayout(t *testing.T) {
+	p := Kernel("layout", nil, make([]byte, 100)) // unaligned payload
+	if err := p.Validate(); err != nil {
+		t.Fatalf("kernel region not padded: %v", err)
+	}
+	if p.InitGPR[isa.R15] == 0 || p.InitGPR[isa.RSP] == 0 {
+		t.Fatal("base/stack registers not initialized")
+	}
+}

@@ -1,0 +1,307 @@
+// Package mibench implements twelve embedded-benchmark-style kernels in
+// HX86 assembly, standing in for the MiBench suite the paper uses as its
+// general-purpose baseline (§III-C). Each kernel computes a real result
+// into its data region (verified against a Go reference in the tests),
+// so fault effects propagate — or get masked — the way they do in real
+// workloads.
+package mibench
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+
+	"harpocrates/internal/baselines/kasm"
+	"harpocrates/internal/isa"
+	"harpocrates/internal/prog"
+)
+
+// Programs returns all twelve kernels at the given scale (1 = CI-sized).
+func Programs(scale int) []*prog.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	return []*prog.Program{
+		Basicmath(scale),
+		Bitcount(scale),
+		Qsort(scale),
+		Susan(scale),
+		DCT(scale),
+		Dijkstra(scale),
+		Patricia(scale),
+		Stringsearch(scale),
+		Blowfish(scale),
+		SHA(scale),
+		ADPCM(scale),
+		FFT(scale),
+	}
+}
+
+func putU64(b []byte, off int, v uint64) { binary.LittleEndian.PutUint64(b[off:], v) }
+
+// Basicmath: integer arithmetic loop mixing multiply, shift and rotate
+// (basicmath's square/cube root loops flavour).
+func Basicmath(scale int) *prog.Program {
+	n := int64(1500 * scale)
+	b := kasm.New()
+	b.MovRI(isa.RAX, 0) // acc
+	b.MovRI(isa.RCX, 1) // i
+	b.Label("loop")
+	b.MovRR(isa.RBX, isa.RCX)
+	b.ImulRR(isa.RBX, isa.RCX)     // i*i
+	b.ImulRRI(isa.RDX, isa.RCX, 3) // 3*i
+	b.AddRR(isa.RBX, isa.RDX)
+	b.RolRI(isa.RBX, 7)
+	b.XorRR(isa.RAX, isa.RBX)
+	b.Inc(isa.RCX)
+	b.CmpRI(isa.RCX, n+1)
+	b.Jcc(isa.CondNE, "loop")
+	b.Store(isa.R15, 0, isa.RAX)
+	return kasm.Kernel("mibench/basicmath", b.Build(), make([]byte, 64))
+}
+
+// basicmathRef mirrors Basicmath for verification.
+func basicmathRef(scale int) uint64 {
+	n := uint64(1500 * scale)
+	acc := uint64(0)
+	for i := uint64(1); i <= n; i++ {
+		t := i*i + 3*i
+		t = t<<7 | t>>(64-7)
+		acc ^= t
+	}
+	return acc
+}
+
+// Bitcount: Kernighan population count over an array of words.
+func Bitcount(scale int) *prog.Program {
+	n := 256 * scale
+	rng := rand.New(rand.NewPCG(0xb17c0, 1))
+	data := make([]byte, n*8+64)
+	for i := 0; i < n; i++ {
+		putU64(data, i*8, rng.Uint64())
+	}
+	b := kasm.New()
+	b.MovRI(isa.R8, 0)  // total
+	b.MovRI(isa.RSI, 0) // index
+	b.Label("outer")
+	b.LoadIdx(isa.RAX, isa.R15, isa.RSI, 8, 0)
+	b.Label("inner")
+	b.TestRR(isa.RAX, isa.RAX)
+	b.Jcc(isa.CondE, "next")
+	b.MovRR(isa.RBX, isa.RAX)
+	b.SubRI(isa.RBX, 1)
+	b.AndRR(isa.RAX, isa.RBX) // clear lowest set bit
+	b.Inc(isa.R8)
+	b.Jmp("inner")
+	b.Label("next")
+	b.Inc(isa.RSI)
+	b.CmpRI(isa.RSI, int64(n))
+	b.Jcc(isa.CondNE, "outer")
+	b.StoreIdx(isa.R15, isa.RSI, 8, 0, isa.R8) // data[n] = total
+	return kasm.Kernel("mibench/bitcount", b.Build(), data)
+}
+
+// Qsort: shellsort over an int64 array (the suite's sorting workload).
+func Qsort(scale int) *prog.Program {
+	n := 192 * scale
+	rng := rand.New(rand.NewPCG(0x9507, 2))
+	data := make([]byte, n*8)
+	for i := 0; i < n; i++ {
+		putU64(data, i*8, rng.Uint64()>>16)
+	}
+	b := kasm.New()
+	// gaps: 64, 16, 4, 1 (powers so scaling keeps correctness)
+	for _, gap := range []int64{64, 16, 4, 1} {
+		g := gap
+		lbl := func(s string) string { return s + string(rune('a'+g%26)) + itoa(g) }
+		b.MovRI(isa.RSI, g) // i = gap
+		b.Label(lbl("outer"))
+		b.LoadIdx(isa.RAX, isa.R15, isa.RSI, 8, 0) // tmp = a[i]
+		b.MovRR(isa.RDI, isa.RSI)                  // j = i
+		b.Label(lbl("inner"))
+		b.CmpRI(isa.RDI, g)
+		b.Jcc(isa.CondL, lbl("place")) // j < gap: stop
+		b.MovRR(isa.RBX, isa.RDI)
+		b.SubRI(isa.RBX, g)                        // j-gap
+		b.LoadIdx(isa.RCX, isa.R15, isa.RBX, 8, 0) // a[j-gap]
+		b.CmpRR(isa.RCX, isa.RAX)
+		b.Jcc(isa.CondBE, lbl("place")) // a[j-gap] <= tmp (unsigned)
+		b.StoreIdx(isa.R15, isa.RDI, 8, 0, isa.RCX)
+		b.MovRR(isa.RDI, isa.RBX)
+		b.Jmp(lbl("inner"))
+		b.Label(lbl("place"))
+		b.StoreIdx(isa.R15, isa.RDI, 8, 0, isa.RAX)
+		b.Inc(isa.RSI)
+		b.CmpRI(isa.RSI, int64(n))
+		b.Jcc(isa.CondNE, lbl("outer"))
+	}
+	return kasm.Kernel("mibench/qsort", b.Build(), data)
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	s := ""
+	for v > 0 {
+		s = string(rune('0'+v%10)) + s
+		v /= 10
+	}
+	return s
+}
+
+// Susan: 3x3 box smoothing over a byte image (susan's smoothing stage).
+func Susan(scale int) *prog.Program {
+	side := 24 + 8*scale // image is side x side
+	rng := rand.New(rand.NewPCG(0x5a5a, 3))
+	data := make([]byte, side*side+side*side+64)
+	for i := 0; i < side*side; i++ {
+		data[i] = byte(rng.Uint32())
+	}
+	outOff := int32(side * side)
+	b := kasm.New()
+	b.MovRI(isa.RSI, 1) // y
+	b.Label("rows")
+	b.MovRI(isa.RDI, 1) // x
+	b.Label("cols")
+	// base index = y*side + x
+	b.MovRR(isa.RBX, isa.RSI)
+	b.ImulRRI(isa.RBX, isa.RSI, int64(side))
+	b.AddRR(isa.RBX, isa.RDI)
+	b.MovRI(isa.RAX, 0) // sum
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			b.LoadBZXIdx(isa.RCX, isa.R15, isa.RBX, 1, int32(dy*side+dx))
+			b.AddRR(isa.RAX, isa.RCX)
+		}
+	}
+	b.ShrRI(isa.RAX, 3) // /8 approximation of /9
+	b.StoreBIdx(isa.R15, isa.RBX, 1, outOff, isa.RAX)
+	b.Inc(isa.RDI)
+	b.CmpRI(isa.RDI, int64(side-1))
+	b.Jcc(isa.CondNE, "cols")
+	b.Inc(isa.RSI)
+	b.CmpRI(isa.RSI, int64(side-1))
+	b.Jcc(isa.CondNE, "rows")
+	return kasm.Kernel("mibench/susan", b.Build(), data)
+}
+
+// DCT: 8x8 integer transform via a coefficient table (jpeg's forward DCT
+// flavour: multiply-accumulate rows then columns).
+func DCT(scale int) *prog.Program {
+	blocks := 4 * scale
+	rng := rand.New(rand.NewPCG(0xdc7, 4))
+	// layout: coeff table 8x8 int64 at 0, input blocks at 512, output
+	// blocks after the inputs.
+	outBase := int64(512 + blocks*512)
+	data := make([]byte, 512+2*blocks*512+64)
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 8; j++ {
+			putU64(data, (k*8+j)*8, uint64(int64((k+1)*(j+2)%13-6)))
+		}
+	}
+	for i := 0; i < blocks*64; i++ {
+		putU64(data, 512+i*8, uint64(int64(rng.Uint32()%256)-128))
+	}
+	b := kasm.New()
+	b.MovRI(isa.R9, 0) // block index
+	b.Label("blocks")
+	b.MovRR(isa.R10, isa.R9)
+	b.ShlRI(isa.R10, 9) // block offset = blk*512
+	b.MovRI(isa.RSI, 0) // k (output row)
+	b.Label("rows")
+	b.MovRI(isa.RDI, 0) // column c
+	b.Label("cols")
+	b.MovRI(isa.RAX, 0) // acc
+	// acc = sum_j coeff[k][j] * in[j][c]
+	b.MovRI(isa.RCX, 0) // j
+	b.Label("mac")
+	b.MovRR(isa.RBX, isa.RSI)
+	b.ShlRI(isa.RBX, 3)
+	b.AddRR(isa.RBX, isa.RCX)                  // k*8+j
+	b.LoadIdx(isa.RDX, isa.R15, isa.RBX, 8, 0) // coeff
+	b.MovRR(isa.RBX, isa.RCX)
+	b.ShlRI(isa.RBX, 3)
+	b.AddRR(isa.RBX, isa.RDI) // element j*8+c
+	b.ShlRI(isa.RBX, 3)       // byte offset within block
+	b.AddRR(isa.RBX, isa.R10) // + block byte offset
+	b.LoadIdx(isa.R11, isa.R15, isa.RBX, 1, 512)
+	b.ImulRR(isa.RDX, isa.R11)
+	b.AddRR(isa.RAX, isa.RDX)
+	b.Inc(isa.RCX)
+	b.CmpRI(isa.RCX, 8)
+	b.Jcc(isa.CondNE, "mac")
+	b.SarRI(isa.RAX, 3)
+	// out[k][c] into the output area.
+	b.MovRR(isa.RBX, isa.RSI)
+	b.ShlRI(isa.RBX, 3)
+	b.AddRR(isa.RBX, isa.RDI)
+	b.ShlRI(isa.RBX, 3)
+	b.AddRR(isa.RBX, isa.R10)
+	b.StoreIdx(isa.R15, isa.RBX, 1, int32(outBase), isa.RAX)
+	b.Inc(isa.RDI)
+	b.CmpRI(isa.RDI, 8)
+	b.Jcc(isa.CondNE, "cols")
+	b.Inc(isa.RSI)
+	b.CmpRI(isa.RSI, 8)
+	b.Jcc(isa.CondNE, "rows")
+	b.Inc(isa.R9)
+	b.CmpRI(isa.R9, int64(blocks))
+	b.Jcc(isa.CondNE, "blocks")
+	return kasm.Kernel("mibench/dct", b.Build(), data)
+}
+
+// Dijkstra: Bellman-Ford-style relaxation over an adjacency matrix (the
+// suite's shortest-path network workload).
+func Dijkstra(scale int) *prog.Program {
+	nodes := 16
+	rounds := nodes * scale
+	rng := rand.New(rand.NewPCG(0xd1d1, 5))
+	// layout: adj[n][n] uint64 at 0, dist[n] after.
+	data := make([]byte, nodes*nodes*8+nodes*8+64)
+	for u := 0; u < nodes; u++ {
+		for v := 0; v < nodes; v++ {
+			w := uint64(1 + rng.IntN(100))
+			if u == v {
+				w = 0
+			}
+			putU64(data, (u*nodes+v)*8, w)
+		}
+	}
+	distOff := int32(nodes * nodes * 8)
+	const inf = int64(1) << 40
+	b := kasm.New()
+	// init dist: dist[0]=0, others INF
+	b.MovRI(isa.RAX, inf)
+	for v := 1; v < nodes; v++ {
+		b.Store(isa.R15, distOff+int32(v*8), isa.RAX)
+	}
+	b.MovRI(isa.RAX, 0)
+	b.Store(isa.R15, distOff, isa.RAX)
+	b.MovRI(isa.R9, 0) // round
+	b.Label("round")
+	b.MovRI(isa.RSI, 0) // u
+	b.Label("uloop")
+	b.LoadIdx(isa.RAX, isa.R15, isa.RSI, 8, distOff) // dist[u]
+	b.MovRR(isa.R10, isa.RSI)
+	b.ImulRRI(isa.R10, isa.RSI, int64(nodes)) // u*nodes
+	b.MovRI(isa.RDI, 0)                       // v
+	b.Label("vloop")
+	b.MovRR(isa.RBX, isa.R10)
+	b.AddRR(isa.RBX, isa.RDI)
+	b.LoadIdx(isa.RCX, isa.R15, isa.RBX, 8, 0) // w(u,v)
+	b.AddRR(isa.RCX, isa.RAX)                  // cand = dist[u]+w
+	b.LoadIdx(isa.RDX, isa.R15, isa.RDI, 8, distOff)
+	b.CmpRR(isa.RCX, isa.RDX)
+	b.CmovRR(isa.CondAE, isa.RCX, isa.RDX) // keep min
+	b.StoreIdx(isa.R15, isa.RDI, 8, distOff, isa.RCX)
+	b.Inc(isa.RDI)
+	b.CmpRI(isa.RDI, int64(nodes))
+	b.Jcc(isa.CondNE, "vloop")
+	b.Inc(isa.RSI)
+	b.CmpRI(isa.RSI, int64(nodes))
+	b.Jcc(isa.CondNE, "uloop")
+	b.Inc(isa.R9)
+	b.CmpRI(isa.R9, int64(rounds))
+	b.Jcc(isa.CondNE, "round")
+	return kasm.Kernel("mibench/dijkstra", b.Build(), data)
+}

@@ -1,0 +1,100 @@
+package silifuzz
+
+import (
+	"testing"
+
+	"harpocrates/internal/arch"
+	"harpocrates/internal/uarch"
+)
+
+func smallOptions() Options {
+	o := DefaultOptions()
+	o.Rounds = 4000
+	o.TargetInstrs = 1500
+	o.NumTests = 3
+	return o
+}
+
+func TestFuzzerProducesRunnableTests(t *testing.T) {
+	res := Run(smallOptions())
+	if res.Stats.RawInputs != 4000 {
+		t.Fatalf("raw inputs = %d", res.Stats.RawInputs)
+	}
+	if res.Stats.Runnable == 0 {
+		t.Fatal("no runnable snapshots produced")
+	}
+	if len(res.Tests) == 0 {
+		t.Fatal("no aggregated tests produced")
+	}
+	for _, p := range res.Tests {
+		if len(p.Insts) < smallOptions().TargetInstrs/2 {
+			t.Fatalf("%s too short: %d instructions", p.Name, len(p.Insts))
+		}
+		s := p.NewState()
+		if _, err := arch.Run(p.Insts, s, 20*len(p.Insts)+10000); err != nil {
+			t.Fatalf("aggregated test %s crashes: %v", p.Name, err)
+		}
+		if !p.Deterministic(20*len(p.Insts) + 10000) {
+			t.Fatalf("aggregated test %s is nondeterministic", p.Name)
+		}
+	}
+	t.Logf("stats: %+v", res.Stats)
+}
+
+func TestDiscardRateIsSubstantial(t *testing.T) {
+	// Paper Fig. 8: "more than 2 out of 3 produced sequences being
+	// eventually unusable" — our raw-byte mutation must likewise discard
+	// a large share and keep a meaningful share.
+	res := Run(smallOptions())
+	frac := float64(res.Stats.Discarded) / float64(res.Stats.RawInputs)
+	if frac < 0.25 || frac > 0.95 {
+		t.Fatalf("discard rate %.2f outside plausible band", frac)
+	}
+	t.Logf("discard rate: %.2f (runnable %d / raw %d)",
+		frac, res.Stats.Runnable, res.Stats.RawInputs)
+}
+
+func TestCoverageGrowsCorpus(t *testing.T) {
+	res := Run(smallOptions())
+	if res.Stats.CorpusSize <= 32 {
+		t.Fatal("coverage feedback never retained an input")
+	}
+	if res.Stats.CoverageFeatures == 0 {
+		t.Fatal("no coverage features recorded")
+	}
+}
+
+func TestDeterministicSessions(t *testing.T) {
+	a := Run(smallOptions())
+	b := Run(smallOptions())
+	if a.Stats.Runnable != b.Stats.Runnable || a.Stats.CorpusSize != b.Stats.CorpusSize {
+		t.Fatal("identical seeds produced different sessions")
+	}
+	if len(a.Tests) != len(b.Tests) {
+		t.Fatal("test counts differ")
+	}
+	for i := range a.Tests {
+		if len(a.Tests[i].Insts) != len(b.Tests[i].Insts) {
+			t.Fatal("aggregated tests differ")
+		}
+	}
+}
+
+func TestAggregatedTestsRunOnCore(t *testing.T) {
+	res := Run(smallOptions())
+	cfg := uarch.DefaultConfig()
+	for _, p := range res.Tests {
+		s := p.NewState()
+		_, gerr := arch.Run(p.Insts, s, 20*len(p.Insts)+10000)
+		if gerr != nil {
+			t.Fatalf("%s: emulator crash %v", p.Name, gerr)
+		}
+		r := uarch.Run(p.Insts, p.NewState(), cfg)
+		if r.Crash != nil || r.TimedOut {
+			t.Fatalf("%s: core crash=%v timeout=%v", p.Name, r.Crash, r.TimedOut)
+		}
+		if r.Signature != s.Signature() {
+			t.Fatalf("%s: core/emulator mismatch", p.Name)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+// Package core implements the Harpocrates program-refinement loop
+// (paper §IV, Fig. 7): Generator → Evaluator → selection → Mutator,
+// iterated until the hardware-coverage metric converges.
+//
+// The flow mirrors a genetic algorithm: a population of genotypes is
+// materialized into programs, each program is graded on the
+// microarchitectural simulator with a structure-specific coverage metric
+// (the fitness function), the top-K fittest advance, and each survivor
+// is mutated M times to produce the next generation. Elites are carried
+// over, so the best coverage is monotone (paper Fig. 10: "the maximum
+// coverage is retained for subsequent iterations").
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/gen"
+	"harpocrates/internal/isa"
+	"harpocrates/internal/mutate"
+	"harpocrates/internal/prog"
+	"harpocrates/internal/stats"
+	"harpocrates/internal/uarch"
+)
+
+// Options configures one Harpocrates run.
+type Options struct {
+	// Structure is the target hardware structure.
+	Structure coverage.Structure
+	// Metric overrides the default coverage metric for the structure.
+	Metric coverage.Metric
+
+	// Gen configures the generator (program size, pool, policies).
+	Gen gen.Config
+	// Core configures the evaluation engine; tracking flags for the
+	// target structure are enabled automatically.
+	Core uarch.Config
+
+	// PopSize, TopK and MutantsPerParent define the GA shape
+	// (paper §VI-B: 96/16/6 for the IRF, 32/8/4 for functional units).
+	PopSize          int
+	TopK             int
+	MutantsPerParent int
+
+	// Iterations is the number of refinement loops.
+	Iterations int
+	// ConvergeWindow/ConvergeEps stop early when the best fitness
+	// improves by less than eps over the window (0 disables).
+	ConvergeWindow int
+	ConvergeEps    float64
+
+	Seed    uint64
+	Workers int
+
+	// OnIteration, if set, observes each completed iteration (used by
+	// the experiment harnesses to checkpoint detection measurements).
+	OnIteration func(it int, best *Individual)
+
+	// Mutate overrides the mutation strategy (default: uniform
+	// instruction replacement, mutate.ReplaceAll — the paper's choice,
+	// §V-B1). Used by the mutation-strategy ablation.
+	Mutate func(parent *gen.Genotype, cfg *gen.Config, rng *rand.Rand) *gen.Genotype
+}
+
+// Individual is one member of the population with its evaluation.
+type Individual struct {
+	G        *gen.Genotype
+	Fitness  float64
+	Snapshot coverage.Snapshot
+}
+
+// Program materializes the individual's phenotype.
+func (ind *Individual) Program(cfg *gen.Config) *prog.Program {
+	return gen.Materialize(ind.G, cfg)
+}
+
+// StepTimes is the single-loop-step duration breakdown (paper Table I).
+type StepTimes struct {
+	Mutation    time.Duration
+	Generation  time.Duration
+	Compilation time.Duration
+	Evaluation  time.Duration
+}
+
+// Total returns the summed step duration.
+func (s StepTimes) Total() time.Duration {
+	return s.Mutation + s.Generation + s.Compilation + s.Evaluation
+}
+
+// History records the optimization trajectory.
+type History struct {
+	// Best[i] is the best fitness at iteration i; MeanTopK[i] the mean
+	// fitness of the survivors.
+	Best     []float64
+	MeanTopK []float64
+	// Times accumulates the per-phase durations across all iterations.
+	Times StepTimes
+	// EvaluatedPrograms and EvaluatedInstructions count the grading
+	// throughput (paper §VI-A).
+	EvaluatedPrograms     int
+	EvaluatedInstructions uint64
+}
+
+// Result is the outcome of a Harpocrates run.
+type Result struct {
+	Best       *Individual
+	TopK       []*Individual
+	History    *History
+	Iterations int
+	Converged  bool
+}
+
+// normalize fills defaults.
+func (o *Options) normalize() error {
+	if o.PopSize == 0 {
+		o.PopSize = 96
+	}
+	if o.TopK == 0 {
+		o.TopK = 16
+	}
+	if o.MutantsPerParent == 0 {
+		o.MutantsPerParent = o.PopSize / o.TopK
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 100
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Gen.NumInstrs == 0 {
+		o.Gen = gen.DefaultConfig()
+	}
+	if len(o.Gen.Allowed) == 0 {
+		o.Gen.Allowed = gen.DefaultPool()
+	}
+	if o.Metric.Score == nil {
+		o.Metric = coverage.MetricFor(o.Structure)
+	}
+	if o.Core.ROBSize == 0 {
+		o.Core = uarch.DefaultConfig()
+	}
+	switch o.Structure {
+	case coverage.IRF:
+		o.Core.TrackIRF = true
+	case coverage.L1D:
+		o.Core.TrackL1D = true
+	case coverage.FPRF:
+		o.Core.TrackFPRF = true
+	default:
+		o.Core.TrackIBR = true
+	}
+	if o.Mutate == nil {
+		o.Mutate = mutate.ReplaceAll
+	}
+	if o.TopK > o.PopSize {
+		return fmt.Errorf("core: TopK %d > PopSize %d", o.TopK, o.PopSize)
+	}
+	return nil
+}
+
+// Run executes the Harpocrates loop.
+func Run(o Options) (*Result, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	rng := stats.Derive(o.Seed, 0)
+	hist := &History{}
+
+	// Step 0: the Generator bootstraps the initial population.
+	t0 := time.Now()
+	pop := make([]*Individual, o.PopSize)
+	for i := range pop {
+		pop[i] = &Individual{G: gen.NewRandom(&o.Gen, rng)}
+	}
+	hist.Times.Generation += time.Since(t0)
+
+	evaluate(pop, &o, hist)
+
+	converged := false
+	it := 0
+	for ; it < o.Iterations; it++ {
+		// Step 2: selection — advance the top-K programs.
+		sort.SliceStable(pop, func(a, b int) bool { return pop[a].Fitness > pop[b].Fitness })
+		top := pop[:o.TopK]
+
+		hist.Best = append(hist.Best, top[0].Fitness)
+		mean := 0.0
+		for _, ind := range top {
+			mean += ind.Fitness
+		}
+		hist.MeanTopK = append(hist.MeanTopK, mean/float64(len(top)))
+		if o.OnIteration != nil {
+			o.OnIteration(it, top[0])
+		}
+		if o.ConvergeWindow > 0 && len(hist.Best) > o.ConvergeWindow {
+			prev := hist.Best[len(hist.Best)-1-o.ConvergeWindow]
+			if hist.Best[len(hist.Best)-1]-prev < o.ConvergeEps {
+				converged = true
+				it++
+				break
+			}
+		}
+		if it == o.Iterations-1 {
+			it++
+			break
+		}
+
+		// Step 3: mutation — each survivor yields M offspring.
+		tm := time.Now()
+		offspring := make([]*Individual, 0, o.TopK*o.MutantsPerParent)
+		for _, parent := range top {
+			for m := 0; m < o.MutantsPerParent; m++ {
+				offspring = append(offspring, &Individual{G: o.Mutate(parent.G, &o.Gen, rng)})
+			}
+		}
+		hist.Times.Mutation += time.Since(tm)
+
+		// Step 1 (next cycle): evaluate the offspring; elites keep their
+		// cached fitness.
+		evaluate(offspring, &o, hist)
+
+		next := make([]*Individual, 0, o.TopK+len(offspring))
+		next = append(next, top...)
+		next = append(next, offspring...)
+		pop = next
+	}
+
+	sort.SliceStable(pop, func(a, b int) bool { return pop[a].Fitness > pop[b].Fitness })
+	res := &Result{
+		Best:       pop[0],
+		TopK:       append([]*Individual(nil), pop[:o.TopK]...),
+		History:    hist,
+		Iterations: it,
+		Converged:  converged,
+	}
+	return res, nil
+}
+
+// evaluate materializes and grades a set of individuals in parallel,
+// accounting generation/compilation/evaluation time (Table I).
+func evaluate(inds []*Individual, o *Options, hist *History) {
+	var genNS, compNS, evalNS, instrs int64
+	var mu sync.Mutex
+
+	work := make(chan *Individual)
+	var wg sync.WaitGroup
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var g, c, e, n int64
+			for ind := range work {
+				t0 := time.Now()
+				p := gen.Materialize(ind.G, &o.Gen)
+				t1 := time.Now()
+				// "Compilation": lower to the byte encoding, as the C
+				// wrapper + compiler step does in the paper's toolchain.
+				_ = p.Encode()
+				t2 := time.Now()
+				r := uarch.Run(p.Insts, p.NewState(), o.Core)
+				t3 := time.Now()
+
+				ind.Snapshot = r.Snapshot
+				if r.Clean() {
+					ind.Fitness = o.Metric.Score(&r.Snapshot)
+				} else {
+					ind.Fitness = 0 // crashing candidates are discarded
+				}
+				g += t1.Sub(t0).Nanoseconds()
+				c += t2.Sub(t1).Nanoseconds()
+				e += t3.Sub(t2).Nanoseconds()
+				n += int64(len(p.Insts))
+			}
+			mu.Lock()
+			genNS += g
+			compNS += c
+			evalNS += e
+			instrs += n
+			mu.Unlock()
+		}()
+	}
+	for _, ind := range inds {
+		work <- ind
+	}
+	close(work)
+	wg.Wait()
+
+	hist.Times.Generation += time.Duration(genNS)
+	hist.Times.Compilation += time.Duration(compNS)
+	hist.Times.Evaluation += time.Duration(evalNS)
+	hist.EvaluatedPrograms += len(inds)
+	hist.EvaluatedInstructions += uint64(instrs)
+}
+
+// PresetFor returns the paper's per-structure loop configuration
+// (§VI-B), scaled by the given factor: scale 1 is CI-sized; the paper's
+// full parameters are reached around scale 8-16 depending on structure.
+func PresetFor(st coverage.Structure, scale int) Options {
+	if scale < 1 {
+		scale = 1
+	}
+	o := Options{Structure: st}
+	o.Gen = gen.DefaultConfig()
+	switch st {
+	case coverage.IRF:
+		// Paper: 10K instructions, 96 programs, top 16 x 6 mutants.
+		o.Gen.NumInstrs = minInt(10000, 1250*scale)
+		o.PopSize, o.TopK, o.MutantsPerParent = 24, 4, 6
+		o.Iterations = minInt(5000, 500*scale)
+	case coverage.FPRF:
+		// Extension target: like the IRF but with selection biased toward
+		// XMM-writing variants so random programs populate the FP file.
+		o.Gen.NumInstrs = minInt(10000, 1250*scale)
+		o.Gen.Weights = fpHeavyWeights(o.Gen.Allowed)
+		o.PopSize, o.TopK, o.MutantsPerParent = 24, 4, 6
+		o.Iterations = minInt(5000, 150*scale)
+	case coverage.L1D:
+		// Paper: 30K instructions, sequential fixed-stride references in
+		// a region intentionally sized to the 32 KB data cache — the
+		// cache-aware constraints behind the ~77% starting coverage
+		// (§VI-B2). Our sensitivity analysis on this cache model selects
+		// a line-granular stride (64 B; the paper's gem5 model preferred
+		// 8 B) — see BenchmarkAblationL1DConstraints.
+		o.Gen.NumInstrs = minInt(30000, 8000*scale)
+		o.Gen.Mem = gen.MemPolicy{RegionBytes: 32 * 1024, Stride: 64}
+		o.Gen.Weights = memHeavyWeights(o.Gen.Allowed)
+		o.PopSize, o.TopK, o.MutantsPerParent = 24, 4, 6
+		o.Iterations = minInt(2000, 60*scale)
+	default:
+		// Functional units: 5K instructions, 32 programs, top 8 x 4.
+		o.Gen.NumInstrs = minInt(5000, 625*scale)
+		o.PopSize, o.TopK, o.MutantsPerParent = 16, 4, 4
+		o.Iterations = minInt(1000, 400*scale)
+	}
+	return o
+}
+
+// fpHeavyWeights biases instruction selection toward variants with XMM
+// operands (the FPRF preset).
+func fpHeavyWeights(allowed []isa.VariantID) []float64 {
+	w := make([]float64, len(allowed))
+	for i, id := range allowed {
+		w[i] = 1
+		for _, spec := range isa.Lookup(id).Ops {
+			if spec.Kind == isa.KXmm {
+				w[i] = 5
+				break
+			}
+		}
+	}
+	return w
+}
+
+// memHeavyWeights biases instruction selection toward memory-bearing
+// variants (the L1D preset's cache-aware constraint).
+func memHeavyWeights(allowed []isa.VariantID) []float64 {
+	w := make([]float64, len(allowed))
+	for i, id := range allowed {
+		if isa.Lookup(id).HasMemOperand() {
+			w[i] = 4
+		} else {
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

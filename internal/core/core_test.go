@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/gen"
+)
+
+func tinyOptions(st coverage.Structure) Options {
+	o := Options{Structure: st, Seed: 42}
+	o.Gen = gen.DefaultConfig()
+	o.Gen.NumInstrs = 150
+	o.PopSize = 8
+	o.TopK = 2
+	o.MutantsPerParent = 3
+	o.Iterations = 6
+	return o
+}
+
+func TestLoopImprovesIntAdderCoverage(t *testing.T) {
+	o := tinyOptions(coverage.IntAdder)
+	o.Iterations = 12
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.History
+	if len(h.Best) != res.Iterations {
+		t.Fatalf("history length %d != iterations %d", len(h.Best), res.Iterations)
+	}
+	first, last := h.Best[0], h.Best[len(h.Best)-1]
+	if last < first {
+		t.Fatalf("best fitness regressed: %f -> %f (elitism broken)", first, last)
+	}
+	if last <= first {
+		t.Fatalf("no improvement over %d iterations: %f -> %f", res.Iterations, first, last)
+	}
+	t.Logf("IntAdder IBR: %.4f -> %.4f over %d iterations", first, last, res.Iterations)
+}
+
+func TestLoopBestFitnessMonotone(t *testing.T) {
+	res, err := Run(tinyOptions(coverage.IRF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.History.Best); i++ {
+		if res.History.Best[i] < res.History.Best[i-1]-1e-12 {
+			t.Fatalf("best fitness dropped at iteration %d: %f -> %f",
+				i, res.History.Best[i-1], res.History.Best[i])
+		}
+	}
+}
+
+func TestLoopDeterministic(t *testing.T) {
+	r1, err := Run(tinyOptions(coverage.IntMul))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(tinyOptions(coverage.IntMul))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.History.Best) != len(r2.History.Best) {
+		t.Fatal("iteration counts differ")
+	}
+	for i := range r1.History.Best {
+		if r1.History.Best[i] != r2.History.Best[i] {
+			t.Fatalf("runs diverged at iteration %d", i)
+		}
+	}
+}
+
+func TestLoopConvergenceStop(t *testing.T) {
+	o := tinyOptions(coverage.IntAdder)
+	o.Iterations = 200
+	o.ConvergeWindow = 3
+	o.ConvergeEps = 2.0 // impossible improvement: stops immediately
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("loop did not report convergence")
+	}
+	if res.Iterations >= 200 {
+		t.Fatal("early stop did not trigger")
+	}
+}
+
+func TestLoopRecordsTimings(t *testing.T) {
+	res, err := Run(tinyOptions(coverage.IntAdder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := res.History.Times
+	if ts.Generation <= 0 || ts.Evaluation <= 0 || ts.Mutation <= 0 || ts.Compilation <= 0 {
+		t.Fatalf("missing phase timings: %+v", ts)
+	}
+	if res.History.EvaluatedPrograms == 0 || res.History.EvaluatedInstructions == 0 {
+		t.Fatal("throughput counters empty")
+	}
+}
+
+func TestLoopTopKOrdered(t *testing.T) {
+	res, err := Run(tinyOptions(coverage.IRF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.TopK); i++ {
+		if res.TopK[i].Fitness > res.TopK[i-1].Fitness {
+			t.Fatal("TopK not sorted by fitness")
+		}
+	}
+	if res.Best.Fitness != res.TopK[0].Fitness {
+		t.Fatal("Best is not TopK[0]")
+	}
+}
+
+func TestLoopBestProgramValid(t *testing.T) {
+	o := tinyOptions(coverage.FPAdd)
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Best.Program(&o.Gen)
+	if _, _, err := p.GoldenRun(10 * o.Gen.NumInstrs); err != nil {
+		t.Fatalf("evolved best program crashes: %v", err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for st := coverage.Structure(0); st < coverage.NumStructures; st++ {
+		o := PresetFor(st, 1)
+		if o.Gen.NumInstrs <= 0 || o.PopSize <= 0 || o.Iterations <= 0 {
+			t.Fatalf("bad preset for %v: %+v", st, o)
+		}
+		if err := o.normalize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// L1D preset carries the cache-aware constraints: a region sized to
+	// the cache, fixed-stride sequential references, memory-heavy
+	// selection.
+	l1d := PresetFor(coverage.L1D, 1)
+	if l1d.Gen.Mem.RegionBytes != 32*1024 || l1d.Gen.Mem.Stride == 0 {
+		t.Fatal("L1D preset missing cache-sized strided-region constraint")
+	}
+	if l1d.Gen.Weights == nil {
+		t.Fatal("L1D preset missing memory-heavy weighting")
+	}
+}
+
+func TestOnIterationCallback(t *testing.T) {
+	o := tinyOptions(coverage.IntAdder)
+	var seen []float64
+	o.OnIteration = func(it int, best *Individual) {
+		seen = append(seen, best.Fitness)
+	}
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != res.Iterations {
+		t.Fatalf("callback fired %d times, want %d", len(seen), res.Iterations)
+	}
+}
+
+func TestBadOptionsRejected(t *testing.T) {
+	o := tinyOptions(coverage.IRF)
+	o.TopK = 100
+	if _, err := Run(o); err == nil {
+		t.Fatal("TopK > PopSize accepted")
+	}
+}

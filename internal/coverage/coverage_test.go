@@ -1,0 +1,99 @@
+package coverage
+
+import (
+	"testing"
+
+	"harpocrates/internal/isa"
+)
+
+func TestFUOfMapping(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		want Structure
+		ok   bool
+	}{
+		{isa.OpADD, IntAdder, true},
+		{isa.OpSBB, IntAdder, true},
+		{isa.OpCMP, IntAdder, true},
+		{isa.OpIMULRR, IntMul, true},
+		{isa.OpMUL, IntMul, true},
+		{isa.OpADDSD, FPAdd, true},
+		{isa.OpSUBPD, FPAdd, true},
+		{isa.OpMULSD, FPMul, true},
+		{isa.OpMULPD, FPMul, true},
+		{isa.OpADDSS, 0, false}, // single-precision path is not the injection target
+		{isa.OpUCOMISD, 0, false},
+		{isa.OpMINSD, 0, false},
+		{isa.OpMOV, 0, false}, // moves do not toggle the adder array
+		{isa.OpAND, 0, false},
+		{isa.OpLEA, 0, false},
+		{isa.OpPXOR, 0, false},
+	}
+	for _, c := range cases {
+		ids := isa.ByOp(c.op)
+		if len(ids) == 0 {
+			t.Fatalf("no variants for op %d", c.op)
+		}
+		st, ok := FUOf(isa.Lookup(ids[0]))
+		if ok != c.ok || (ok && st != c.want) {
+			t.Errorf("FUOf(%v) = %v,%v, want %v,%v", isa.Lookup(ids[0]), st, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestSigBits(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {0xff, 8}, {1 << 63, 64}, {0x8000, 16},
+	}
+	for _, c := range cases {
+		if got := SigBits(c.v); got != c.want {
+			t.Errorf("SigBits(%#x) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestIBRCounter(t *testing.T) {
+	var c IBRCounter
+	c.OnUse(^uint64(0), ^uint64(0)) // 128 effective bits
+	if v := c.Value(1); v != 1.0 {
+		t.Fatalf("full-width use every cycle: IBR = %f, want 1", v)
+	}
+	if v := c.Value(10); v != 0.1 {
+		t.Fatalf("one use in ten cycles: IBR = %f, want 0.1", v)
+	}
+}
+
+func TestSnapshotValue(t *testing.T) {
+	s := &Snapshot{IRFVuln: 0.25, L1DVuln: 0.5}
+	s.IBR[IntAdder] = 0.1
+	if s.Value(IRF) != 0.25 || s.Value(L1D) != 0.5 || s.Value(IntAdder) != 0.1 {
+		t.Fatal("Value routing broken")
+	}
+}
+
+func TestMetricFor(t *testing.T) {
+	for st := Structure(0); st < NumStructures; st++ {
+		m := MetricFor(st)
+		if m.Name == "" || m.Score == nil {
+			t.Fatalf("bad metric for %v", st)
+		}
+		s := &Snapshot{}
+		if m.Score(s) != 0 {
+			t.Fatalf("empty snapshot must score 0 for %v", st)
+		}
+	}
+}
+
+func TestStructureProperties(t *testing.T) {
+	if IRF.IsFunctionalUnit() || L1D.IsFunctionalUnit() {
+		t.Fatal("bit arrays flagged as functional units")
+	}
+	for st := IntAdder; st < NumStructures; st++ {
+		if !st.IsFunctionalUnit() {
+			t.Fatalf("%v not flagged as functional unit", st)
+		}
+	}
+}

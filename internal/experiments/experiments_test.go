@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"harpocrates/internal/baselines/mibench"
+	"harpocrates/internal/coverage"
+)
+
+func tinyParams() Params {
+	return Params{
+		Scale:       1,
+		InjBitArray: 16,
+		InjAdder:    12,
+		InjMul:      6,
+		InjFP:       8,
+		Seed:        1,
+	}
+}
+
+func TestFig1Data(t *testing.T) {
+	entries := Fig1DPPM()
+	if len(entries) != 3 {
+		t.Fatal("Fig. 1 must list the three hyperscaler disclosures")
+	}
+	if entries[2].DPPM != 361 {
+		t.Fatalf("Alibaba DPPM = %v, want 361", entries[2].DPPM)
+	}
+	var buf bytes.Buffer
+	FprintFig1(&buf)
+	if !strings.Contains(buf.String(), "DPPM") {
+		t.Fatal("Fig. 1 rendering empty")
+	}
+}
+
+func TestMeasureBitArrayAndFU(t *testing.T) {
+	pp := tinyParams()
+	p := mibench.Basicmath(1)
+	for _, st := range []coverage.Structure{coverage.IRF, coverage.IntAdder, coverage.IntMul} {
+		m, err := Measure(p, st, pp)
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		if m.Coverage < 0 || m.Coverage > 1 || m.Detection < 0 || m.Detection > 1 {
+			t.Fatalf("%v: out-of-range measurement %+v", st, m)
+		}
+		if m.Cycles == 0 {
+			t.Fatalf("%v: no cycles", st)
+		}
+	}
+	// Basicmath is multiply-heavy: it must detect some multiplier faults.
+	m, err := Measure(p, coverage.IntMul, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Detection == 0 {
+		t.Fatal("multiply-heavy kernel detected no multiplier faults")
+	}
+}
+
+func TestMeasureMemoized(t *testing.T) {
+	pp := tinyParams()
+	p := mibench.Bitcount(1)
+	m1, err := Measure(p, coverage.IRF, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Measure(p, coverage.IRF, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("memoized measurement differs")
+	}
+}
+
+func TestFig8Scenario(t *testing.T) {
+	r := Fig8Scenario(tinyParams())
+	if r.ByteInvalidFrac < 0.3 {
+		t.Fatalf("byte mutation invalid fraction %.2f implausibly low", r.ByteInvalidFrac)
+	}
+	if r.IsaValid != r.IsaMutants {
+		t.Fatal("ISA-aware mutation produced invalid mutants")
+	}
+	if r.MutantAdderOpsMax == r.MutantAdderOpsMin {
+		t.Fatal("mutation produced no fitness diversity")
+	}
+	var buf bytes.Buffer
+	FprintFig8(&buf, r)
+	if buf.Len() == 0 {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestTable1Breakdown(t *testing.T) {
+	s, err := Table1(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Evaluation <= 0 || s.Generation <= 0 || s.Mutation <= 0 || s.Compilation <= 0 {
+		t.Fatalf("missing phases: %+v", s)
+	}
+	if s.InstrsPerSecond() <= 0 {
+		t.Fatal("no throughput")
+	}
+	var buf bytes.Buffer
+	FprintTable1(&buf, s)
+	if !strings.Contains(buf.String(), "Evaluation") {
+		t.Fatal("bad rendering")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ms := []Measurement{
+		{Framework: "A", Structure: coverage.IRF, Detection: 0.2, Coverage: 0.3},
+		{Framework: "A", Structure: coverage.IRF, Detection: 0.6, Coverage: 0.1},
+		{Framework: "B", Structure: coverage.IRF, Detection: 0.4, Coverage: 0.4},
+	}
+	ss := Summarize(ms)
+	if len(ss) != 2 {
+		t.Fatalf("summaries = %d, want 2", len(ss))
+	}
+	for _, s := range ss {
+		if s.Framework == "A" {
+			if s.MaxDet != 0.6 || s.AvgDet != 0.4 || s.Programs != 2 {
+				t.Fatalf("bad A summary: %+v", s)
+			}
+		}
+	}
+}
+
+func TestFig10SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	pp := tinyParams()
+	// Override the preset with a very small run via scale 1; the preset
+	// for IntAdder is already the cheapest.
+	c, err := Fig10(coverage.IntAdder, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Points) == 0 {
+		t.Fatal("no convergence points")
+	}
+	first, last := c.Points[0].Coverage, c.Points[len(c.Points)-1].Coverage
+	if last < first {
+		t.Fatalf("coverage regressed: %f -> %f", first, last)
+	}
+	sampledDet := 0
+	for _, p := range c.Points {
+		if p.Detection >= 0 {
+			sampledDet++
+		}
+	}
+	if sampledDet < 2 {
+		t.Fatal("too few detection checkpoints")
+	}
+	var buf bytes.Buffer
+	FprintConvergence(&buf, c)
+	if buf.Len() == 0 {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestScaleEnv(t *testing.T) {
+	t.Setenv("HARPO_SCALE", "3")
+	if Scale() != 3 {
+		t.Fatal("HARPO_SCALE not honoured")
+	}
+	t.Setenv("HARPO_SCALE", "bogus")
+	if Scale() != 1 {
+		t.Fatal("bad HARPO_SCALE must default to 1")
+	}
+}
+
+func TestInterplayOrdering(t *testing.T) {
+	pp := tinyParams()
+	r, err := Interplay(coverage.IRF, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Whole-run stuck-at faults must detect at least as well as
+	// single-cycle transients (Fig. 2 containment), modulo CI noise.
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if last.Detection+0.10 < first.Detection {
+		t.Fatalf("stuck-at detection %.2f below transient %.2f", last.Detection, first.Detection)
+	}
+	if _, err := Interplay(coverage.IntAdder, pp); err == nil {
+		t.Fatal("interplay accepted a functional unit")
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// DPPMEntry is one hyperscaler disclosure from the paper's Fig. 1.
+type DPPMEntry struct {
+	Source     string
+	Disclosure string
+	DPPM       float64
+}
+
+// Fig1DPPM returns the reported CPU defective-parts-per-million values
+// (paper Fig. 1 and §I).
+func Fig1DPPM() []DPPMEntry {
+	return []DPPMEntry{
+		{"Meta [1]", "hundreds of CPUs detected for SDCs in hundreds of thousands of machines", 1000},
+		{"Google [2]", "a few mercurial cores per several thousand machines", 1000},
+		{"Alibaba [3]", "3.61 CPUs per 10,000", 361},
+	}
+}
+
+// ReferenceDPPM gives context thresholds quoted in §I.
+func ReferenceDPPM() []DPPMEntry {
+	return []DPPMEntry{
+		{"automotive (safety-critical) [15]", "required", 10},
+		{"cloud / HPC (tolerable)", "few hundreds", 300},
+	}
+}
+
+// FprintFig1 renders the DPPM chart as rows plus an ASCII bar chart.
+func FprintFig1(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 1 — Reported CPU defective parts per million (DPPM) by hyperscalers")
+	entries := Fig1DPPM()
+	for _, e := range entries {
+		bar := ""
+		for i := 0.0; i < e.DPPM; i += 25 {
+			bar += "#"
+		}
+		fmt.Fprintf(w, "  %-14s %6.0f DPPM  %s\n", e.Source, e.DPPM, bar)
+	}
+	fmt.Fprintln(w, "  reference thresholds:")
+	for _, e := range ReferenceDPPM() {
+		fmt.Fprintf(w, "  %-34s %6.0f DPPM\n", e.Source, e.DPPM)
+	}
+}

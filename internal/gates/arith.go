@@ -1,0 +1,186 @@
+package gates
+
+// Structural arithmetic building blocks: ripple-carry adders, a
+// carry-save array multiplier, barrel shifters, and a leading-zero
+// counter. These compose into the integer and floating-point functional
+// units the fault campaigns target.
+
+// HalfAdder returns (sum, carry) of two bits.
+func (b *Builder) HalfAdder(x, y int) (sum, carry int) {
+	return b.Xor(x, y), b.And(x, y)
+}
+
+// FullAdder returns (sum, carry) of three bits.
+func (b *Builder) FullAdder(x, y, cin int) (sum, carry int) {
+	s1 := b.Xor(x, y)
+	sum = b.Xor(s1, cin)
+	carry = b.Or(b.And(x, y), b.And(s1, cin))
+	return sum, carry
+}
+
+// NotBus inverts every bit of a bus.
+func (b *Builder) NotBus(x Bus) Bus {
+	out := make(Bus, len(x))
+	for i := range x {
+		out[i] = b.Not(x[i])
+	}
+	return out
+}
+
+// AddBus builds a ripple-carry adder over two equal-width buses with a
+// carry-in wire. It returns the sum bus and the carry-out wire.
+func (b *Builder) AddBus(x, y Bus, cin int) (Bus, int) {
+	if len(x) != len(y) {
+		panic("gates: AddBus width mismatch")
+	}
+	sum := make(Bus, len(x))
+	c := cin
+	for i := range x {
+		sum[i], c = b.FullAdder(x[i], y[i], c)
+	}
+	return sum, c
+}
+
+// SubBus computes x - y via two's complement (x + ^y + 1). The returned
+// carry-out is 1 when no borrow occurred (x >= y, unsigned).
+func (b *Builder) SubBus(x, y Bus) (Bus, int) {
+	return b.AddBus(x, b.NotBus(y), b.Const(true))
+}
+
+// NegBus computes the two's complement of x.
+func (b *Builder) NegBus(x Bus) Bus {
+	zero := make(Bus, len(x))
+	for i := range zero {
+		zero[i] = b.Const(false)
+	}
+	d, _ := b.SubBus(zero, x)
+	return d
+}
+
+// MulArray builds a carry-save array multiplier: the product of an
+// n-bit and an m-bit unsigned bus as an (n+m)-bit bus. This is the
+// gate-level model of the integer multiplier (paper §III-B2, structure
+// (d)): one AND per partial-product bit plus a full-adder array.
+func (b *Builder) MulArray(x, y Bus) Bus {
+	n, m := len(x), len(y)
+	res := make(Bus, n+m)
+	for i := range res {
+		res[i] = b.Const(false)
+	}
+	for i := 0; i < m; i++ {
+		carry := b.Const(false)
+		for j := 0; j < n; j++ {
+			pp := b.And(x[j], y[i])
+			res[i+j], carry = b.FullAdder(res[i+j], pp, carry)
+		}
+		// Position i+n is untouched by rows <= i, so the row's carry-out
+		// lands there directly.
+		res[i+n] = b.Buf(carry)
+	}
+	return res
+}
+
+// ShiftRightBus builds a logical right barrel shifter: out = x >> sh,
+// with fill shifted in from the top. sh is interpreted as unsigned; a
+// shift of len(x) or more yields all-fill.
+func (b *Builder) ShiftRightBus(x Bus, sh Bus, fill int) Bus {
+	cur := x
+	for k := range sh {
+		amt := 1 << uint(k)
+		shifted := make(Bus, len(cur))
+		for i := range cur {
+			if i+amt < len(cur) {
+				shifted[i] = cur[i+amt]
+			} else {
+				shifted[i] = fill
+			}
+		}
+		cur = b.MuxBus(sh[k], shifted, cur)
+	}
+	return cur
+}
+
+// ShiftLeftBus builds a logical left barrel shifter.
+func (b *Builder) ShiftLeftBus(x Bus, sh Bus, fill int) Bus {
+	cur := x
+	for k := range sh {
+		amt := 1 << uint(k)
+		shifted := make(Bus, len(cur))
+		for i := range cur {
+			if i-amt >= 0 {
+				shifted[i] = cur[i-amt]
+			} else {
+				shifted[i] = fill
+			}
+		}
+		cur = b.MuxBus(sh[k], shifted, cur)
+	}
+	return cur
+}
+
+// OrTree reduces a set of wires with a balanced OR tree.
+func (b *Builder) OrTree(ws []int) int {
+	if len(ws) == 0 {
+		return b.Const(false)
+	}
+	for len(ws) > 1 {
+		var next []int
+		for i := 0; i+1 < len(ws); i += 2 {
+			next = append(next, b.Or(ws[i], ws[i+1]))
+		}
+		if len(ws)%2 == 1 {
+			next = append(next, ws[len(ws)-1])
+		}
+		ws = next
+	}
+	return ws[0]
+}
+
+// IsZero returns a wire that is 1 iff every bit of x is 0.
+func (b *Builder) IsZero(x Bus) int {
+	return b.Not(b.OrTree(x))
+}
+
+// clog2 returns the number of bits needed to represent values 0..n.
+func clog2(n int) int {
+	w := 0
+	for 1<<uint(w) <= n {
+		w++
+	}
+	return w
+}
+
+// LeadingZeros builds a leading-zero counter over x (MSB = x[len-1]).
+// The result bus has clog2(len(x)) bits and saturates at len(x) when x
+// is all zeros.
+func (b *Builder) LeadingZeros(x Bus) Bus {
+	w := len(x)
+	cw := clog2(w)
+	// ch[k] = the top k+1 bits are all zero.
+	// p[k]  = first 1 is at distance k from the top.
+	p := make([]int, w)
+	ch := b.Not(x[w-1])
+	p[0] = b.Buf(x[w-1])
+	for k := 1; k < w; k++ {
+		p[k] = b.And(ch, x[w-1-k])
+		ch = b.And(ch, b.Not(x[w-1-k]))
+	}
+	allZero := ch
+	count := make(Bus, cw)
+	for j := 0; j < cw; j++ {
+		var terms []int
+		for k := 0; k < w; k++ {
+			if k>>uint(j)&1 != 0 {
+				terms = append(terms, p[k])
+			}
+		}
+		enc := b.OrTree(terms)
+		if w>>uint(j)&1 != 0 {
+			// When all-zero, the count is w.
+			count[j] = b.Or(enc, allZero)
+		} else {
+			count[j] = b.Buf(enc)
+		}
+	}
+	return count
+}

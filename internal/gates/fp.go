@@ -1,0 +1,192 @@
+package gates
+
+// Gate-level floating-point units. These model the main datapath of an
+// SSE-style FP adder and multiplier: operand unpacking, exponent
+// compare/adjust, mantissa alignment (barrel shifter), the mantissa
+// adder / multiplier array, normalization (leading-zero count + shifter)
+// and repacking.
+//
+// Simplifications relative to full IEEE-754 hardware, documented in
+// DESIGN.md: results truncate instead of rounding, subnormals/NaN/Inf
+// are handled by a native bypass in the wrapping unit (golden and faulty
+// runs take identical paths, so fault-detection semantics are exact),
+// and exponent overflow wraps. These omissions remove corner-case
+// control logic but keep the entire arithmetic datapath — where the
+// overwhelming majority of the unit's gates live — at gate level.
+
+// fpFields splits an input FP bus into (sign, exp, frac).
+func fpFields(x Bus, expBits, mantBits int) (sign int, exp, frac Bus) {
+	frac = x[:mantBits]
+	exp = x[mantBits : mantBits+expBits]
+	sign = x[mantBits+expBits]
+	return
+}
+
+// zeroExtend pads a bus with constant zeros up to width w.
+func (b *Builder) zeroExtend(x Bus, w int) Bus {
+	if len(x) >= w {
+		return x[:w]
+	}
+	out := make(Bus, w)
+	copy(out, x)
+	for i := len(x); i < w; i++ {
+		out[i] = b.Const(false)
+	}
+	return out
+}
+
+// NewFPAdder builds a floating-point adder/subtractor netlist for a
+// format with the given exponent and mantissa (fraction) widths.
+// Inputs: a then b (each 1+expBits+mantBits, LSB first).
+// Outputs: the result in the same packed layout.
+func NewFPAdder(expBits, mantBits int) *Netlist {
+	b := NewBuilder("fp-adder")
+	total := 1 + expBits + mantBits
+	aBus := b.InputBus(total)
+	bBus := b.InputBus(total)
+	signA, expA, fracA := fpFields(aBus, expBits, mantBits)
+	signB, expB, fracB := fpFields(bBus, expBits, mantBits)
+
+	// Work width: implicit-one + fraction + 3 guard bits.
+	w := mantBits + 4
+	mantOf := func(frac Bus) Bus {
+		m := make(Bus, w)
+		for i := 0; i < 3; i++ {
+			m[i] = b.Const(false)
+		}
+		for i, g := range frac {
+			m[3+i] = g
+		}
+		m[w-1] = b.Const(true) // implicit leading one
+		return m
+	}
+	mantA := mantOf(fracA)
+	mantB := mantOf(fracB)
+
+	// Exponent comparison: swap so L has the larger exponent.
+	dAB, noBorrowAB := b.SubBus(expA, expB)
+	dBA, _ := b.SubBus(expB, expA)
+	swap := b.Not(noBorrowAB) // expA < expB
+	expL := b.MuxBus(swap, expB, expA)
+	mantL := b.MuxBus(swap, mantB, mantA)
+	mantS := b.MuxBus(swap, mantA, mantB)
+	signL := b.Mux(swap, signB, signA)
+	signS := b.Mux(swap, signA, signB)
+	sh := b.MuxBus(swap, dBA, dAB)
+
+	// Align the smaller mantissa.
+	mantSAligned := b.ShiftRightBus(mantS, sh, b.Const(false))
+
+	// Shared adder: for effective subtraction add the complement with
+	// carry-in 1 (two's complement).
+	effSub := b.Xor(signA, signB)
+	y := b.MuxBus(effSub, b.NotBus(mantSAligned), mantSAligned)
+	sum, cout := b.AddBus(mantL, y, effSub)
+
+	topBit := b.And(cout, b.Not(effSub))     // add overflow: 1 extra bit
+	neg := b.And(effSub, b.Not(cout))        // subtraction went negative
+	mag := b.MuxBus(neg, b.NegBus(sum), sum) // magnitude of the result
+	resultZero := b.And(b.IsZero(mag), b.Not(topBit))
+
+	// Normalization.
+	// Case 1 (topBit): shift right one, exponent + 1.
+	shifted1 := make(Bus, w)
+	for i := 0; i < w-1; i++ {
+		shifted1[i] = mag[i+1]
+	}
+	shifted1[w-1] = topBit
+	// Case 2: shift left by the leading-zero count, exponent - lz.
+	lz := b.LeadingZeros(mag)
+	normL := b.ShiftLeftBus(mag, lz, b.Const(false))
+	norm := b.MuxBus(topBit, shifted1, normL)
+
+	one := b.ConstBus(expBits, 1)
+	expPlus, _ := b.AddBus(expL, one, b.Const(false))
+	lzExt := b.zeroExtend(lz, expBits)
+	expMinus, _ := b.SubBus(expL, lzExt)
+	expRes := b.MuxBus(topBit, expPlus, expMinus)
+
+	signRes := b.Mux(neg, signS, signL)
+
+	// Pack, forcing +0 on complete cancellation.
+	nz := b.Not(resultZero)
+	out := make(Bus, total)
+	for i := 0; i < mantBits; i++ {
+		out[i] = b.And(norm[3+i], nz)
+	}
+	for i := 0; i < expBits; i++ {
+		out[mantBits+i] = b.And(expRes[i], nz)
+	}
+	out[total-1] = b.And(signRes, nz)
+	b.OutputBus(out)
+	return b.Build()
+}
+
+// NewFPMultiplier builds a floating-point multiplier netlist.
+// Inputs: a then b (packed); outputs: the packed product.
+func NewFPMultiplier(expBits, mantBits int) *Netlist {
+	b := NewBuilder("fp-multiplier")
+	total := 1 + expBits + mantBits
+	aBus := b.InputBus(total)
+	bBus := b.InputBus(total)
+	signA, expA, fracA := fpFields(aBus, expBits, mantBits)
+	signB, expB, fracB := fpFields(bBus, expBits, mantBits)
+
+	mw := mantBits + 1
+	mantOf := func(frac Bus) Bus {
+		m := make(Bus, mw)
+		copy(m, frac)
+		m[mw-1] = b.Const(true)
+		return m
+	}
+	// Mantissa product: (mantBits+1) x (mantBits+1) array multiplier.
+	p := b.MulArray(mantOf(fracA), mantOf(fracB)) // 2*mw bits
+	top := p[2*mw-1]                              // product in [2,4): shift right one
+
+	// Fraction selection with truncation.
+	fracHi := p[mw : 2*mw-1]   // top set: bits below the leading 1 at 2mw-1
+	fracLo := p[mw-1 : 2*mw-2] // top clear: leading 1 at 2mw-2
+	frac := b.MuxBus(top, fracHi, fracLo)
+
+	// Exponent: expA + expB - bias + top, computed at expBits+2 width.
+	ew := expBits + 2
+	bias := uint64(1)<<uint(expBits-1) - 1
+	sum, _ := b.AddBus(b.zeroExtend(expA, ew), b.zeroExtend(expB, ew), b.Const(false))
+	unb, _ := b.SubBus(sum, b.ConstBus(ew, bias))
+	zero := b.ConstBus(ew, 0)
+	withNorm, _ := b.AddBus(unb, zero, top)
+
+	out := make(Bus, total)
+	for i := 0; i < mantBits; i++ {
+		out[i] = b.Buf(frac[i])
+	}
+	for i := 0; i < expBits; i++ {
+		out[mantBits+i] = b.Buf(withNorm[i])
+	}
+	out[total-1] = b.Xor(signA, signB)
+	b.OutputBus(out)
+	return b.Build()
+}
+
+// NewIntAdder builds a width-bit ripple-carry adder with carry-in.
+// Inputs: a, b (width bits each), cin. Outputs: sum (width bits), cout.
+func NewIntAdder(width int) *Netlist {
+	b := NewBuilder("int-adder")
+	a := b.InputBus(width)
+	y := b.InputBus(width)
+	cin := b.Input()
+	sum, cout := b.AddBus(a, y, cin)
+	b.OutputBus(sum)
+	b.Output(cout)
+	return b.Build()
+}
+
+// NewIntMultiplier builds a width x width -> 2*width unsigned array
+// multiplier. Inputs: a, b. Outputs: the 2*width-bit product.
+func NewIntMultiplier(width int) *Netlist {
+	b := NewBuilder("int-multiplier")
+	a := b.InputBus(width)
+	y := b.InputBus(width)
+	b.OutputBus(b.MulArray(a, y))
+	return b.Build()
+}

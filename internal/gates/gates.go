@@ -1,0 +1,296 @@
+// Package gates implements structural gate-level models of CPU functional
+// units, the substrate the paper grades permanent faults on ("All
+// functional unit components are modeled at gate level", §III-C).
+//
+// A Netlist is a topologically-ordered array of two-input primitive gates.
+// Evaluation is 64-lane bit-parallel: every wire carries a uint64 whose
+// bits are 64 independent input patterns, so one pass over the gate array
+// simulates 64 operand pairs (classic parallel-pattern single-fault
+// propagation). Stuck-at-0/1 faults can be injected at any gate output;
+// the override is applied mid-evaluation so all downstream logic sees the
+// faulty value, giving exact logical masking behaviour.
+package gates
+
+import "fmt"
+
+// GateType enumerates the primitive gates.
+type GateType uint8
+
+// Primitive gate types.
+const (
+	GInput GateType = iota // external input; A is the input ordinal
+	GConst0
+	GConst1
+	GBuf // A
+	GNot // A
+	GAnd // A, B
+	GOr
+	GXor
+	GNand
+	GNor
+	GXnor
+
+	numGateTypes
+)
+
+var gateNames = [numGateTypes]string{
+	"input", "const0", "const1", "buf", "not", "and", "or", "xor", "nand", "nor", "xnor",
+}
+
+func (t GateType) String() string {
+	if int(t) < len(gateNames) {
+		return gateNames[t]
+	}
+	return fmt.Sprintf("gate?%d", uint8(t))
+}
+
+// Gate is one primitive gate. A and B index earlier gates in the netlist
+// (for GInput, A is the external input ordinal).
+type Gate struct {
+	Type GateType
+	A, B int32
+}
+
+// Netlist is a topologically ordered combinational circuit.
+type Netlist struct {
+	Name    string
+	Gates   []Gate
+	NumIn   int   // number of external inputs
+	Outputs []int // gate indices, in output-ordinal order
+}
+
+// NumGates returns the total gate count (inputs and constants included).
+func (n *Netlist) NumGates() int { return len(n.Gates) }
+
+// StuckAt is a permanent fault at a gate output.
+type StuckAt struct {
+	Gate  int
+	Value bool // stuck-at-1 if true, stuck-at-0 if false
+}
+
+// Bus is an ordered list of gate indices, least-significant bit first.
+type Bus []int
+
+// Builder incrementally constructs a netlist.
+type Builder struct {
+	n *Netlist
+}
+
+// NewBuilder starts a new netlist.
+func NewBuilder(name string) *Builder {
+	return &Builder{n: &Netlist{Name: name}}
+}
+
+func (b *Builder) add(t GateType, a, bb int) int {
+	b.n.Gates = append(b.n.Gates, Gate{Type: t, A: int32(a), B: int32(bb)})
+	return len(b.n.Gates) - 1
+}
+
+// Input declares a new external input and returns its gate index.
+func (b *Builder) Input() int {
+	g := b.add(GInput, b.n.NumIn, 0)
+	b.n.NumIn++
+	return g
+}
+
+// InputBus declares w external inputs (LSB first).
+func (b *Builder) InputBus(w int) Bus {
+	bus := make(Bus, w)
+	for i := range bus {
+		bus[i] = b.Input()
+	}
+	return bus
+}
+
+// Const returns a constant wire.
+func (b *Builder) Const(v bool) int {
+	if v {
+		return b.add(GConst1, 0, 0)
+	}
+	return b.add(GConst0, 0, 0)
+}
+
+// ConstBus returns a w-bit bus holding value v.
+func (b *Builder) ConstBus(w int, v uint64) Bus {
+	bus := make(Bus, w)
+	for i := range bus {
+		bus[i] = b.Const(v>>uint(i)&1 != 0)
+	}
+	return bus
+}
+
+// Primitive gate constructors.
+
+func (b *Builder) Not(a int) int     { return b.add(GNot, a, 0) }
+func (b *Builder) Buf(a int) int     { return b.add(GBuf, a, 0) }
+func (b *Builder) And(a, c int) int  { return b.add(GAnd, a, c) }
+func (b *Builder) Or(a, c int) int   { return b.add(GOr, a, c) }
+func (b *Builder) Xor(a, c int) int  { return b.add(GXor, a, c) }
+func (b *Builder) Nand(a, c int) int { return b.add(GNand, a, c) }
+func (b *Builder) Nor(a, c int) int  { return b.add(GNor, a, c) }
+func (b *Builder) Xnor(a, c int) int { return b.add(GXnor, a, c) }
+
+// Mux returns sel ? a : b.
+func (b *Builder) Mux(sel, a, c int) int {
+	return b.Or(b.And(sel, a), b.And(b.Not(sel), c))
+}
+
+// MuxBus muxes two equal-width buses bit-wise.
+func (b *Builder) MuxBus(sel int, a, c Bus) Bus {
+	if len(a) != len(c) {
+		panic("gates: MuxBus width mismatch")
+	}
+	out := make(Bus, len(a))
+	for i := range a {
+		out[i] = b.Mux(sel, a[i], c[i])
+	}
+	return out
+}
+
+// Output appends a wire to the output list and returns its ordinal.
+func (b *Builder) Output(sig int) int {
+	b.n.Outputs = append(b.n.Outputs, sig)
+	return len(b.n.Outputs) - 1
+}
+
+// OutputBus appends a whole bus to the outputs (LSB first).
+func (b *Builder) OutputBus(bus Bus) {
+	for _, g := range bus {
+		b.Output(g)
+	}
+}
+
+// Build finalizes and returns the netlist.
+func (b *Builder) Build() *Netlist {
+	// Validate topological order.
+	for i, g := range b.n.Gates {
+		switch g.Type {
+		case GInput, GConst0, GConst1:
+		case GBuf, GNot:
+			if int(g.A) >= i {
+				panic(fmt.Sprintf("gates: %s gate %d reads forward wire %d", g.Type, i, g.A))
+			}
+		default:
+			if int(g.A) >= i || int(g.B) >= i {
+				panic(fmt.Sprintf("gates: gate %d reads forward wire", i))
+			}
+		}
+	}
+	return b.n
+}
+
+// Eval is a reusable evaluation context (one per goroutine).
+type Eval struct {
+	n    *Netlist
+	vals []uint64
+}
+
+// NewEval creates an evaluation context for n.
+func NewEval(n *Netlist) *Eval {
+	return &Eval{n: n, vals: make([]uint64, len(n.Gates))}
+}
+
+// Netlist returns the bound netlist.
+func (e *Eval) Netlist() *Netlist { return e.n }
+
+// Run evaluates the netlist. in holds one uint64 (64 lanes) per external
+// input; out receives one uint64 per output ordinal. fault, if non-nil,
+// forces the named gate's output to the stuck value in every lane.
+func (e *Eval) Run(in []uint64, out []uint64, fault *StuckAt) {
+	if len(in) != e.n.NumIn {
+		panic(fmt.Sprintf("gates: %s: got %d inputs, want %d", e.n.Name, len(in), e.n.NumIn))
+	}
+	stop := len(e.n.Gates)
+	if fault != nil {
+		stop = fault.Gate + 1
+	}
+	e.runRange(in, 0, stop)
+	if fault != nil {
+		if fault.Value {
+			e.vals[fault.Gate] = ^uint64(0)
+		} else {
+			e.vals[fault.Gate] = 0
+		}
+		e.runRange(in, stop, len(e.n.Gates))
+	}
+	for j, g := range e.n.Outputs {
+		out[j] = e.vals[g]
+	}
+}
+
+func (e *Eval) runRange(in []uint64, from, to int) {
+	v := e.vals
+	for i := from; i < to; i++ {
+		g := e.n.Gates[i]
+		switch g.Type {
+		case GInput:
+			v[i] = in[g.A]
+		case GConst0:
+			v[i] = 0
+		case GConst1:
+			v[i] = ^uint64(0)
+		case GBuf:
+			v[i] = v[g.A]
+		case GNot:
+			v[i] = ^v[g.A]
+		case GAnd:
+			v[i] = v[g.A] & v[g.B]
+		case GOr:
+			v[i] = v[g.A] | v[g.B]
+		case GXor:
+			v[i] = v[g.A] ^ v[g.B]
+		case GNand:
+			v[i] = ^(v[g.A] & v[g.B])
+		case GNor:
+			v[i] = ^(v[g.A] | v[g.B])
+		case GXnor:
+			v[i] = ^(v[g.A] ^ v[g.B])
+		}
+	}
+}
+
+// SetBusScalar broadcasts the bits of val across all 64 lanes of the
+// inputs belonging to bus. The netlist must have been built so that bus
+// consists of GInput gates.
+func (n *Netlist) SetBusScalar(in []uint64, bus Bus, val uint64) {
+	for i, g := range bus {
+		ord := n.Gates[g].A
+		if val>>uint(i)&1 != 0 {
+			in[ord] = ^uint64(0)
+		} else {
+			in[ord] = 0
+		}
+	}
+}
+
+// SetBusLane sets the bits of val into a single lane of the bus inputs.
+func (n *Netlist) SetBusLane(in []uint64, bus Bus, val uint64, lane uint) {
+	bit := uint64(1) << lane
+	for i, g := range bus {
+		ord := n.Gates[g].A
+		if val>>uint(i)&1 != 0 {
+			in[ord] |= bit
+		} else {
+			in[ord] &^= bit
+		}
+	}
+}
+
+// GetScalar extracts lane 0 of count consecutive outputs starting at
+// output ordinal first, LSB first.
+func GetScalar(out []uint64, first, count int) uint64 {
+	var v uint64
+	for i := 0; i < count; i++ {
+		v |= (out[first+i] & 1) << uint(i)
+	}
+	return v
+}
+
+// GetLane extracts one lane of count consecutive outputs.
+func GetLane(out []uint64, first, count int, lane uint) uint64 {
+	var v uint64
+	for i := 0; i < count; i++ {
+		v |= (out[first+i] >> lane & 1) << uint(i)
+	}
+	return v
+}

@@ -1,0 +1,459 @@
+package gates
+
+import (
+	"math"
+	"math/big"
+	"math/bits"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestIntAdder8Exhaustive(t *testing.T) {
+	n := NewIntAdder(8)
+	e := NewEval(n)
+	in := make([]uint64, n.NumIn)
+	out := make([]uint64, len(n.Outputs))
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			for cin := 0; cin < 2; cin++ {
+				for i := 0; i < 8; i++ {
+					in[i] = broadcast(uint64(a) >> uint(i) & 1)
+					in[8+i] = broadcast(uint64(b) >> uint(i) & 1)
+				}
+				in[16] = broadcast(uint64(cin))
+				e.Run(in, out, nil)
+				sum := GetScalar(out, 0, 8)
+				cout := GetScalar(out, 8, 1)
+				want := uint64(a) + uint64(b) + uint64(cin)
+				if sum != want&0xff || cout != want>>8 {
+					t.Fatalf("add8(%d,%d,%d) = %d carry %d, want %d carry %d",
+						a, b, cin, sum, cout, want&0xff, want>>8)
+				}
+			}
+		}
+	}
+}
+
+func TestIntAdder64Property(t *testing.T) {
+	u := NewIntAdderUnit(nil)
+	rng := rand.New(rand.NewPCG(31, 32))
+	for i := 0; i < 3000; i++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		cin := rng.IntN(2) == 1
+		got := u.Add(a, b, cin)
+		want := a + b
+		if cin {
+			want++
+		}
+		if got != want {
+			t.Fatalf("netlist add(%#x,%#x,%v) = %#x, want %#x", a, b, cin, got, want)
+		}
+	}
+}
+
+func TestIntMul8Exhaustive(t *testing.T) {
+	n := NewIntMultiplier(8)
+	e := NewEval(n)
+	in := make([]uint64, n.NumIn)
+	out := make([]uint64, len(n.Outputs))
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			for i := 0; i < 8; i++ {
+				in[i] = broadcast(uint64(a) >> uint(i) & 1)
+				in[8+i] = broadcast(uint64(b) >> uint(i) & 1)
+			}
+			e.Run(in, out, nil)
+			p := GetScalar(out, 0, 16)
+			if p != uint64(a*b) {
+				t.Fatalf("mul8(%d,%d) = %d, want %d", a, b, p, a*b)
+			}
+		}
+	}
+}
+
+func TestIntMul64Property(t *testing.T) {
+	u := NewIntMulUnit(nil)
+	rng := rand.New(rand.NewPCG(33, 34))
+	for i := 0; i < 300; i++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		lo, hi := u.Mul(a, b)
+		whi, wlo := bits.Mul64(a, b)
+		if lo != wlo || hi != whi {
+			t.Fatalf("netlist mul(%#x,%#x) = %#x:%#x, want %#x:%#x", a, b, hi, lo, whi, wlo)
+		}
+	}
+}
+
+// refAddTrunc computes a+b in high precision and truncates toward zero at
+// the target precision — the reference semantics of the guard-bit-
+// truncating FP adder (exact when no alignment bits are lost).
+func ulp64(x float64) float64 {
+	return math.Nextafter(math.Abs(x), math.Inf(1)) - math.Abs(x)
+}
+
+func TestFPAdd64CloseToIEEE(t *testing.T) {
+	u := NewFPAdd64Unit(nil)
+	rng := rand.New(rand.NewPCG(35, 36))
+	for i := 0; i < 2000; i++ {
+		a := randNormal64(rng)
+		b := randNormal64(rng)
+		got := math.Float64frombits(u.Op64(math.Float64bits(a), math.Float64bits(b)))
+		// Exact sum via big.Float.
+		exact := new(big.Float).SetPrec(200).Add(big.NewFloat(a), big.NewFloat(b))
+		ex, _ := exact.Float64()
+		if ex == 0 {
+			if got != 0 {
+				t.Fatalf("%g + %g: got %g, want 0", a, b, got)
+			}
+			continue
+		}
+		if math.Abs(got-ex) > 8*ulp64(ex) {
+			t.Fatalf("fpadd(%g, %g) = %g, want ~%g (err %g ulp)",
+				a, b, got, ex, math.Abs(got-ex)/ulp64(ex))
+		}
+	}
+}
+
+func TestFPAdd64SameSignExact(t *testing.T) {
+	// Same-sign addition with equal exponents loses no alignment bits, so
+	// the only divergence from IEEE is the final truncation: at most 1 ulp
+	// below the rounded result and never above the exact one.
+	u := NewFPAdd64Unit(nil)
+	rng := rand.New(rand.NewPCG(37, 38))
+	for i := 0; i < 2000; i++ {
+		a := randNormal64(rng)
+		b := a * (1 + rng.Float64()) // same sign, same ballpark
+		got := math.Float64frombits(u.Op64(math.Float64bits(a), math.Float64bits(b)))
+		want := a + b
+		if math.Abs(got-want) > 2*ulp64(want) {
+			t.Fatalf("fpadd(%g, %g) = %g, want %g", a, b, got, want)
+		}
+	}
+}
+
+func TestFPMul64CloseToIEEE(t *testing.T) {
+	u := NewFPMul64Unit(nil)
+	rng := rand.New(rand.NewPCG(39, 40))
+	for i := 0; i < 2000; i++ {
+		a := randNormal64(rng)
+		b := randNormal64(rng)
+		got := math.Float64frombits(u.Op64(math.Float64bits(a), math.Float64bits(b)))
+		want := a * b
+		if want == 0 || math.IsInf(want, 0) {
+			continue
+		}
+		if math.Abs(got-want) > 2*ulp64(want) {
+			t.Fatalf("fpmul(%g, %g) = %g, want %g", a, b, got, want)
+		}
+	}
+}
+
+func TestFPAdd32CloseToIEEE(t *testing.T) {
+	u := NewFPAdd32Unit(nil)
+	rng := rand.New(rand.NewPCG(41, 42))
+	for i := 0; i < 2000; i++ {
+		a := float32(randUnit(rng) * 100)
+		b := float32(randUnit(rng) * 100)
+		if a == 0 || b == 0 {
+			continue
+		}
+		got := math.Float32frombits(u.Op32(math.Float32bits(a), math.Float32bits(b)))
+		want := a + b
+		if want == 0 {
+			continue
+		}
+		tol := math.Abs(float64(want)) * 1e-6
+		if math.Abs(float64(got-want)) > tol {
+			t.Fatalf("fpadd32(%g, %g) = %g, want %g", a, b, got, want)
+		}
+	}
+}
+
+func TestFPMul32CloseToIEEE(t *testing.T) {
+	u := NewFPMul32Unit(nil)
+	rng := rand.New(rand.NewPCG(43, 44))
+	for i := 0; i < 2000; i++ {
+		a := float32(randUnit(rng) * 100)
+		b := float32(randUnit(rng) * 100)
+		if a == 0 || b == 0 {
+			continue
+		}
+		got := math.Float32frombits(u.Op32(math.Float32bits(a), math.Float32bits(b)))
+		want := a * b
+		tol := math.Abs(float64(want)) * 1e-6
+		if math.Abs(float64(got-want)) > tol {
+			t.Fatalf("fpmul32(%g, %g) = %g, want %g", a, b, got, want)
+		}
+	}
+}
+
+func TestFPSpecialOperandsBypass(t *testing.T) {
+	u := NewFPAdd64Unit(nil)
+	specials := []float64{0, math.Inf(1), math.Inf(-1), math.NaN(), 5e-310 /* subnormal */}
+	for _, s := range specials {
+		got := math.Float64frombits(u.Op64(math.Float64bits(s), math.Float64bits(1.5)))
+		want := s + 1.5
+		if math.IsNaN(want) {
+			if !math.IsNaN(got) {
+				t.Fatalf("NaN + 1.5: got %g", got)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("special %g + 1.5 = %g, want %g", s, got, want)
+		}
+	}
+}
+
+func TestStuckAtFaultDetectable(t *testing.T) {
+	// A stuck-at-1 on the adder's carry-in input wire must corrupt a+b
+	// for inputs where cin=0 produces a different sum.
+	n := IntAdder64Netlist()
+	// Find the cin input gate: ordinal 128.
+	cinGate := -1
+	for i, g := range n.Gates {
+		if g.Type == GInput && g.A == 128 {
+			cinGate = i
+		}
+	}
+	if cinGate < 0 {
+		t.Fatal("cin input gate not found")
+	}
+	u := NewIntAdderUnit(&StuckAt{Gate: cinGate, Value: true})
+	if got := u.Add(1, 2, false); got != 4 {
+		t.Fatalf("stuck-at-1 cin: add(1,2,0) = %d, want 4", got)
+	}
+}
+
+func TestStuckAtFaultLogicalMasking(t *testing.T) {
+	// A stuck-at-0 on a partial-product AND gate is masked whenever that
+	// partial product is 0 anyway (a=0 masks every pp gate).
+	n := IntMul64Netlist()
+	ppGate := -1
+	for i, g := range n.Gates {
+		if g.Type == GAnd {
+			ppGate = i
+			break
+		}
+	}
+	u := NewIntMulUnit(&StuckAt{Gate: ppGate, Value: false})
+	lo, hi := u.Mul(0, 0xdeadbeef)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("masked fault changed output: %#x:%#x", hi, lo)
+	}
+}
+
+func TestFaultActivationRate(t *testing.T) {
+	// Random stuck-at faults in the multiplier must be activated by some
+	// random inputs but not all (logical masking exists).
+	rng := rand.New(rand.NewPCG(45, 46))
+	n := IntMul64Netlist()
+	detected, total := 0, 0
+	for f := 0; f < 20; f++ {
+		fault := &StuckAt{Gate: rng.IntN(n.NumGates()), Value: rng.IntN(2) == 1}
+		uf := NewIntMulUnit(fault)
+		ug := NewIntMulUnit(nil)
+		for i := 0; i < 20; i++ {
+			a, b := rng.Uint64(), rng.Uint64()
+			flo, fhi := uf.Mul(a, b)
+			glo, ghi := ug.Mul(a, b)
+			total++
+			if flo != glo || fhi != ghi {
+				detected++
+			}
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no random fault was ever activated")
+	}
+	if detected == total {
+		t.Fatal("every fault detected by every input: masking is not happening")
+	}
+	t.Logf("fault activation: %d/%d faulty evaluations diverged", detected, total)
+}
+
+func TestParallelLanesMatchScalar(t *testing.T) {
+	// 64 operand pairs evaluated in one bit-parallel pass must equal 64
+	// scalar evaluations.
+	n := NewIntAdder(16)
+	e := NewEval(n)
+	rng := rand.New(rand.NewPCG(47, 48))
+	in := make([]uint64, n.NumIn)
+	out := make([]uint64, len(n.Outputs))
+	var as, bs [64]uint64
+	aBus := make(Bus, 16)
+	bBus := make(Bus, 16)
+	// Reconstruct the input buses from gate order (inputs are first).
+	for i := 0; i < 16; i++ {
+		aBus[i] = i
+		bBus[i] = 16 + i
+	}
+	for lane := uint(0); lane < 64; lane++ {
+		as[lane] = uint64(rng.Uint32() & 0xffff)
+		bs[lane] = uint64(rng.Uint32() & 0xffff)
+		n.SetBusLane(in, aBus, as[lane], lane)
+		n.SetBusLane(in, bBus, bs[lane], lane)
+	}
+	e.Run(in, out, nil)
+	for lane := uint(0); lane < 64; lane++ {
+		got := GetLane(out, 0, 16, lane)
+		want := (as[lane] + bs[lane]) & 0xffff
+		if got != want {
+			t.Fatalf("lane %d: %d + %d = %d, want %d", lane, as[lane], bs[lane], got, want)
+		}
+	}
+}
+
+func TestLeadingZerosCircuit(t *testing.T) {
+	b := NewBuilder("lzc-test")
+	x := b.InputBus(16)
+	b.OutputBus(b.LeadingZeros(x))
+	n := b.Build()
+	e := NewEval(n)
+	in := make([]uint64, n.NumIn)
+	out := make([]uint64, len(n.Outputs))
+	for v := 0; v < 1<<16; v += 7 {
+		n.SetBusScalar(in, x, uint64(v))
+		e.Run(in, out, nil)
+		got := GetScalar(out, 0, len(n.Outputs))
+		want := uint64(bits.LeadingZeros16(uint16(v)))
+		if got != want {
+			t.Fatalf("lzc(%#x) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestBarrelShifters(t *testing.T) {
+	b := NewBuilder("shift-test")
+	x := b.InputBus(32)
+	sh := b.InputBus(6)
+	b.OutputBus(b.ShiftRightBus(x, sh, b.Const(false)))
+	b.OutputBus(b.ShiftLeftBus(x, sh, b.Const(false)))
+	n := b.Build()
+	e := NewEval(n)
+	in := make([]uint64, n.NumIn)
+	out := make([]uint64, len(n.Outputs))
+	rng := rand.New(rand.NewPCG(49, 50))
+	for i := 0; i < 3000; i++ {
+		v := uint64(rng.Uint32())
+		amt := uint64(rng.IntN(40))
+		n.SetBusScalar(in, x, v)
+		n.SetBusScalar(in, sh, amt)
+		e.Run(in, out, nil)
+		gotR := GetScalar(out, 0, 32)
+		gotL := GetScalar(out, 32, 32)
+		wantR := v >> amt
+		wantL := v << amt & 0xffffffff
+		if amt >= 64 {
+			wantR, wantL = 0, 0
+		}
+		if gotR != wantR || gotL != wantL {
+			t.Fatalf("shift(%#x, %d): right %#x want %#x, left %#x want %#x",
+				v, amt, gotR, wantR, gotL, wantL)
+		}
+	}
+}
+
+func TestSubBusAndNeg(t *testing.T) {
+	b := NewBuilder("sub-test")
+	x := b.InputBus(16)
+	y := b.InputBus(16)
+	diff, noBorrow := b.SubBus(x, y)
+	b.OutputBus(diff)
+	b.Output(noBorrow)
+	b.OutputBus(b.NegBus(x))
+	n := b.Build()
+	e := NewEval(n)
+	in := make([]uint64, n.NumIn)
+	out := make([]uint64, len(n.Outputs))
+	rng := rand.New(rand.NewPCG(51, 52))
+	for i := 0; i < 3000; i++ {
+		a := uint64(rng.Uint32() & 0xffff)
+		c := uint64(rng.Uint32() & 0xffff)
+		n.SetBusScalar(in, x, a)
+		n.SetBusScalar(in, y, c)
+		e.Run(in, out, nil)
+		if got := GetScalar(out, 0, 16); got != (a-c)&0xffff {
+			t.Fatalf("sub(%d,%d) = %d", a, c, got)
+		}
+		if got := GetScalar(out, 16, 1); (got == 1) != (a >= c) {
+			t.Fatalf("sub(%d,%d) borrow wrong", a, c)
+		}
+		if got := GetScalar(out, 17, 16); got != (-a)&0xffff {
+			t.Fatalf("neg(%d) = %d", a, got)
+		}
+	}
+}
+
+func TestNetlistGateCounts(t *testing.T) {
+	t.Logf("int adder 64:  %6d gates", IntAdder64Netlist().NumGates())
+	t.Logf("int mul 64x64: %6d gates", IntMul64Netlist().NumGates())
+	t.Logf("fp add 64:     %6d gates", FPAdd64Netlist().NumGates())
+	t.Logf("fp mul 64:     %6d gates", FPMul64Netlist().NumGates())
+	if IntMul64Netlist().NumGates() < 20000 {
+		t.Error("64x64 array multiplier suspiciously small")
+	}
+	if FPAdd64Netlist().NumGates() < 3000 {
+		t.Error("FP adder suspiciously small")
+	}
+}
+
+func randNormal64(rng *rand.Rand) float64 {
+	for {
+		f := math.Float64frombits(rng.Uint64()>>2 | 0x3ff0000000000000)
+		f = (f - 1.5) * math.Ldexp(1, rng.IntN(40)-20)
+		if f != 0 && !math.IsInf(f, 0) && !math.IsNaN(f) && math.Abs(f) > 1e-300 {
+			return f
+		}
+	}
+}
+
+func randUnit(rng *rand.Rand) float64 { return rng.Float64()*2 - 1 }
+
+func BenchmarkGateEvalAdder64(b *testing.B) {
+	u := NewIntAdderUnit(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u.Add(uint64(i)*0x9e3779b9, uint64(i)*0x85ebca6b, false)
+	}
+}
+
+func BenchmarkGateEvalMul64(b *testing.B) {
+	u := NewIntMulUnit(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u.Mul(uint64(i)*0x9e3779b9, uint64(i)*0x85ebca6b)
+	}
+}
+
+func BenchmarkGateEvalScalarVsParallel(b *testing.B) {
+	// Ablation for DESIGN.md decision 2: 64 patterns per pass via lanes
+	// versus 64 scalar passes.
+	n := IntAdder64Netlist()
+	aBus := make(Bus, 64)
+	bBus := make(Bus, 64)
+	for i := 0; i < 64; i++ {
+		aBus[i] = i
+		bBus[i] = 64 + i
+	}
+	b.Run("scalar-64x", func(b *testing.B) {
+		u := NewIntAdderUnit(nil)
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < 64; k++ {
+				u.Add(uint64(i+k), uint64(i*k), false)
+			}
+		}
+	})
+	b.Run("parallel-1x", func(b *testing.B) {
+		e := NewEval(n)
+		in := make([]uint64, n.NumIn)
+		out := make([]uint64, len(n.Outputs))
+		for i := 0; i < b.N; i++ {
+			for k := uint(0); k < 64; k++ {
+				n.SetBusLane(in, aBus, uint64(i)+uint64(k), k)
+				n.SetBusLane(in, bBus, uint64(i)*uint64(k), k)
+			}
+			e.Run(in, out, nil)
+		}
+	})
+}

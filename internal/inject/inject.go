@@ -1,0 +1,352 @@
+// Package inject implements statistical fault injection (SFI) campaigns,
+// the paper's GeFIN-style measurement of fault detection capability
+// (§II-E): faults are injected at the microarchitecture level and
+// outcomes observed at the software level.
+//
+// Fault models (§III-C):
+//   - bit arrays (IRF, L1D): transient single-bit flips with uniformly
+//     random (bit, cycle), and intermittent stuck-at windows;
+//   - functional units (integer adder/multiplier, SSE FP adder/
+//     multiplier): permanent stuck-at-0/1 faults at uniformly sampled
+//     gates of the gate-level unit models, simulated to the end of
+//     execution.
+//
+// A fault is *detected* when the faulty run deviates from the fault-free
+// run: wrong architectural output (SDC), a crash, or a hang.
+package inject
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"harpocrates/internal/arch"
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/gates"
+	"harpocrates/internal/isa"
+	"harpocrates/internal/stats"
+	"harpocrates/internal/uarch"
+)
+
+// FaultType is the temporal behaviour of injected faults (§II-B).
+type FaultType int
+
+// Fault types.
+const (
+	Transient FaultType = iota
+	Intermittent
+	Permanent
+)
+
+func (t FaultType) String() string {
+	switch t {
+	case Transient:
+		return "transient"
+	case Intermittent:
+		return "intermittent"
+	case Permanent:
+		return "permanent"
+	}
+	return fmt.Sprintf("fault?%d", int(t))
+}
+
+// DefaultFaultType returns the paper's fault model for each structure:
+// transients for bit arrays, gate-level permanents for functional units.
+func DefaultFaultType(st coverage.Structure) FaultType {
+	if st.IsFunctionalUnit() {
+		return Permanent
+	}
+	return Transient
+}
+
+// Outcome classifies one faulty run against the golden run (§II-E).
+type Outcome int
+
+// Outcomes.
+const (
+	Masked Outcome = iota
+	SDC
+	Crash
+	Hang
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "masked"
+	case SDC:
+		return "sdc"
+	case Crash:
+		return "crash"
+	case Hang:
+		return "hang"
+	}
+	return fmt.Sprintf("outcome?%d", int(o))
+}
+
+// Campaign describes one SFI campaign on one program.
+type Campaign struct {
+	Prog []isa.Inst
+	// Init returns a fresh deterministic initial state (with its own
+	// memory) for each run.
+	Init func() *arch.State
+
+	Target coverage.Structure
+	Type   FaultType
+	// N is the number of injections.
+	N int
+	// IntermittentLen is the fault window length in cycles.
+	IntermittentLen uint64
+
+	Seed uint64
+	Cfg  uarch.Config
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Stats summarizes a campaign.
+type Stats struct {
+	N       int
+	Masked  int
+	SDC     int
+	Crash   int
+	Hang    int
+	Skipped int // golden run failed; campaign aborted
+
+	GoldenCycles uint64
+}
+
+// Detected returns the number of detected faults (SDC + crash + hang).
+func (s *Stats) Detected() int { return s.SDC + s.Crash + s.Hang }
+
+// Detection returns the detection capability n/N (§II-C).
+func (s *Stats) Detection() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Detected()) / float64(s.N)
+}
+
+// CI returns the 95% Wilson interval of the detection capability.
+func (s *Stats) CI() (lo, hi float64) { return stats.Wilson(s.Detected(), s.N) }
+
+func (s *Stats) String() string {
+	lo, hi := s.CI()
+	return fmt.Sprintf("detection %.1f%% [%.1f, %.1f] (N=%d: %d sdc, %d crash, %d hang, %d masked)",
+		100*s.Detection(), 100*lo, 100*hi, s.N, s.SDC, s.Crash, s.Hang, s.Masked)
+}
+
+// FUHooksFor builds the functional-unit hook set routing the target
+// unit's operations through its gate-level netlist, optionally carrying
+// a stuck-at fault. For the SSE FP units the double-precision datapath is
+// the injection target; the single-precision path runs fault-free (both
+// golden and faulty runs route identically, so semantics stay
+// consistent).
+func FUHooksFor(target coverage.Structure, fault *gates.StuckAt) *arch.FUHooks {
+	switch target {
+	case coverage.IntAdder:
+		return &arch.FUHooks{IntAdd: gates.NewIntAdderUnit(fault).Add}
+	case coverage.IntMul:
+		return &arch.FUHooks{IntMul: gates.NewIntMulUnit(fault).Mul}
+	case coverage.FPAdd:
+		return &arch.FUHooks{
+			FPAdd64: gates.NewFPAdd64Unit(fault).Op64,
+			FPAdd32: gates.NewFPAdd32Unit(nil).Op32,
+		}
+	case coverage.FPMul:
+		return &arch.FUHooks{
+			FPMul64: gates.NewFPMul64Unit(fault).Op64,
+			FPMul32: gates.NewFPMul32Unit(nil).Op32,
+		}
+	}
+	return nil
+}
+
+// targetNetlist returns the netlist faults are sampled from.
+func targetNetlist(target coverage.Structure) *gates.Netlist {
+	switch target {
+	case coverage.IntAdder:
+		return gates.IntAdder64Netlist()
+	case coverage.IntMul:
+		return gates.IntMul64Netlist()
+	case coverage.FPAdd:
+		return gates.FPAdd64Netlist()
+	case coverage.FPMul:
+		return gates.FPMul64Netlist()
+	}
+	return nil
+}
+
+// goldenConfig prepares the fault-free configuration. FP targets route
+// through the fault-free netlists so golden and faulty runs share
+// arithmetic semantics; the integer netlists are bit-exact with native
+// arithmetic (verified by tests), so the golden run skips them for
+// speed.
+func (c *Campaign) goldenConfig() uarch.Config {
+	cfg := c.Cfg
+	cfg.OnCycle = nil
+	cfg.FU = nil
+	cfg.FUOutside = nil
+	cfg.FUWindow = [2]uint64{}
+	if c.Target == coverage.FPAdd || c.Target == coverage.FPMul {
+		cfg.FU = FUHooksFor(c.Target, nil)
+	}
+	return cfg
+}
+
+// Golden runs the fault-free reference and returns its result.
+func (c *Campaign) Golden() *uarch.Result {
+	return uarch.Run(c.Prog, c.Init(), c.goldenConfig())
+}
+
+// Run executes the campaign and returns aggregate statistics.
+func (c *Campaign) Run() (*Stats, error) {
+	if c.N <= 0 {
+		return nil, fmt.Errorf("inject: campaign needs N > 0")
+	}
+	golden := c.Golden()
+	if golden.TimedOut {
+		return nil, fmt.Errorf("inject: golden run timed out")
+	}
+	st := &Stats{N: c.N, GoldenCycles: golden.Cycles}
+
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > c.N {
+		workers = c.N
+	}
+	outcomes := make([]Outcome, c.N)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				outcomes[i] = c.runOne(i, golden)
+			}
+		}()
+	}
+	for i := 0; i < c.N; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, o := range outcomes {
+		switch o {
+		case Masked:
+			st.Masked++
+		case SDC:
+			st.SDC++
+		case Crash:
+			st.Crash++
+		case Hang:
+			st.Hang++
+		}
+	}
+	return st, nil
+}
+
+// runOne executes a single injection run. The fault parameters are
+// derived deterministically from (Seed, i).
+func (c *Campaign) runOne(i int, golden *uarch.Result) Outcome {
+	rng := stats.Derive(c.Seed, i)
+	cfg := c.goldenConfig()
+	// Give the faulty run headroom before declaring a hang.
+	cfg.MaxCycles = golden.Cycles*4 + 100_000
+
+	switch {
+	case !c.Target.IsFunctionalUnit():
+		cycle := 1 + rng.Uint64N(maxU64(golden.Cycles, 1))
+		if c.Type == Transient {
+			switch c.Target {
+			case coverage.IRF:
+				reg := rng.IntN(cfg.IntPRF)
+				bit := rng.IntN(64)
+				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
+					if cyc == cycle {
+						core.FlipIntPRFBit(reg, bit)
+					}
+				}
+			case coverage.FPRF:
+				reg := rng.IntN(cfg.FPPRF)
+				bit := rng.IntN(128)
+				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
+					if cyc == cycle {
+						core.FlipFPPRFBit(reg, bit)
+					}
+				}
+			default:
+				bit := rng.IntN(cfg.L1D.SizeBytes * 8)
+				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
+					if cyc == cycle {
+						core.FlipCacheBit(bit)
+					}
+				}
+			}
+		} else { // intermittent stuck-at window
+			end := cycle + maxU64(c.IntermittentLen, 1)
+			val := rng.IntN(2) == 1
+			switch c.Target {
+			case coverage.IRF:
+				reg := rng.IntN(cfg.IntPRF)
+				bit := rng.IntN(64)
+				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
+					if cyc >= cycle && cyc < end {
+						core.ForceIntPRFBit(reg, bit, val)
+					}
+				}
+			case coverage.FPRF:
+				reg := rng.IntN(cfg.FPPRF)
+				bit := rng.IntN(128)
+				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
+					if cyc >= cycle && cyc < end {
+						core.ForceFPPRFBit(reg, bit, val)
+					}
+				}
+			default:
+				bit := rng.IntN(cfg.L1D.SizeBytes * 8)
+				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
+					if cyc >= cycle && cyc < end {
+						core.ForceCacheBit(bit, val)
+					}
+				}
+			}
+		}
+
+	default: // functional units: gate-level stuck-at
+		n := targetNetlist(c.Target)
+		fault := &gates.StuckAt{Gate: rng.IntN(n.NumGates()), Value: rng.IntN(2) == 1}
+		cfg.FU = FUHooksFor(c.Target, fault)
+		if c.Type == Intermittent {
+			start := 1 + rng.Uint64N(maxU64(golden.Cycles, 1))
+			cfg.FUOutside = FUHooksFor(c.Target, nil)
+			cfg.FUWindow = [2]uint64{start, start + maxU64(c.IntermittentLen, 1)}
+			if c.Target == coverage.IntAdder || c.Target == coverage.IntMul {
+				cfg.FUOutside = nil // native semantics are bit-exact
+			}
+		}
+	}
+
+	res := uarch.Run(c.Prog, c.Init(), cfg)
+	switch {
+	case res.TimedOut:
+		return Hang
+	case res.Crash != nil:
+		return Crash
+	case res.Signature != golden.Signature:
+		return SDC
+	default:
+		return Masked
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,172 @@
+package inject
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/gen"
+	"harpocrates/internal/uarch"
+)
+
+func testProgram(t testing.TB, n int, pool func(cfg *gen.Config)) *Campaign {
+	t.Helper()
+	cfg := gen.DefaultConfig()
+	cfg.NumInstrs = n
+	if pool != nil {
+		pool(&cfg)
+	}
+	rng := rand.New(rand.NewPCG(99, 100))
+	p := gen.Materialize(gen.NewRandom(&cfg, rng), &cfg)
+	return &Campaign{
+		Prog: p.Insts,
+		Init: p.InitFunc(),
+		Cfg:  uarch.DefaultConfig(),
+		Seed: 7,
+	}
+}
+
+func TestTransientIRFCampaign(t *testing.T) {
+	c := testProgram(t, 400, nil)
+	c.Target = coverage.IRF
+	c.Type = Transient
+	c.N = 48
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Masked+st.Detected() != st.N {
+		t.Fatalf("outcome counts don't sum: %+v", st)
+	}
+	d := st.Detection()
+	if d < 0 || d > 1 {
+		t.Fatalf("detection %f out of range", d)
+	}
+	if st.Masked == 0 {
+		t.Fatal("IRF transients with zero masking are implausible (most PRF entries are free)")
+	}
+	t.Log(st)
+}
+
+func TestTransientL1DCampaign(t *testing.T) {
+	c := testProgram(t, 400, nil)
+	c.Target = coverage.L1D
+	c.Type = Transient
+	c.N = 48
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Masked == 0 {
+		t.Fatal("L1D transients with zero masking are implausible for a short program")
+	}
+	t.Log(st)
+}
+
+func TestPermanentIntAdderCampaign(t *testing.T) {
+	c := testProgram(t, 300, nil)
+	c.Target = coverage.IntAdder
+	c.Type = Permanent
+	c.N = 24
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Detected() == 0 {
+		t.Fatal("no adder gate fault detected by a random ALU-heavy program")
+	}
+	t.Log(st)
+}
+
+func TestPermanentIntMulCampaign(t *testing.T) {
+	c := testProgram(t, 200, nil)
+	c.Target = coverage.IntMul
+	c.Type = Permanent
+	c.N = 12
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 12 {
+		t.Fatal("wrong N")
+	}
+	t.Log(st)
+}
+
+func TestPermanentFPAddCampaign(t *testing.T) {
+	c := testProgram(t, 300, nil)
+	c.Target = coverage.FPAdd
+	c.Type = Permanent
+	c.N = 16
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(st)
+}
+
+func TestIntermittentIRFCampaign(t *testing.T) {
+	c := testProgram(t, 300, nil)
+	c.Target = coverage.IRF
+	c.Type = Intermittent
+	c.IntermittentLen = 100
+	c.N = 24
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(st)
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	run := func() *Stats {
+		c := testProgram(t, 300, nil)
+		c.Target = coverage.IRF
+		c.Type = Transient
+		c.N = 24
+		c.Workers = 4
+		st, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if *a != *b {
+		t.Fatalf("campaigns with identical seeds diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestGoldenMatchesNativeForIntUnits(t *testing.T) {
+	// The golden config for integer-unit campaigns skips the netlist;
+	// this is only sound if the netlist-routed run is bit-identical.
+	c := testProgram(t, 300, nil)
+	c.Target = coverage.IntAdder
+	golden := c.Golden()
+
+	cfg := c.goldenConfig()
+	cfg.FU = FUHooksFor(coverage.IntAdder, nil)
+	viaNetlist := uarch.Run(c.Prog, c.Init(), cfg)
+	if golden.Signature != viaNetlist.Signature {
+		t.Fatal("fault-free netlist adder diverges from native semantics")
+	}
+}
+
+func TestDefaultFaultType(t *testing.T) {
+	if DefaultFaultType(coverage.IRF) != Transient || DefaultFaultType(coverage.L1D) != Transient {
+		t.Fatal("bit arrays must default to transient faults")
+	}
+	for st := coverage.IntAdder; st < coverage.NumStructures; st++ {
+		if DefaultFaultType(st) != Permanent {
+			t.Fatal("functional units must default to permanent faults")
+		}
+	}
+}
+
+func TestCampaignRejectsZeroN(t *testing.T) {
+	c := testProgram(t, 50, nil)
+	c.N = 0
+	if _, err := c.Run(); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}

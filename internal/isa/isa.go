@@ -1,0 +1,242 @@
+// Package isa defines HX86, a synthetic x86-64-flavoured instruction set
+// used throughout the Harpocrates reproduction.
+//
+// HX86 deliberately mirrors the properties of x86-64 that matter for
+// hardware-aware functional test generation (paper §V-B): CISC-style
+// implicit operands (MUL/DIV clobber RAX:RDX, variable shifts read CL),
+// partial register widths (8/16/32/64-bit forms with x86 merge and
+// zero-extension rules), a flags register threaded through arithmetic,
+// stack discipline (PUSH/POP against RSP), base+displacement memory
+// addressing, nondeterministic instructions that must be excluded from
+// deterministic test programs (RDTSC, RDRAND, CPUID), privileged
+// instructions that fault in user mode, and an SSE-style scalar/packed
+// floating-point extension.
+//
+// The package provides the instruction variant table (~670 variants, each
+// a distinct mnemonic × operand-form × width combination, mirroring how
+// MuSeqGen treats "the same mnemonics with different operand types as
+// distinct instructions"), a byte encoder/decoder (used by the SiliFuzz
+// baseline's proxy), and the concrete instruction representation shared by
+// the functional emulator, the out-of-order core model, and the program
+// generator.
+package isa
+
+import "fmt"
+
+// Reg is a general-purpose (integer) architectural register.
+type Reg uint8
+
+// General-purpose registers. Names follow x86-64.
+const (
+	RAX Reg = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+
+	// NumGPR is the number of architectural integer registers.
+	NumGPR = 16
+)
+
+var gprNames = [NumGPR]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+func (r Reg) String() string {
+	if int(r) < len(gprNames) {
+		return gprNames[r]
+	}
+	return fmt.Sprintf("gpr?%d", uint8(r))
+}
+
+// XReg is an SSE-style 128-bit vector register.
+type XReg uint8
+
+// NumXMM is the number of architectural vector registers.
+const NumXMM = 16
+
+func (x XReg) String() string { return fmt.Sprintf("xmm%d", uint8(x)) }
+
+// Width is an operand width in bytes.
+type Width uint8
+
+// Operand widths.
+const (
+	W8   Width = 1
+	W16  Width = 2
+	W32  Width = 4
+	W64  Width = 8
+	W128 Width = 16
+)
+
+// Bits returns the width in bits.
+func (w Width) Bits() int { return int(w) * 8 }
+
+// Mask returns the value mask for integer widths up to 64 bits.
+func (w Width) Mask() uint64 {
+	if w >= W64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (8 * uint(w))) - 1
+}
+
+// SignBit returns the sign-bit mask for integer widths up to 64 bits.
+func (w Width) SignBit() uint64 { return uint64(1) << (8*uint(w) - 1) }
+
+func (w Width) String() string {
+	switch w {
+	case W8:
+		return "b"
+	case W16:
+		return "w"
+	case W32:
+		return "l"
+	case W64:
+		return "q"
+	case W128:
+		return "x"
+	}
+	return fmt.Sprintf("w?%d", uint8(w))
+}
+
+// Flags is a bitmask of the HX86 status flags (a subset of RFLAGS).
+type Flags uint8
+
+// Status flags.
+const (
+	CF Flags = 1 << iota // carry
+	PF                   // parity (of low byte)
+	ZF                   // zero
+	SF                   // sign
+	OF                   // overflow
+
+	AllFlags = CF | PF | ZF | SF | OF
+)
+
+func (f Flags) String() string {
+	s := ""
+	add := func(m Flags, n string) {
+		if f&m != 0 {
+			s += n
+		} else {
+			s += "-"
+		}
+	}
+	add(OF, "O")
+	add(SF, "S")
+	add(ZF, "Z")
+	add(PF, "P")
+	add(CF, "C")
+	return s
+}
+
+// Cond is an x86-style condition code used by Jcc, SETcc and CMOVcc.
+type Cond uint8
+
+// Condition codes (x86 encoding order).
+const (
+	CondO  Cond = iota // overflow
+	CondNO             // not overflow
+	CondB              // below (CF)
+	CondAE             // above or equal (!CF)
+	CondE              // equal (ZF)
+	CondNE             // not equal (!ZF)
+	CondBE             // below or equal (CF||ZF)
+	CondA              // above (!CF && !ZF)
+	CondS              // sign (SF)
+	CondNS             // not sign (!SF)
+	CondP              // parity (PF)
+	CondNP             // not parity (!PF)
+	CondL              // less (SF!=OF)
+	CondGE             // greater or equal (SF==OF)
+	CondLE             // less or equal (ZF || SF!=OF)
+	CondG              // greater (!ZF && SF==OF)
+
+	NumCond = 16
+)
+
+var condNames = [NumCond]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cc?%d", uint8(c))
+}
+
+// Reads returns the flags a condition code depends on.
+func (c Cond) Reads() Flags {
+	switch c {
+	case CondO, CondNO:
+		return OF
+	case CondB, CondAE:
+		return CF
+	case CondE, CondNE:
+		return ZF
+	case CondBE, CondA:
+		return CF | ZF
+	case CondS, CondNS:
+		return SF
+	case CondP, CondNP:
+		return PF
+	case CondL, CondGE:
+		return SF | OF
+	case CondLE, CondG:
+		return ZF | SF | OF
+	}
+	return 0
+}
+
+// Eval evaluates a condition code against a flags value.
+func (c Cond) Eval(f Flags) bool {
+	switch c {
+	case CondO:
+		return f&OF != 0
+	case CondNO:
+		return f&OF == 0
+	case CondB:
+		return f&CF != 0
+	case CondAE:
+		return f&CF == 0
+	case CondE:
+		return f&ZF != 0
+	case CondNE:
+		return f&ZF == 0
+	case CondBE:
+		return f&(CF|ZF) != 0
+	case CondA:
+		return f&(CF|ZF) == 0
+	case CondS:
+		return f&SF != 0
+	case CondNS:
+		return f&SF == 0
+	case CondP:
+		return f&PF != 0
+	case CondNP:
+		return f&PF == 0
+	case CondL:
+		return (f&SF != 0) != (f&OF != 0)
+	case CondGE:
+		return (f&SF != 0) == (f&OF != 0)
+	case CondLE:
+		return f&ZF != 0 || (f&SF != 0) != (f&OF != 0)
+	case CondG:
+		return f&ZF == 0 && (f&SF != 0) == (f&OF != 0)
+	}
+	return false
+}

@@ -1,0 +1,147 @@
+package isa
+
+import "fmt"
+
+// OpKind classifies an operand slot.
+type OpKind uint8
+
+// Operand kinds.
+const (
+	KNone OpKind = iota
+	KReg         // general-purpose register
+	KXmm         // vector register
+	KImm         // immediate
+	KMem         // memory reference (base + optional index*scale + disp)
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case KNone:
+		return "none"
+	case KReg:
+		return "reg"
+	case KXmm:
+		return "xmm"
+	case KImm:
+		return "imm"
+	case KMem:
+		return "mem"
+	}
+	return fmt.Sprintf("kind?%d", uint8(k))
+}
+
+// Access describes how a variant uses an operand slot.
+type Access uint8
+
+// Access modes.
+const (
+	AccR  Access = 1 << iota // read
+	AccW                     // written
+	AccRW = AccR | AccW
+)
+
+// OperandSpec describes one operand slot of an instruction variant.
+type OperandSpec struct {
+	Kind  OpKind
+	Width Width
+	Acc   Access
+}
+
+// MemRef is a resolved memory reference: [base + index*scale + disp].
+type MemRef struct {
+	Base     Reg
+	HasIndex bool
+	Index    Reg
+	Scale    uint8 // 1, 2, 4 or 8
+	Disp     int32
+}
+
+func (m MemRef) String() string {
+	s := fmt.Sprintf("%d(%%%s", m.Disp, m.Base)
+	if m.HasIndex {
+		s += fmt.Sprintf(",%%%s,%d", m.Index, m.Scale)
+	}
+	return s + ")"
+}
+
+// Operand is a concrete, resolved operand of an instruction instance.
+// Exactly one of the payload fields is meaningful depending on Kind.
+type Operand struct {
+	Kind OpKind
+	Reg  Reg
+	X    XReg
+	Imm  int64
+	Mem  MemRef
+}
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case KReg:
+		return "%" + o.Reg.String()
+	case KXmm:
+		return "%" + o.X.String()
+	case KImm:
+		return fmt.Sprintf("$%d", o.Imm)
+	case KMem:
+		return o.Mem.String()
+	}
+	return "?"
+}
+
+// RegOp builds a GPR operand.
+func RegOp(r Reg) Operand { return Operand{Kind: KReg, Reg: r} }
+
+// XmmOp builds a vector-register operand.
+func XmmOp(x XReg) Operand { return Operand{Kind: KXmm, X: x} }
+
+// ImmOp builds an immediate operand.
+func ImmOp(v int64) Operand { return Operand{Kind: KImm, Imm: v} }
+
+// MemOp builds a base+disp memory operand.
+func MemOp(base Reg, disp int32) Operand {
+	return Operand{Kind: KMem, Mem: MemRef{Base: base, Disp: disp, Scale: 1}}
+}
+
+// MemIdxOp builds a base+index*scale+disp memory operand.
+func MemIdxOp(base, index Reg, scale uint8, disp int32) Operand {
+	return Operand{Kind: KMem, Mem: MemRef{Base: base, HasIndex: true, Index: index, Scale: scale, Disp: disp}}
+}
+
+// MaxOperands is the maximum number of explicit operands of any variant.
+const MaxOperands = 3
+
+// Inst is a concrete instruction instance: a variant plus resolved
+// operands. It is the unit stored in generated programs and executed by
+// both the functional emulator and the out-of-order core model.
+type Inst struct {
+	V    VariantID
+	Ops  [MaxOperands]Operand
+	NOps uint8
+}
+
+// MakeInst builds an instruction from a variant and operands.
+func MakeInst(v VariantID, ops ...Operand) Inst {
+	in := Inst{V: v, NOps: uint8(len(ops))}
+	copy(in.Ops[:], ops)
+	return in
+}
+
+// Variant returns the instruction's variant descriptor.
+func (in Inst) Variant() *Variant { return Lookup(in.V) }
+
+// String renders the instruction in an AT&T-flavoured syntax
+// ("mnemonic src, dst" order is NOT used; we print dst-first Intel-style
+// for readability).
+func (in Inst) String() string {
+	v := Lookup(in.V)
+	s := v.Mnemonic
+	for i := 0; i < int(in.NOps); i++ {
+		if i == 0 {
+			s += " "
+		} else {
+			s += ", "
+		}
+		s += in.Ops[i].String()
+	}
+	return s
+}

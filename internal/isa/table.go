@@ -1,0 +1,438 @@
+package isa
+
+import "fmt"
+
+// The global variant table is built once at package init. It is
+// read-only after construction.
+var (
+	table     []Variant
+	byOp      [NumOpsExt][]VariantID
+	opcodeOf  [NumOpsExt]int // family -> first-byte opcode, -1 if none
+	familyOf  [256]Op        // first-byte opcode -> family (OpINVALID if unassigned)
+	numILP    int
+	detCached []VariantID
+)
+
+// Lookup returns the variant descriptor for an ID. It panics on an
+// out-of-range ID (IDs come from the table itself, so this indicates a
+// programming error, not bad input; untrusted input goes through Decode).
+func Lookup(id VariantID) *Variant {
+	return &table[id]
+}
+
+// NumVariants returns the size of the variant table.
+func NumVariants() int { return len(table) }
+
+// ByOp returns the variant IDs of a family. The returned slice must not
+// be modified.
+func ByOp(op Op) []VariantID { return byOp[op] }
+
+// Deterministic returns all variants that are safe for deterministic
+// user-mode test programs (no RDTSC/RDRAND/CPUID, no privileged ops).
+// The returned slice must not be modified.
+func Deterministic() []VariantID { return detCached }
+
+func addVariant(v Variant) VariantID {
+	if len(v.Ops) > MaxOperands {
+		panic(fmt.Sprintf("isa: variant %s has %d operands", v.Mnemonic, len(v.Ops)))
+	}
+	id := VariantID(len(table))
+	v.ID = id
+	table = append(table, v)
+	byOp[v.Op] = append(byOp[v.Op], id)
+	return id
+}
+
+func rspec(w Width, a Access) OperandSpec { return OperandSpec{Kind: KReg, Width: w, Acc: a} }
+func xspec(w Width, a Access) OperandSpec { return OperandSpec{Kind: KXmm, Width: w, Acc: a} }
+func ispec(w Width) OperandSpec           { return OperandSpec{Kind: KImm, Width: w, Acc: AccR} }
+func mspec(w Width, a Access) OperandSpec { return OperandSpec{Kind: KMem, Width: w, Acc: a} }
+
+// immWidthFor returns the encoded immediate width for an ALU operation of
+// width w (x86 rule: 64-bit forms take a sign-extended 32-bit immediate).
+func immWidthFor(w Width) Width {
+	if w == W64 {
+		return W32
+	}
+	return w
+}
+
+var intWidths = []Width{W8, W16, W32, W64}
+var wideWidths = []Width{W16, W32, W64}
+
+type aluFam struct {
+	op    Op
+	mnem  string
+	fr    Flags // flags read
+	fw    Flags // flags written
+	dstRW Access
+}
+
+func buildTable() {
+	table = make([]Variant, 0, 720)
+	// Variant 0 is the invalid instruction.
+	addVariant(Variant{Op: OpINVALID, Mnemonic: "(invalid)", Unit: UNone, Latency: 1})
+
+	// --- Binary integer ALU -------------------------------------------
+	binFams := []aluFam{
+		{OpADD, "add", 0, AllFlags, AccRW},
+		{OpSUB, "sub", 0, AllFlags, AccRW},
+		{OpADC, "adc", CF, AllFlags, AccRW},
+		{OpSBB, "sbb", CF, AllFlags, AccRW},
+		{OpAND, "and", 0, AllFlags, AccRW},
+		{OpOR, "or", 0, AllFlags, AccRW},
+		{OpXOR, "xor", 0, AllFlags, AccRW},
+		{OpCMP, "cmp", 0, AllFlags, AccR},
+		{OpTEST, "test", 0, AllFlags, AccR},
+		{OpMOV, "mov", 0, 0, AccW},
+	}
+	for _, f := range binFams {
+		for _, w := range intWidths {
+			iw := immWidthFor(w)
+			addVariant(Variant{Op: f.op, Mnemonic: f.mnem + w.String(), Width: w, Unit: UIntALU, Latency: 1,
+				Ops: []OperandSpec{rspec(w, f.dstRW), rspec(w, AccR)}, FlagsRead: f.fr, FlagsWritten: f.fw})
+			addVariant(Variant{Op: f.op, Mnemonic: f.mnem + w.String(), Width: w, Unit: UIntALU, Latency: 1,
+				Ops: []OperandSpec{rspec(w, f.dstRW), ispec(iw)}, FlagsRead: f.fr, FlagsWritten: f.fw})
+			addVariant(Variant{Op: f.op, Mnemonic: f.mnem + w.String(), Width: w, Unit: UIntALU, Latency: 1,
+				Ops: []OperandSpec{rspec(w, f.dstRW), mspec(w, AccR)}, FlagsRead: f.fr, FlagsWritten: f.fw})
+			memAcc := f.dstRW
+			addVariant(Variant{Op: f.op, Mnemonic: f.mnem + w.String(), Width: w, Unit: UIntALU, Latency: 1,
+				Ops: []OperandSpec{mspec(w, memAcc), rspec(w, AccR)}, FlagsRead: f.fr, FlagsWritten: f.fw})
+			addVariant(Variant{Op: f.op, Mnemonic: f.mnem + w.String(), Width: w, Unit: UIntALU, Latency: 1,
+				Ops: []OperandSpec{mspec(w, memAcc), ispec(iw)}, FlagsRead: f.fr, FlagsWritten: f.fw})
+		}
+	}
+	// mov r64, imm64 (the only 8-byte-immediate form).
+	addVariant(Variant{Op: OpMOV, Mnemonic: "movabsq", Width: W64, Unit: UIntALU, Latency: 1,
+		Ops: []OperandSpec{rspec(W64, AccW), ispec(W64)}})
+
+	// --- Unary integer ALU --------------------------------------------
+	unFams := []aluFam{
+		{OpINC, "inc", 0, PF | ZF | SF | OF, AccRW},
+		{OpDEC, "dec", 0, PF | ZF | SF | OF, AccRW},
+		{OpNEG, "neg", 0, AllFlags, AccRW},
+		{OpNOT, "not", 0, 0, AccRW},
+	}
+	for _, f := range unFams {
+		for _, w := range intWidths {
+			addVariant(Variant{Op: f.op, Mnemonic: f.mnem + w.String(), Width: w, Unit: UIntALU, Latency: 1,
+				Ops: []OperandSpec{rspec(w, AccRW)}, FlagsRead: f.fr, FlagsWritten: f.fw})
+			addVariant(Variant{Op: f.op, Mnemonic: f.mnem + w.String(), Width: w, Unit: UIntALU, Latency: 1,
+				Ops: []OperandSpec{mspec(w, AccRW)}, FlagsRead: f.fr, FlagsWritten: f.fw})
+		}
+	}
+
+	// --- Shifts and rotates -------------------------------------------
+	type shFam struct {
+		op   Op
+		mnem string
+		fr   Flags
+		fw   Flags
+	}
+	shFams := []shFam{
+		{OpSHL, "shl", 0, AllFlags},
+		{OpSHR, "shr", 0, AllFlags},
+		{OpSAR, "sar", 0, AllFlags},
+		{OpROL, "rol", 0, CF | OF},
+		{OpROR, "ror", 0, CF | OF},
+		{OpRCL, "rcl", CF, CF | OF},
+		{OpRCR, "rcr", CF, CF | OF},
+	}
+	for _, f := range shFams {
+		for _, w := range intWidths {
+			addVariant(Variant{Op: f.op, Mnemonic: f.mnem + w.String(), Width: w, Unit: UIntALU, Latency: 1,
+				Ops: []OperandSpec{rspec(w, AccRW), ispec(W8)}, FlagsRead: f.fr, FlagsWritten: f.fw})
+			addVariant(Variant{Op: f.op, Mnemonic: f.mnem + w.String() + "_cl", Width: w, Unit: UIntALU, Latency: 1,
+				Ops: []OperandSpec{rspec(w, AccRW)}, ImplicitIn: []Reg{RCX},
+				FlagsRead: f.fr, FlagsWritten: f.fw})
+			addVariant(Variant{Op: f.op, Mnemonic: f.mnem + w.String(), Width: w, Unit: UIntALU, Latency: 1,
+				Ops: []OperandSpec{mspec(w, AccRW), ispec(W8)}, FlagsRead: f.fr, FlagsWritten: f.fw})
+		}
+	}
+
+	// --- LEA, width conversion, exchange ------------------------------
+	addVariant(Variant{Op: OpLEA, Mnemonic: "leal", Width: W32, Unit: UIntALU, Latency: 1,
+		Ops: []OperandSpec{rspec(W32, AccW), mspec(W32, AccR)}})
+	addVariant(Variant{Op: OpLEA, Mnemonic: "leaq", Width: W64, Unit: UIntALU, Latency: 1,
+		Ops: []OperandSpec{rspec(W64, AccW), mspec(W64, AccR)}})
+
+	type wpair struct{ dst, src Width }
+	wpairs := []wpair{{W16, W8}, {W32, W8}, {W32, W16}, {W64, W8}, {W64, W16}, {W64, W32}}
+	for _, fam := range []struct {
+		op   Op
+		mnem string
+	}{{OpMOVZX, "movzx"}, {OpMOVSX, "movsx"}} {
+		for _, p := range wpairs {
+			n := fmt.Sprintf("%s%s%s", fam.mnem, p.src.String(), p.dst.String())
+			addVariant(Variant{Op: fam.op, Mnemonic: n, Width: p.dst, Unit: UIntALU, Latency: 1,
+				Ops: []OperandSpec{rspec(p.dst, AccW), rspec(p.src, AccR)}})
+			addVariant(Variant{Op: fam.op, Mnemonic: n, Width: p.dst, Unit: UIntALU, Latency: 1,
+				Ops: []OperandSpec{rspec(p.dst, AccW), mspec(p.src, AccR)}})
+		}
+	}
+	for _, w := range intWidths {
+		addVariant(Variant{Op: OpXCHG, Mnemonic: "xchg" + w.String(), Width: w, Unit: UIntALU, Latency: 1,
+			Ops: []OperandSpec{rspec(w, AccRW), rspec(w, AccRW)}})
+		addVariant(Variant{Op: OpXCHG, Mnemonic: "xchg" + w.String(), Width: w, Unit: UIntALU, Latency: 2,
+			Ops: []OperandSpec{rspec(w, AccRW), mspec(w, AccRW)}})
+	}
+
+	// --- Wide multiply / divide (implicit RAX:RDX) ---------------------
+	for _, fam := range []struct {
+		op   Op
+		mnem string
+		unit Unit
+		lat  int
+	}{{OpMUL, "mul", UIntMul, 3}, {OpIMUL, "imul", UIntMul, 3}, {OpDIV, "div", UIntDiv, 20}, {OpIDIV, "idiv", UIntDiv, 20}} {
+		for _, w := range intWidths {
+			iIn := []Reg{RAX}
+			if fam.op == OpDIV || fam.op == OpIDIV {
+				iIn = []Reg{RAX, RDX}
+			}
+			fw := Flags(0)
+			if fam.unit == UIntMul {
+				fw = AllFlags
+			}
+			addVariant(Variant{Op: fam.op, Mnemonic: fam.mnem + w.String(), Width: w, Unit: fam.unit, Latency: fam.lat,
+				Ops: []OperandSpec{rspec(w, AccR)}, ImplicitIn: iIn, ImplicitOut: []Reg{RAX, RDX}, FlagsWritten: fw})
+			addVariant(Variant{Op: fam.op, Mnemonic: fam.mnem + w.String(), Width: w, Unit: fam.unit, Latency: fam.lat,
+				Ops: []OperandSpec{mspec(w, AccR)}, ImplicitIn: iIn, ImplicitOut: []Reg{RAX, RDX}, FlagsWritten: fw})
+		}
+	}
+	for _, w := range wideWidths {
+		addVariant(Variant{Op: OpIMULRR, Mnemonic: "imul" + w.String(), Width: w, Unit: UIntMul, Latency: 3,
+			Ops: []OperandSpec{rspec(w, AccRW), rspec(w, AccR)}, FlagsWritten: AllFlags})
+		addVariant(Variant{Op: OpIMULRR, Mnemonic: "imul" + w.String(), Width: w, Unit: UIntMul, Latency: 3,
+			Ops: []OperandSpec{rspec(w, AccRW), mspec(w, AccR)}, FlagsWritten: AllFlags})
+		addVariant(Variant{Op: OpIMULRRI, Mnemonic: "imul" + w.String(), Width: w, Unit: UIntMul, Latency: 3,
+			Ops: []OperandSpec{rspec(w, AccW), rspec(w, AccR), ispec(immWidthFor(w))}, FlagsWritten: AllFlags})
+	}
+
+	// --- Stack ----------------------------------------------------------
+	addVariant(Variant{Op: OpPUSH, Mnemonic: "pushq", Width: W64, Unit: UIntALU, Latency: 1,
+		Ops: []OperandSpec{rspec(W64, AccR)}, ImplicitIn: []Reg{RSP}, ImplicitOut: []Reg{RSP}, MemImplicit: true})
+	addVariant(Variant{Op: OpPUSH, Mnemonic: "pushq", Width: W64, Unit: UIntALU, Latency: 1,
+		Ops: []OperandSpec{ispec(W32)}, ImplicitIn: []Reg{RSP}, ImplicitOut: []Reg{RSP}, MemImplicit: true})
+	addVariant(Variant{Op: OpPUSH, Mnemonic: "pushq", Width: W64, Unit: UIntALU, Latency: 1,
+		Ops: []OperandSpec{mspec(W64, AccR)}, ImplicitIn: []Reg{RSP}, ImplicitOut: []Reg{RSP}, MemImplicit: true})
+	addVariant(Variant{Op: OpPOP, Mnemonic: "popq", Width: W64, Unit: UIntALU, Latency: 1,
+		Ops: []OperandSpec{rspec(W64, AccW)}, ImplicitIn: []Reg{RSP}, ImplicitOut: []Reg{RSP}, MemImplicit: true})
+	addVariant(Variant{Op: OpPOP, Mnemonic: "popq", Width: W64, Unit: UIntALU, Latency: 1,
+		Ops: []OperandSpec{mspec(W64, AccW)}, ImplicitIn: []Reg{RSP}, ImplicitOut: []Reg{RSP}, MemImplicit: true})
+
+	// --- Conditionals ---------------------------------------------------
+	for c := Cond(0); c < NumCond; c++ {
+		addVariant(Variant{Op: OpSETcc, Mnemonic: "set" + c.String(), Width: W8, Cond: c, Unit: UIntALU, Latency: 1,
+			Ops: []OperandSpec{rspec(W8, AccW)}, FlagsRead: c.Reads()})
+		addVariant(Variant{Op: OpSETcc, Mnemonic: "set" + c.String(), Width: W8, Cond: c, Unit: UIntALU, Latency: 1,
+			Ops: []OperandSpec{mspec(W8, AccW)}, FlagsRead: c.Reads()})
+	}
+	for c := Cond(0); c < NumCond; c++ {
+		for _, w := range wideWidths {
+			addVariant(Variant{Op: OpCMOVcc, Mnemonic: "cmov" + c.String() + w.String(), Width: w, Cond: c, Unit: UIntALU, Latency: 1,
+				Ops: []OperandSpec{rspec(w, AccRW), rspec(w, AccR)}, FlagsRead: c.Reads()})
+			addVariant(Variant{Op: OpCMOVcc, Mnemonic: "cmov" + c.String() + w.String(), Width: w, Cond: c, Unit: UIntALU, Latency: 1,
+				Ops: []OperandSpec{rspec(w, AccRW), mspec(w, AccR)}, FlagsRead: c.Reads()})
+		}
+	}
+	for c := Cond(0); c < NumCond; c++ {
+		addVariant(Variant{Op: OpJcc, Mnemonic: "j" + c.String(), Width: W32, Cond: c, Unit: UBranch, Latency: 1,
+			Ops: []OperandSpec{ispec(W32)}, FlagsRead: c.Reads(), IsBranch: true})
+	}
+	addVariant(Variant{Op: OpJMP, Mnemonic: "jmp", Width: W32, Unit: UBranch, Latency: 1,
+		Ops: []OperandSpec{ispec(W32)}, IsBranch: true})
+
+	// --- Bit manipulation ------------------------------------------------
+	addVariant(Variant{Op: OpBSWAP, Mnemonic: "bswapl", Width: W32, Unit: UIntALU, Latency: 1,
+		Ops: []OperandSpec{rspec(W32, AccRW)}})
+	addVariant(Variant{Op: OpBSWAP, Mnemonic: "bswapq", Width: W64, Unit: UIntALU, Latency: 1,
+		Ops: []OperandSpec{rspec(W64, AccRW)}})
+	for _, fam := range []struct {
+		op   Op
+		mnem string
+		fw   Flags
+		acc  Access
+	}{
+		// BSF/BSR leave the destination unchanged on a zero source, so
+		// the destination is architecturally read-modify-write.
+		{OpBSF, "bsf", ZF, AccRW}, {OpBSR, "bsr", ZF, AccRW},
+		{OpPOPCNT, "popcnt", AllFlags, AccW}, {OpLZCNT, "lzcnt", CF | ZF, AccW}, {OpTZCNT, "tzcnt", CF | ZF, AccW},
+	} {
+		for _, w := range wideWidths {
+			addVariant(Variant{Op: fam.op, Mnemonic: fam.mnem + w.String(), Width: w, Unit: UIntALU, Latency: 2,
+				Ops: []OperandSpec{rspec(w, fam.acc), rspec(w, AccR)}, FlagsWritten: fam.fw})
+			addVariant(Variant{Op: fam.op, Mnemonic: fam.mnem + w.String(), Width: w, Unit: UIntALU, Latency: 2,
+				Ops: []OperandSpec{rspec(w, fam.acc), mspec(w, AccR)}, FlagsWritten: fam.fw})
+		}
+	}
+	for _, fam := range []struct {
+		op   Op
+		mnem string
+		acc  Access
+	}{{OpBT, "bt", AccR}, {OpBTS, "bts", AccRW}, {OpBTR, "btr", AccRW}, {OpBTC, "btc", AccRW}} {
+		for _, w := range wideWidths {
+			addVariant(Variant{Op: fam.op, Mnemonic: fam.mnem + w.String(), Width: w, Unit: UIntALU, Latency: 1,
+				Ops: []OperandSpec{rspec(w, fam.acc), rspec(w, AccR)}, FlagsWritten: CF})
+			addVariant(Variant{Op: fam.op, Mnemonic: fam.mnem + w.String(), Width: w, Unit: UIntALU, Latency: 1,
+				Ops: []OperandSpec{rspec(w, fam.acc), ispec(W8)}, FlagsWritten: CF})
+		}
+	}
+
+	addVariant(Variant{Op: OpNOP, Mnemonic: "nop", Width: W8, Unit: UIntALU, Latency: 1})
+
+	// --- Nondeterministic and privileged ---------------------------------
+	addVariant(Variant{Op: OpRDTSC, Mnemonic: "rdtsc", Width: W64, Unit: UIntALU, Latency: 20,
+		ImplicitOut: []Reg{RAX, RDX}, NonDeterministic: true})
+	addVariant(Variant{Op: OpRDRAND, Mnemonic: "rdrandq", Width: W64, Unit: UIntALU, Latency: 20,
+		Ops: []OperandSpec{rspec(W64, AccW)}, FlagsWritten: CF, NonDeterministic: true})
+	addVariant(Variant{Op: OpCPUID, Mnemonic: "cpuid", Width: W64, Unit: UIntALU, Latency: 30,
+		ImplicitIn: []Reg{RAX}, ImplicitOut: []Reg{RAX, RBX, RCX, RDX}, NonDeterministic: true})
+	addVariant(Variant{Op: OpHLT, Mnemonic: "hlt", Width: W8, Unit: UNone, Latency: 1, Privileged: true})
+	addVariant(Variant{Op: OpINB, Mnemonic: "inb", Width: W8, Unit: UNone, Latency: 1,
+		ImplicitOut: []Reg{RAX}, Privileged: true})
+	addVariant(Variant{Op: OpOUTB, Mnemonic: "outb", Width: W8, Unit: UNone, Latency: 1,
+		ImplicitIn: []Reg{RAX}, Privileged: true})
+
+	// --- SSE scalar double ------------------------------------------------
+	for _, fam := range []struct {
+		op   Op
+		mnem string
+		unit Unit
+		lat  int
+	}{
+		{OpADDSD, "addsd", UFPAdd, 3}, {OpSUBSD, "subsd", UFPAdd, 3},
+		{OpMULSD, "mulsd", UFPMul, 4}, {OpDIVSD, "divsd", UFPDiv, 13},
+		{OpMINSD, "minsd", UFPAdd, 3}, {OpMAXSD, "maxsd", UFPAdd, 3},
+	} {
+		addVariant(Variant{Op: fam.op, Mnemonic: fam.mnem, Width: W64, Unit: fam.unit, Latency: fam.lat,
+			Ops: []OperandSpec{xspec(W64, AccRW), xspec(W64, AccR)}})
+		addVariant(Variant{Op: fam.op, Mnemonic: fam.mnem, Width: W64, Unit: fam.unit, Latency: fam.lat,
+			Ops: []OperandSpec{xspec(W64, AccRW), mspec(W64, AccR)}})
+	}
+	addVariant(Variant{Op: OpSQRTSD, Mnemonic: "sqrtsd", Width: W64, Unit: UFPDiv, Latency: 20,
+		Ops: []OperandSpec{xspec(W64, AccW), xspec(W64, AccR)}})
+	addVariant(Variant{Op: OpSQRTSD, Mnemonic: "sqrtsd", Width: W64, Unit: UFPDiv, Latency: 20,
+		Ops: []OperandSpec{xspec(W64, AccW), mspec(W64, AccR)}})
+
+	// --- SSE scalar single -------------------------------------------------
+	for _, fam := range []struct {
+		op   Op
+		mnem string
+		unit Unit
+		lat  int
+	}{
+		{OpADDSS, "addss", UFPAdd, 3}, {OpSUBSS, "subss", UFPAdd, 3},
+		{OpMULSS, "mulss", UFPMul, 4}, {OpDIVSS, "divss", UFPDiv, 11},
+	} {
+		addVariant(Variant{Op: fam.op, Mnemonic: fam.mnem, Width: W32, Unit: fam.unit, Latency: fam.lat,
+			Ops: []OperandSpec{xspec(W32, AccRW), xspec(W32, AccR)}})
+		addVariant(Variant{Op: fam.op, Mnemonic: fam.mnem, Width: W32, Unit: fam.unit, Latency: fam.lat,
+			Ops: []OperandSpec{xspec(W32, AccRW), mspec(W32, AccR)}})
+	}
+
+	// --- SSE packed double ---------------------------------------------------
+	for _, fam := range []struct {
+		op   Op
+		mnem string
+		unit Unit
+		lat  int
+	}{
+		{OpADDPD, "addpd", UFPAdd, 3}, {OpSUBPD, "subpd", UFPAdd, 3},
+		{OpMULPD, "mulpd", UFPMul, 4}, {OpDIVPD, "divpd", UFPDiv, 13},
+	} {
+		addVariant(Variant{Op: fam.op, Mnemonic: fam.mnem, Width: W128, Unit: fam.unit, Latency: fam.lat,
+			Ops: []OperandSpec{xspec(W128, AccRW), xspec(W128, AccR)}})
+		addVariant(Variant{Op: fam.op, Mnemonic: fam.mnem, Width: W128, Unit: fam.unit, Latency: fam.lat,
+			Ops: []OperandSpec{xspec(W128, AccRW), mspec(W128, AccR)}})
+	}
+
+	// --- Conversions -----------------------------------------------------------
+	addVariant(Variant{Op: OpCVTSI2SD, Mnemonic: "cvtsi2sdl", Width: W64, Unit: UFPAdd, Latency: 4,
+		Ops: []OperandSpec{xspec(W64, AccRW), rspec(W32, AccR)}})
+	addVariant(Variant{Op: OpCVTSI2SD, Mnemonic: "cvtsi2sdq", Width: W64, Unit: UFPAdd, Latency: 4,
+		Ops: []OperandSpec{xspec(W64, AccRW), rspec(W64, AccR)}})
+	addVariant(Variant{Op: OpCVTSI2SD, Mnemonic: "cvtsi2sdl", Width: W64, Unit: UFPAdd, Latency: 4,
+		Ops: []OperandSpec{xspec(W64, AccRW), mspec(W32, AccR)}})
+	addVariant(Variant{Op: OpCVTSI2SD, Mnemonic: "cvtsi2sdq", Width: W64, Unit: UFPAdd, Latency: 4,
+		Ops: []OperandSpec{xspec(W64, AccRW), mspec(W64, AccR)}})
+	addVariant(Variant{Op: OpCVTSD2SI, Mnemonic: "cvtsd2sil", Width: W32, Unit: UFPAdd, Latency: 4,
+		Ops: []OperandSpec{rspec(W32, AccW), xspec(W64, AccR)}})
+	addVariant(Variant{Op: OpCVTSD2SI, Mnemonic: "cvtsd2siq", Width: W64, Unit: UFPAdd, Latency: 4,
+		Ops: []OperandSpec{rspec(W64, AccW), xspec(W64, AccR)}})
+	addVariant(Variant{Op: OpCVTTSD2SI, Mnemonic: "cvttsd2sil", Width: W32, Unit: UFPAdd, Latency: 4,
+		Ops: []OperandSpec{rspec(W32, AccW), xspec(W64, AccR)}})
+	addVariant(Variant{Op: OpCVTTSD2SI, Mnemonic: "cvttsd2siq", Width: W64, Unit: UFPAdd, Latency: 4,
+		Ops: []OperandSpec{rspec(W64, AccW), xspec(W64, AccR)}})
+	addVariant(Variant{Op: OpCVTSD2SS, Mnemonic: "cvtsd2ss", Width: W32, Unit: UFPAdd, Latency: 4,
+		Ops: []OperandSpec{xspec(W32, AccRW), xspec(W64, AccR)}})
+	addVariant(Variant{Op: OpCVTSD2SS, Mnemonic: "cvtsd2ss", Width: W32, Unit: UFPAdd, Latency: 4,
+		Ops: []OperandSpec{xspec(W32, AccRW), mspec(W64, AccR)}})
+	addVariant(Variant{Op: OpCVTSS2SD, Mnemonic: "cvtss2sd", Width: W64, Unit: UFPAdd, Latency: 4,
+		Ops: []OperandSpec{xspec(W64, AccRW), xspec(W32, AccR)}})
+	addVariant(Variant{Op: OpCVTSS2SD, Mnemonic: "cvtss2sd", Width: W64, Unit: UFPAdd, Latency: 4,
+		Ops: []OperandSpec{xspec(W64, AccRW), mspec(W32, AccR)}})
+
+	// --- Vector moves ---------------------------------------------------------
+	addVariant(Variant{Op: OpMOVSD, Mnemonic: "movsd", Width: W64, Unit: UVecALU, Latency: 1,
+		Ops: []OperandSpec{xspec(W64, AccRW), xspec(W64, AccR)}})
+	addVariant(Variant{Op: OpMOVSD, Mnemonic: "movsd", Width: W64, Unit: UVecALU, Latency: 1,
+		Ops: []OperandSpec{xspec(W64, AccW), mspec(W64, AccR)}})
+	addVariant(Variant{Op: OpMOVSD, Mnemonic: "movsd", Width: W64, Unit: UVecALU, Latency: 1,
+		Ops: []OperandSpec{mspec(W64, AccW), xspec(W64, AccR)}})
+	addVariant(Variant{Op: OpMOVAPD, Mnemonic: "movapd", Width: W128, Unit: UVecALU, Latency: 1,
+		Ops: []OperandSpec{xspec(W128, AccW), xspec(W128, AccR)}})
+	addVariant(Variant{Op: OpMOVAPD, Mnemonic: "movapd", Width: W128, Unit: UVecALU, Latency: 1,
+		Ops: []OperandSpec{xspec(W128, AccW), mspec(W128, AccR)}})
+	addVariant(Variant{Op: OpMOVAPD, Mnemonic: "movapd", Width: W128, Unit: UVecALU, Latency: 1,
+		Ops: []OperandSpec{mspec(W128, AccW), xspec(W128, AccR)}})
+	addVariant(Variant{Op: OpMOVQXR, Mnemonic: "movq", Width: W64, Unit: UVecALU, Latency: 1,
+		Ops: []OperandSpec{xspec(W64, AccW), rspec(W64, AccR)}})
+	addVariant(Variant{Op: OpMOVQRX, Mnemonic: "movq", Width: W64, Unit: UVecALU, Latency: 1,
+		Ops: []OperandSpec{rspec(W64, AccW), xspec(W64, AccR)}})
+
+	// --- Vector integer ---------------------------------------------------------
+	for _, fam := range []struct {
+		op   Op
+		mnem string
+		lat  int
+	}{
+		{OpPXOR, "pxor", 1}, {OpPAND, "pand", 1}, {OpPOR, "por", 1},
+		{OpPADDQ, "paddq", 1}, {OpPADDD, "paddd", 1}, {OpPSUBQ, "psubq", 1},
+		{OpPMULLD, "pmulld", 4},
+	} {
+		addVariant(Variant{Op: fam.op, Mnemonic: fam.mnem, Width: W128, Unit: UVecALU, Latency: fam.lat,
+			Ops: []OperandSpec{xspec(W128, AccRW), xspec(W128, AccR)}})
+		addVariant(Variant{Op: fam.op, Mnemonic: fam.mnem, Width: W128, Unit: UVecALU, Latency: fam.lat,
+			Ops: []OperandSpec{xspec(W128, AccRW), mspec(W128, AccR)}})
+	}
+
+	// --- Vector compare and shuffle -----------------------------------------------
+	addVariant(Variant{Op: OpUCOMISD, Mnemonic: "ucomisd", Width: W64, Unit: UFPAdd, Latency: 2,
+		Ops: []OperandSpec{xspec(W64, AccR), xspec(W64, AccR)}, FlagsWritten: AllFlags})
+	addVariant(Variant{Op: OpUCOMISD, Mnemonic: "ucomisd", Width: W64, Unit: UFPAdd, Latency: 2,
+		Ops: []OperandSpec{xspec(W64, AccR), mspec(W64, AccR)}, FlagsWritten: AllFlags})
+	addVariant(Variant{Op: OpSHUFPD, Mnemonic: "shufpd", Width: W128, Unit: UVecALU, Latency: 1,
+		Ops: []OperandSpec{xspec(W128, AccRW), xspec(W128, AccR), ispec(W8)}})
+	addVariant(Variant{Op: OpSHUFPD, Mnemonic: "shufpd", Width: W128, Unit: UVecALU, Latency: 1,
+		Ops: []OperandSpec{xspec(W128, AccRW), mspec(W128, AccR), ispec(W8)}})
+	addVariant(Variant{Op: OpUNPCKLPD, Mnemonic: "unpcklpd", Width: W128, Unit: UVecALU, Latency: 1,
+		Ops: []OperandSpec{xspec(W128, AccRW), xspec(W128, AccR)}})
+	addVariant(Variant{Op: OpUNPCKLPD, Mnemonic: "unpcklpd", Width: W128, Unit: UVecALU, Latency: 1,
+		Ops: []OperandSpec{xspec(W128, AccRW), mspec(W128, AccR)}})
+	addVariant(Variant{Op: OpUNPCKHPD, Mnemonic: "unpckhpd", Width: W128, Unit: UVecALU, Latency: 1,
+		Ops: []OperandSpec{xspec(W128, AccRW), xspec(W128, AccR)}})
+	addVariant(Variant{Op: OpUNPCKHPD, Mnemonic: "unpckhpd", Width: W128, Unit: UVecALU, Latency: 1,
+		Ops: []OperandSpec{xspec(W128, AccRW), mspec(W128, AccR)}})
+
+	buildTable2()
+	buildEncoding()
+
+	detCached = nil
+	for i := 1; i < len(table); i++ {
+		if table[i].Deterministic() {
+			detCached = append(detCached, VariantID(i))
+		}
+	}
+}
+
+func init() { buildTable() }

@@ -1,0 +1,274 @@
+package isa
+
+import "fmt"
+
+// Op is a semantic operation family. A family combined with an operand
+// form and a width yields a Variant.
+type Op uint16
+
+// Operation families.
+const (
+	OpINVALID Op = iota
+
+	// Integer ALU (binary).
+	OpADD
+	OpSUB
+	OpADC
+	OpSBB
+	OpAND
+	OpOR
+	OpXOR
+	OpCMP
+	OpTEST
+	OpMOV
+
+	// Integer ALU (unary).
+	OpINC
+	OpDEC
+	OpNEG
+	OpNOT
+
+	// Shifts and rotates.
+	OpSHL
+	OpSHR
+	OpSAR
+	OpROL
+	OpROR
+	OpRCL
+	OpRCR
+
+	// Address computation and width conversion.
+	OpLEA
+	OpMOVZX
+	OpMOVSX
+	OpXCHG
+
+	// Wide multiply/divide with implicit RAX:RDX.
+	OpMUL
+	OpIMUL
+	OpDIV
+	OpIDIV
+	OpIMULRR  // imul r, r/m (two-operand form)
+	OpIMULRRI // imul r, r, imm
+
+	// Stack.
+	OpPUSH
+	OpPOP
+
+	// Conditionals.
+	OpSETcc
+	OpCMOVcc
+	OpJcc
+	OpJMP
+
+	// Bit manipulation.
+	OpBSWAP
+	OpBSF
+	OpBSR
+	OpPOPCNT
+	OpLZCNT
+	OpTZCNT
+	OpBT
+	OpBTS
+	OpBTR
+	OpBTC
+
+	OpNOP
+
+	// Nondeterministic (excluded from deterministic test programs).
+	OpRDTSC
+	OpRDRAND
+	OpCPUID
+
+	// Privileged (fault in user mode).
+	OpHLT
+	OpINB
+	OpOUTB
+
+	// SSE scalar double.
+	OpADDSD
+	OpSUBSD
+	OpMULSD
+	OpDIVSD
+	OpMINSD
+	OpMAXSD
+	OpSQRTSD
+
+	// SSE scalar single.
+	OpADDSS
+	OpSUBSS
+	OpMULSS
+	OpDIVSS
+
+	// SSE packed double (2 x 64-bit lanes).
+	OpADDPD
+	OpSUBPD
+	OpMULPD
+	OpDIVPD
+
+	// Conversions.
+	OpCVTSI2SD
+	OpCVTSD2SI
+	OpCVTTSD2SI
+	OpCVTSD2SS
+	OpCVTSS2SD
+
+	// Vector moves.
+	OpMOVSD
+	OpMOVAPD
+	OpMOVQXR // movq xmm <- r64
+	OpMOVQRX // movq r64 <- xmm
+
+	// Vector integer.
+	OpPXOR
+	OpPAND
+	OpPOR
+	OpPADDQ
+	OpPADDD
+	OpPSUBQ
+	OpPMULLD
+
+	// Vector compare / shuffle.
+	OpUCOMISD
+	OpSHUFPD
+	OpUNPCKLPD
+	OpUNPCKHPD
+
+	NumOps
+)
+
+// Unit identifies the functional unit class an operation executes on.
+type Unit uint8
+
+// Functional units of the modelled core.
+const (
+	UNone   Unit = iota
+	UIntALU      // integer adder/logic (the paper's "Integer Adder" target)
+	UIntMul      // integer multiplier
+	UIntDiv      // integer divider
+	UFPAdd       // SSE FP adder
+	UFPMul       // SSE FP multiplier
+	UFPDiv       // SSE FP divider / sqrt
+	ULoad        // load port (address generation + cache access)
+	UStore       // store port
+	UBranch      // branch unit
+	UVecALU      // vector integer ALU
+
+	NumUnits
+)
+
+var unitNames = [NumUnits]string{
+	"none", "int-alu", "int-mul", "int-div", "fp-add", "fp-mul", "fp-div",
+	"load", "store", "branch", "vec-alu",
+}
+
+func (u Unit) String() string {
+	if int(u) < len(unitNames) {
+		return unitNames[u]
+	}
+	return fmt.Sprintf("unit?%d", uint8(u))
+}
+
+// VariantID indexes the global variant table.
+type VariantID uint16
+
+// Variant is one distinct instruction: a mnemonic with a specific operand
+// form and width. MuSeqGen's mutation engine treats each variant as a
+// distinct gene (paper §V-B1: "the same mnemonics with different operand
+// types are handled as distinct instructions").
+type Variant struct {
+	ID       VariantID
+	Op       Op
+	Mnemonic string
+	Ops      []OperandSpec
+	Width    Width // operation width (result width for int ops)
+	Cond     Cond  // for Jcc / SETcc / CMOVcc
+	Unit     Unit
+	Latency  int // execute latency in cycles
+
+	// Implicit register operands (beyond the explicit operand list).
+	ImplicitIn  []Reg
+	ImplicitOut []Reg
+
+	FlagsRead    Flags
+	FlagsWritten Flags
+
+	NonDeterministic bool
+	Privileged       bool
+	IsBranch         bool
+	// MemImplicit marks stack ops that access memory through RSP without
+	// an explicit memory operand.
+	MemImplicit bool
+}
+
+// ReadsMem reports whether the variant reads from memory (explicitly or
+// via the stack).
+func (v *Variant) ReadsMem() bool {
+	if v.Op == OpPOP {
+		return true
+	}
+	if v.Op == OpLEA {
+		return false // address computation only
+	}
+	for i, s := range v.Ops {
+		if s.Kind == KMem && s.Acc&AccR != 0 {
+			_ = i
+			return true
+		}
+	}
+	return false
+}
+
+// WritesMem reports whether the variant writes to memory.
+func (v *Variant) WritesMem() bool {
+	if v.Op == OpPUSH {
+		return true
+	}
+	if v.Op == OpLEA {
+		return false
+	}
+	for _, s := range v.Ops {
+		if s.Kind == KMem && s.Acc&AccW != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// HasMemOperand reports whether any explicit operand is a memory
+// reference (LEA included).
+func (v *Variant) HasMemOperand() bool {
+	for _, s := range v.Ops {
+		if s.Kind == KMem {
+			return true
+		}
+	}
+	return false
+}
+
+// Deterministic reports whether the variant is safe for deterministic
+// test programs (paper §V-B: nondeterministic instructions are excluded
+// by the generator, as SiliFuzz also does).
+func (v *Variant) Deterministic() bool { return !v.NonDeterministic && !v.Privileged }
+
+func (v *Variant) String() string {
+	s := v.Mnemonic
+	for i, o := range v.Ops {
+		if i == 0 {
+			s += " "
+		} else {
+			s += ","
+		}
+		switch o.Kind {
+		case KReg:
+			s += fmt.Sprintf("r%d", o.Width.Bits())
+		case KXmm:
+			s += "xmm"
+		case KImm:
+			s += fmt.Sprintf("imm%d", o.Width.Bits())
+		case KMem:
+			s += fmt.Sprintf("m%d", o.Width.Bits())
+		}
+	}
+	return s
+}

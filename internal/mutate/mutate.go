@@ -1,0 +1,97 @@
+// Package mutate implements MuSeqGen's program mutation engine (paper
+// §V-B1). The engine operates on genotypes (variant sequences);
+// re-materialization by the generator guarantees every mutant is valid
+// assembly, because mutations "comply with ISA constraints" by
+// construction.
+//
+// The paper's production strategy is ReplaceAll: replace every
+// occurrence of one randomly selected instruction variant with another
+// uniformly random variant. Point mutation and k-point crossover are
+// provided for the mutation-strategy ablation.
+package mutate
+
+import (
+	"math/rand/v2"
+
+	"harpocrates/internal/gen"
+	"harpocrates/internal/isa"
+)
+
+// ReplaceAll returns a mutant in which all occurrences of one randomly
+// chosen variant present in the sequence are replaced by a uniformly
+// random variant from the pool ("the same mnemonics with different
+// operand types are handled as distinct instructions"). The uniform
+// selection of the replacement gives fairness; no structure-specific
+// tuning is required (paper §V-B1).
+func ReplaceAll(g *gen.Genotype, cfg *gen.Config, rng *rand.Rand) *gen.Genotype {
+	m := g.Clone()
+	if len(m.Variants) == 0 {
+		return m
+	}
+	target := m.Variants[rng.IntN(len(m.Variants))]
+	repl := cfg.Allowed[rng.IntN(len(cfg.Allowed))]
+	for i, v := range m.Variants {
+		if v == target {
+			m.Variants[i] = repl
+		}
+	}
+	return m
+}
+
+// Point returns a mutant with a single position replaced by a random
+// pool variant.
+func Point(g *gen.Genotype, cfg *gen.Config, rng *rand.Rand) *gen.Genotype {
+	m := g.Clone()
+	if len(m.Variants) == 0 {
+		return m
+	}
+	m.Variants[rng.IntN(len(m.Variants))] = cfg.Allowed[rng.IntN(len(cfg.Allowed))]
+	return m
+}
+
+// CrossoverK performs k-point crossover between two parents of equal
+// length, returning one child (segments alternate between parents).
+func CrossoverK(a, b *gen.Genotype, k int, rng *rand.Rand) *gen.Genotype {
+	n := len(a.Variants)
+	if len(b.Variants) != n {
+		panic("mutate: crossover requires equal-length genotypes")
+	}
+	child := a.Clone()
+	if n == 0 || k <= 0 {
+		return child
+	}
+	// Sample k cut points.
+	cuts := make([]int, k)
+	for i := range cuts {
+		cuts[i] = rng.IntN(n)
+	}
+	// Walk the sequence, toggling the source parent at each cut.
+	useB := false
+	for i := 0; i < n; i++ {
+		for _, c := range cuts {
+			if c == i {
+				useB = !useB
+			}
+		}
+		if useB {
+			child.Variants[i] = b.Variants[i]
+		}
+	}
+	// The child inherits a fresh operand seed derived from both parents.
+	child.Seed = a.Seed*0x9e3779b97f4a7c15 ^ b.Seed
+	return child
+}
+
+// Distinct returns the distinct variant IDs present in a genotype (a
+// small helper used by analyses and tests).
+func Distinct(g *gen.Genotype) []isa.VariantID {
+	seen := make(map[isa.VariantID]bool, 64)
+	var out []isa.VariantID
+	for _, v := range g.Variants {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

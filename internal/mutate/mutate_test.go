@@ -1,0 +1,136 @@
+package mutate
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"harpocrates/internal/gen"
+)
+
+func cfg() gen.Config {
+	c := gen.DefaultConfig()
+	c.NumInstrs = 400
+	return c
+}
+
+func TestReplaceAllReplacesEveryOccurrence(t *testing.T) {
+	c := cfg()
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		g := gen.NewRandom(&c, rng)
+		m := ReplaceAll(g, &c, rng)
+		if len(m.Variants) != len(g.Variants) {
+			t.Fatal("mutation changed program length")
+		}
+		// Find which variant was replaced (positions that differ).
+		var removed, added int32 = -1, -1
+		for i := range g.Variants {
+			if g.Variants[i] != m.Variants[i] {
+				if removed == -1 {
+					removed = int32(g.Variants[i])
+					added = int32(m.Variants[i])
+				}
+				if int32(g.Variants[i]) != removed || int32(m.Variants[i]) != added {
+					t.Fatal("more than one variant class changed")
+				}
+			}
+		}
+		if removed == -1 {
+			continue // replacement happened to equal the target
+		}
+		// Every original occurrence must be gone.
+		for i, v := range m.Variants {
+			if int32(v) == removed && int32(g.Variants[i]) == removed && removed != added {
+				t.Fatal("an occurrence survived ReplaceAll")
+			}
+		}
+	}
+}
+
+func TestReplaceAllProducesValidMutants(t *testing.T) {
+	c := cfg()
+	rng := rand.New(rand.NewPCG(3, 4))
+	g := gen.NewRandom(&c, rng)
+	for i := 0; i < 30; i++ {
+		g = ReplaceAll(g, &c, rng)
+		p := gen.Materialize(g, &c)
+		if _, _, err := p.GoldenRun(10 * c.NumInstrs); err != nil {
+			t.Fatalf("mutant %d crashed: %v", i, err)
+		}
+	}
+}
+
+func TestReplaceAllDoesNotMutateParent(t *testing.T) {
+	c := cfg()
+	rng := rand.New(rand.NewPCG(5, 6))
+	g := gen.NewRandom(&c, rng)
+	orig := g.Clone()
+	_ = ReplaceAll(g, &c, rng)
+	for i := range g.Variants {
+		if g.Variants[i] != orig.Variants[i] {
+			t.Fatal("parent genotype mutated in place")
+		}
+	}
+}
+
+func TestPointChangesAtMostOnePosition(t *testing.T) {
+	c := cfg()
+	rng := rand.New(rand.NewPCG(7, 8))
+	g := gen.NewRandom(&c, rng)
+	m := Point(g, &c, rng)
+	diff := 0
+	for i := range g.Variants {
+		if g.Variants[i] != m.Variants[i] {
+			diff++
+		}
+	}
+	if diff > 1 {
+		t.Fatalf("point mutation changed %d positions", diff)
+	}
+}
+
+func TestCrossoverChildMixesParents(t *testing.T) {
+	c := cfg()
+	rng := rand.New(rand.NewPCG(9, 10))
+	a := gen.NewRandom(&c, rng)
+	b := gen.NewRandom(&c, rng)
+	child := CrossoverK(a, b, 3, rng)
+	fromA, fromB := 0, 0
+	for i := range child.Variants {
+		switch child.Variants[i] {
+		case a.Variants[i]:
+			fromA++
+		case b.Variants[i]:
+			fromB++
+		default:
+			t.Fatal("child position matches neither parent")
+		}
+	}
+	if fromA == 0 || fromB == 0 {
+		t.Skip("degenerate cut placement") // rare, acceptable
+	}
+}
+
+func TestCrossoverMutantsValid(t *testing.T) {
+	c := cfg()
+	rng := rand.New(rand.NewPCG(11, 12))
+	a := gen.NewRandom(&c, rng)
+	b := gen.NewRandom(&c, rng)
+	for i := 0; i < 10; i++ {
+		child := CrossoverK(a, b, 1+i%5, rng)
+		p := gen.Materialize(child, &c)
+		if _, _, err := p.GoldenRun(10 * c.NumInstrs); err != nil {
+			t.Fatalf("crossover child crashed: %v", err)
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	c := cfg()
+	g := &gen.Genotype{Variants: nil, Seed: 1}
+	g.Variants = append(g.Variants, c.Allowed[0], c.Allowed[1], c.Allowed[0], c.Allowed[2])
+	d := Distinct(g)
+	if len(d) != 3 {
+		t.Fatalf("distinct = %d, want 3", len(d))
+	}
+}

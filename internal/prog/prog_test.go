@@ -1,0 +1,108 @@
+package prog
+
+import (
+	"testing"
+
+	"harpocrates/internal/isa"
+)
+
+func sampleProgram(t *testing.T) *Program {
+	t.Helper()
+	var addRI isa.VariantID
+	for _, id := range isa.ByOp(isa.OpADD) {
+		v := isa.Lookup(id)
+		if v.Width == isa.W64 && len(v.Ops) == 2 && v.Ops[1].Kind == isa.KImm {
+			addRI = id
+		}
+	}
+	p := &Program{
+		Name: "sample",
+		Insts: []isa.Inst{
+			isa.MakeInst(addRI, isa.RegOp(isa.RAX), isa.ImmOp(5)),
+			isa.MakeInst(addRI, isa.RegOp(isa.RBX), isa.ImmOp(7)),
+		},
+		Regions: []RegionSpec{
+			{Name: "data", Base: DataBase, Data: make([]byte, 4096), Writable: true},
+			{Name: "stack", Base: StackBase, Size: StackSize, Writable: true},
+		},
+	}
+	p.InitGPR[isa.RSP] = StackBase + StackSize/2
+	return p
+}
+
+func TestValidateAlignment(t *testing.T) {
+	p := sampleProgram(t)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Regions[0].Base = DataBase + 8
+	if err := p.Validate(); err == nil {
+		t.Fatal("misaligned region accepted")
+	}
+}
+
+func TestGoldenRunAndSignatureStable(t *testing.T) {
+	p := sampleProgram(t)
+	n1, s1, err1 := p.GoldenRun(100)
+	n2, s2, err2 := p.GoldenRun(100)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if n1 != 2 || n2 != 2 || s1 != s2 {
+		t.Fatalf("golden runs differ: %d/%d %x/%x", n1, n2, s1, s2)
+	}
+}
+
+func TestNewStateIsolated(t *testing.T) {
+	p := sampleProgram(t)
+	s1 := p.NewState()
+	s1.GPR[isa.RAX] = 99
+	if err := s1.Mem.Write(DataBase, 8, 0xff); err != nil {
+		t.Fatal(err)
+	}
+	s2 := p.NewState()
+	if s2.GPR[isa.RAX] != 0 {
+		t.Fatal("states share registers")
+	}
+	v, _ := s2.Mem.Read(DataBase, 8)
+	if v != 0 {
+		t.Fatal("states share memory")
+	}
+}
+
+func TestDeterministicFilter(t *testing.T) {
+	p := sampleProgram(t)
+	if !p.Deterministic(100) {
+		t.Fatal("pure ALU program flagged nondeterministic")
+	}
+	rdrand := isa.ByOp(isa.OpRDRAND)[0]
+	p.Insts = append(p.Insts, isa.MakeInst(rdrand, isa.RegOp(isa.RCX)))
+	if p.Deterministic(100) {
+		t.Fatal("rdrand program flagged deterministic")
+	}
+}
+
+func TestEncodeLenMatches(t *testing.T) {
+	p := sampleProgram(t)
+	if len(p.Encode()) != p.EncodedLen() {
+		t.Fatal("EncodedLen mismatch")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	p := sampleProgram(t)
+	c := p.Clone()
+	c.Insts[0].Ops[1].Imm = 42
+	c.Regions[0].Data[0] = 0xaa
+	if p.Insts[0].Ops[1].Imm == 42 || p.Regions[0].Data[0] == 0xaa {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := sampleProgram(t)
+	d := p.Disassemble()
+	if d == "" {
+		t.Fatal("empty disassembly")
+	}
+}

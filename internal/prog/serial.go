@@ -1,0 +1,210 @@
+package prog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"harpocrates/internal/isa"
+)
+
+// Binary container format for test programs ("HXPG"): generated and
+// evolved programs can be persisted and reloaded — the corpus artifacts
+// the paper's toolchain passes between the generator, the grading engine
+// and the fleet-deployment side.
+const (
+	serialMagic   = 0x48585047 // "HXPG"
+	serialVersion = 1
+)
+
+// WriteTo serializes the program.
+func (p *Program) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	put := func(v any) { _ = binary.Write(&buf, le, v) }
+	putBytes := func(b []byte) {
+		put(uint32(len(b)))
+		buf.Write(b)
+	}
+
+	put(uint32(serialMagic))
+	put(uint32(serialVersion))
+	putBytes([]byte(p.Name))
+	for _, v := range p.InitGPR {
+		put(v)
+	}
+	for _, x := range p.InitXMM {
+		put(x[0])
+		put(x[1])
+	}
+	put(uint8(p.InitFlags))
+
+	put(uint32(len(p.Regions)))
+	for i := range p.Regions {
+		r := &p.Regions[i]
+		putBytes([]byte(r.Name))
+		put(r.Base)
+		put(uint32(r.size()))
+		var flags uint8
+		if r.Writable {
+			flags |= 1
+		}
+		if r.Data != nil {
+			flags |= 2
+		}
+		put(flags)
+		if r.Data != nil {
+			buf.Write(r.Data)
+		}
+	}
+
+	put(uint32(len(p.Insts)))
+	var enc []byte
+	for _, in := range p.Insts {
+		enc = isa.Encode(enc, in)
+	}
+	putBytes(enc)
+
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadProgram deserializes a program written by WriteTo.
+func ReadProgram(r io.Reader) (*Program, error) {
+	le := binary.LittleEndian
+	get := func(v any) error { return binary.Read(r, le, v) }
+	getBytes := func() ([]byte, error) {
+		var n uint32
+		if err := get(&n); err != nil {
+			return nil, err
+		}
+		if n > 1<<30 {
+			return nil, fmt.Errorf("prog: unreasonable field size %d", n)
+		}
+		b := make([]byte, n)
+		_, err := io.ReadFull(r, b)
+		return b, err
+	}
+
+	var magic, version uint32
+	if err := get(&magic); err != nil {
+		return nil, err
+	}
+	if magic != serialMagic {
+		return nil, fmt.Errorf("prog: bad magic %#x", magic)
+	}
+	if err := get(&version); err != nil {
+		return nil, err
+	}
+	if version != serialVersion {
+		return nil, fmt.Errorf("prog: unsupported version %d", version)
+	}
+
+	p := &Program{}
+	name, err := getBytes()
+	if err != nil {
+		return nil, err
+	}
+	p.Name = string(name)
+	for i := range p.InitGPR {
+		if err := get(&p.InitGPR[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i := range p.InitXMM {
+		if err := get(&p.InitXMM[i][0]); err != nil {
+			return nil, err
+		}
+		if err := get(&p.InitXMM[i][1]); err != nil {
+			return nil, err
+		}
+	}
+	var fl uint8
+	if err := get(&fl); err != nil {
+		return nil, err
+	}
+	p.InitFlags = isa.Flags(fl)
+
+	var nRegions uint32
+	if err := get(&nRegions); err != nil {
+		return nil, err
+	}
+	if nRegions > 64 {
+		return nil, fmt.Errorf("prog: unreasonable region count %d", nRegions)
+	}
+	for i := uint32(0); i < nRegions; i++ {
+		var spec RegionSpec
+		rn, err := getBytes()
+		if err != nil {
+			return nil, err
+		}
+		spec.Name = string(rn)
+		if err := get(&spec.Base); err != nil {
+			return nil, err
+		}
+		var size uint32
+		if err := get(&size); err != nil {
+			return nil, err
+		}
+		var flags uint8
+		if err := get(&flags); err != nil {
+			return nil, err
+		}
+		spec.Writable = flags&1 != 0
+		if flags&2 != 0 {
+			spec.Data = make([]byte, size)
+			if _, err := io.ReadFull(r, spec.Data); err != nil {
+				return nil, err
+			}
+		} else {
+			spec.Size = int(size)
+		}
+		p.Regions = append(p.Regions, spec)
+	}
+
+	var nInsts uint32
+	if err := get(&nInsts); err != nil {
+		return nil, err
+	}
+	enc, err := getBytes()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nInsts; i++ {
+		in, n, derr := isa.Decode(enc)
+		if derr != nil {
+			return nil, fmt.Errorf("prog: instruction %d: %w", i, derr)
+		}
+		p.Insts = append(p.Insts, in)
+		enc = enc[n:]
+	}
+	if len(enc) != 0 {
+		return nil, fmt.Errorf("prog: %d trailing bytes after instructions", len(enc))
+	}
+	return p, p.Validate()
+}
+
+// Save writes the program to a file.
+func (p *Program) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := p.WriteTo(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a program from a file.
+func Load(path string) (*Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadProgram(f)
+}

@@ -1,0 +1,137 @@
+package prog
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"path/filepath"
+	"testing"
+
+	"harpocrates/internal/isa"
+)
+
+func randomSerialProgram(t *testing.T, seed uint64) *Program {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	det := isa.Deterministic()
+	p := &Program{
+		Name: "serial-test",
+		Regions: []RegionSpec{
+			{Name: "data", Base: DataBase, Data: make([]byte, 4096), Writable: true},
+			{Name: "zeros", Base: DataBase + 1<<22, Size: 8192, Writable: true},
+			{Name: "stack", Base: StackBase, Size: StackSize, Writable: true},
+		},
+	}
+	for i := range p.Regions[0].Data {
+		p.Regions[0].Data[i] = byte(rng.Uint32())
+	}
+	for i := range p.InitGPR {
+		p.InitGPR[i] = rng.Uint64()
+	}
+	for i := range p.InitXMM {
+		p.InitXMM[i] = [2]uint64{rng.Uint64(), rng.Uint64()}
+	}
+	p.InitFlags = isa.Flags(rng.Uint32()) & isa.AllFlags
+	for i := 0; i < 200; i++ {
+		id := det[rng.IntN(len(det))]
+		v := isa.Lookup(id)
+		in := isa.Inst{V: id, NOps: uint8(len(v.Ops))}
+		for k, spec := range v.Ops {
+			switch spec.Kind {
+			case isa.KReg:
+				in.Ops[k] = isa.RegOp(isa.Reg(rng.IntN(isa.NumGPR)))
+			case isa.KXmm:
+				in.Ops[k] = isa.XmmOp(isa.XReg(rng.IntN(isa.NumXMM)))
+			case isa.KImm:
+				w := spec.Width
+				if w > isa.W64 {
+					w = isa.W64
+				}
+				sh := 64 - 8*uint(w)
+				in.Ops[k] = isa.ImmOp(int64(rng.Uint64()<<sh) >> sh)
+			case isa.KMem:
+				in.Ops[k] = isa.MemOp(isa.Reg(rng.IntN(isa.NumGPR)), int32(rng.IntN(4096)))
+			}
+		}
+		p.Insts = append(p.Insts, in)
+	}
+	return p
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	for seed := uint64(1); seed < 20; seed++ {
+		p := randomSerialProgram(t, seed)
+		var buf bytes.Buffer
+		if _, err := p.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		q, err := ReadProgram(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Name != p.Name || q.InitGPR != p.InitGPR || q.InitXMM != p.InitXMM || q.InitFlags != p.InitFlags {
+			t.Fatal("state round trip mismatch")
+		}
+		if len(q.Insts) != len(p.Insts) {
+			t.Fatalf("instruction count %d != %d", len(q.Insts), len(p.Insts))
+		}
+		for i := range p.Insts {
+			if q.Insts[i] != p.Insts[i] {
+				t.Fatalf("instruction %d differs", i)
+			}
+		}
+		if len(q.Regions) != len(p.Regions) {
+			t.Fatal("region count mismatch")
+		}
+		for i := range p.Regions {
+			a, b := &p.Regions[i], &q.Regions[i]
+			if a.Name != b.Name || a.Base != b.Base || a.Writable != b.Writable || a.size() != b.size() {
+				t.Fatalf("region %d header mismatch", i)
+			}
+			if !bytes.Equal(a.Data, b.Data) {
+				t.Fatalf("region %d data mismatch", i)
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	p := randomSerialProgram(t, 42)
+	path := filepath.Join(t.TempDir(), "prog.hxpg")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Behavioural equivalence: same signature from a golden run.
+	_, s1, e1 := p.GoldenRun(10000)
+	_, s2, e2 := q.GoldenRun(10000)
+	if (e1 == nil) != (e2 == nil) || (e1 == nil && s1 != s2) {
+		t.Fatal("loaded program behaves differently")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadProgram(bytes.NewReader([]byte("not a program"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Bad magic.
+	var buf bytes.Buffer
+	p := randomSerialProgram(t, 7)
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[0] ^= 0xff
+	if _, err := ReadProgram(bytes.NewReader(data)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncation at every prefix must error, not panic.
+	data[0] ^= 0xff
+	for cut := 0; cut < len(data); cut += 97 {
+		if _, err := ReadProgram(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncated prefix %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package stats provides the small statistical toolkit used by the
+// fault-injection campaigns and experiment harnesses: Wilson confidence
+// intervals for detection-capability estimates (the paper's SFI follows
+// the statistical methodology of Leveugle et al. [50]), summary
+// statistics, and deterministic per-task RNG derivation.
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Wilson returns the Wilson score interval for k successes out of n at
+// ~95% confidence (z = 1.96).
+func Wilson(k, n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.96
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum (0 for an empty slice).
+func Max(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum (0 for an empty slice).
+func Min(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Derive returns a deterministic RNG for subtask i of a seeded job, so
+// parallel campaigns are reproducible regardless of scheduling.
+func Derive(seed uint64, i int) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, splitmix(seed^uint64(i)*0x9e3779b97f4a7c15)))
+}
+
+func splitmix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Thin returns at most k evenly spaced elements of xs (for plotting long
+// convergence series at the paper's sampling intervals).
+func Thin(xs []float64, k int) []float64 {
+	if len(xs) <= k || k <= 0 {
+		return xs
+	}
+	out := make([]float64, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, xs[i*len(xs)/k])
+	}
+	return out
+}

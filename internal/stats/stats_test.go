@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWilsonBounds(t *testing.T) {
+	lo, hi := Wilson(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("Wilson(50,100) = [%f,%f] must bracket 0.5", lo, hi)
+	}
+	lo, hi = Wilson(0, 100)
+	if lo != 0 || hi < 0.01 || hi > 0.1 {
+		t.Fatalf("Wilson(0,100) = [%f,%f]", lo, hi)
+	}
+	lo, hi = Wilson(100, 100)
+	// Mathematically the upper bound at k=n is exactly 1; allow float
+	// rounding. The lower bound at n=100 is ~0.963.
+	if hi < 1-1e-9 || lo > 0.99 || lo < 0.9 {
+		t.Fatalf("Wilson(100,100) = [%.12f,%.12f]", lo, hi)
+	}
+	lo, hi = Wilson(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("Wilson(0,0) = [%f,%f], want [0,1]", lo, hi)
+	}
+}
+
+func TestWilsonProperty(t *testing.T) {
+	f := func(k, n uint16) bool {
+		kk := int(k % 1000)
+		nn := kk + int(n%1000)
+		lo, hi := Wilson(kk, nn)
+		if lo < 0 || hi > 1 || lo > hi {
+			return false
+		}
+		if nn > 0 {
+			p := float64(kk) / float64(nn)
+			return lo <= p+1e-12 && hi >= p-1e-12
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWilsonNarrowsWithN(t *testing.T) {
+	lo1, hi1 := Wilson(5, 10)
+	lo2, hi2 := Wilson(500, 1000)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatal("interval must narrow with sample size")
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 || Max(xs) != 4 || Min(xs) != 1 {
+		t.Fatal("summary stats wrong")
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 {
+		t.Fatal("empty summaries must be 0")
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	a := Derive(42, 7).Uint64()
+	b := Derive(42, 7).Uint64()
+	c := Derive(42, 8).Uint64()
+	if a != b {
+		t.Fatal("Derive not deterministic")
+	}
+	if a == c {
+		t.Fatal("Derive does not separate subtasks")
+	}
+}
+
+func TestThin(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	th := Thin(xs, 10)
+	if len(th) != 10 || th[0] != 0 || th[9] != 90 {
+		t.Fatalf("Thin = %v", th)
+	}
+	if len(Thin(xs, 1000)) != 100 {
+		t.Fatal("Thin must not pad")
+	}
+}

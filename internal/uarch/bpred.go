@@ -1,0 +1,47 @@
+package uarch
+
+// gshare is a global-history branch direction predictor with 2-bit
+// saturating counters. Targets are always known at fetch in HX86
+// (branches are direct, instruction-index relative), so no BTB is
+// modelled.
+type gshare struct {
+	history uint64
+	mask    uint64
+	table   []uint8
+}
+
+func newGshare(bits int) *gshare {
+	return &gshare{
+		mask:  (1 << uint(bits)) - 1,
+		table: make([]uint8, 1<<uint(bits)),
+	}
+}
+
+func (g *gshare) index(pc int) uint64 {
+	return (uint64(pc) ^ g.history) & g.mask
+}
+
+// predict returns the predicted direction and speculatively updates the
+// history (restored on squash via re-sync at redirect).
+func (g *gshare) predict(pc int) bool {
+	taken := g.table[g.index(pc)] >= 2
+	g.history = (g.history << 1) & g.mask
+	if taken {
+		g.history |= 1
+	}
+	return taken
+}
+
+// update trains the counter with the resolved direction (at commit).
+func (g *gshare) update(pc int, taken bool) {
+	// Note: trained with the *current* history rather than the fetch-time
+	// history — a standard simulator simplification.
+	i := g.index(pc)
+	if taken {
+		if g.table[i] < 3 {
+			g.table[i]++
+		}
+	} else if g.table[i] > 0 {
+		g.table[i]--
+	}
+}

@@ -1,0 +1,254 @@
+package uarch
+
+import (
+	"harpocrates/internal/ace"
+	"harpocrates/internal/arch"
+)
+
+// cacheLine is one L1D line. Data is a slice into the cache's flat data
+// array so bit-level fault injection can address the whole SRAM.
+type cacheLine struct {
+	valid   bool
+	dirty   bool
+	tag     uint64
+	lastUse uint64
+	data    []byte
+}
+
+// dcache models the L1 data cache: physically-addressed, write-back,
+// write-allocate, LRU.
+type dcache struct {
+	cfg     CacheConfig
+	numSets int
+	lines   []cacheLine // set-major: lines[set*ways+way]
+	data    []byte      // flat SRAM: (set*ways+way)*lineBytes + offset
+	backing *arch.Memory
+	tracker *ace.CacheTracker
+
+	// Second level (timing only) and latency table.
+	l2       *l2tags
+	l2HitLat int
+	memLat   int
+	prefetch bool
+
+	hits, misses, writebacks uint64
+}
+
+func newDCache(full Config, backing *arch.Memory, tracker *ace.CacheTracker) *dcache {
+	cfg := full.L1D
+	numSets := cfg.NumSets()
+	n := numSets * cfg.Ways
+	d := &dcache{
+		cfg:      cfg,
+		numSets:  numSets,
+		lines:    make([]cacheLine, n),
+		data:     make([]byte, n*cfg.LineBytes),
+		backing:  backing,
+		tracker:  tracker,
+		l2:       newL2Tags(full.L2),
+		l2HitLat: full.L2.HitLatency,
+		memLat:   full.MemLatency,
+		prefetch: full.EnablePrefetch,
+	}
+	if d.memLat == 0 {
+		d.memLat = cfg.MissLatency
+	}
+	for i := range d.lines {
+		d.lines[i].data = d.data[i*cfg.LineBytes : (i+1)*cfg.LineBytes]
+	}
+	return d
+}
+
+// missLatency resolves an L1 miss through the L2 tag array and the
+// next-line prefetcher, returning the latency of the fill.
+func (d *dcache) missLatency(addr, cycle uint64) int {
+	if d.l2 == nil {
+		return d.cfg.MissLatency
+	}
+	lat := d.memLat
+	if d.l2.access(addr, cycle) {
+		lat = d.l2HitLat
+	}
+	if d.prefetch {
+		d.l2.prefetch(addr+uint64(d.cfg.LineBytes), cycle)
+	}
+	return lat
+}
+
+func (d *dcache) setOf(addr uint64) int {
+	return int(addr/uint64(d.cfg.LineBytes)) % d.numSets
+}
+
+func (d *dcache) tagOf(addr uint64) uint64 {
+	return addr / uint64(d.cfg.LineBytes) / uint64(d.numSets)
+}
+
+// byteIndex returns the flat SRAM index of a line byte (for ACE tracking
+// and fault injection).
+func (d *dcache) byteIndex(lineIdx, off int) int { return lineIdx*d.cfg.LineBytes + off }
+
+// lookup finds the line holding addr; returns the line index or -1.
+func (d *dcache) lookup(addr uint64) int {
+	set := d.setOf(addr)
+	tag := d.tagOf(addr)
+	base := set * d.cfg.Ways
+	for w := 0; w < d.cfg.Ways; w++ {
+		l := &d.lines[base+w]
+		if l.valid && l.tag == tag {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// fill brings the line containing addr into the cache, evicting the LRU
+// way (writing back if dirty). Returns the line index.
+func (d *dcache) fill(addr uint64, cycle uint64) (int, *arch.CrashError) {
+	lb := uint64(d.cfg.LineBytes)
+	lineAddr := addr &^ (lb - 1)
+	set := d.setOf(addr)
+	base := set * d.cfg.Ways
+	victim := base
+	for w := 0; w < d.cfg.Ways; w++ {
+		l := &d.lines[base+w]
+		if !l.valid {
+			victim = base + w
+			break
+		}
+		if l.lastUse < d.lines[victim].lastUse {
+			victim = base + w
+		}
+	}
+	v := &d.lines[victim]
+	if v.valid {
+		if err := d.evict(victim, cycle); err != nil {
+			return -1, err
+		}
+	}
+	if err := d.backing.ReadBytes(lineAddr, v.data); err != nil {
+		return -1, err
+	}
+	v.valid = true
+	v.dirty = false
+	v.tag = d.tagOf(addr)
+	v.lastUse = cycle
+	if d.tracker != nil {
+		d.tracker.OnFill(d.byteIndex(victim, 0), d.cfg.LineBytes, cycle)
+	}
+	return victim, nil
+}
+
+// evict writes back a dirty line and invalidates it.
+func (d *dcache) evict(lineIdx int, cycle uint64) *arch.CrashError {
+	l := &d.lines[lineIdx]
+	if !l.valid {
+		return nil
+	}
+	if d.tracker != nil {
+		d.tracker.OnEvict(d.byteIndex(lineIdx, 0), d.cfg.LineBytes, cycle, l.dirty)
+	}
+	if l.dirty {
+		d.writebacks++
+		addr := d.lineAddr(lineIdx)
+		if err := d.backing.WriteBytes(addr, l.data); err != nil {
+			return err
+		}
+	}
+	l.valid = false
+	l.dirty = false
+	return nil
+}
+
+func (d *dcache) lineAddr(lineIdx int) uint64 {
+	set := lineIdx / d.cfg.Ways
+	l := &d.lines[lineIdx]
+	return (l.tag*uint64(d.numSets) + uint64(set)) * uint64(d.cfg.LineBytes)
+}
+
+// access performs a read or write of size bytes at addr, splitting
+// across line boundaries. For reads, buf receives the bytes; for writes,
+// buf supplies them. The visit callback reports the flat byte ranges
+// touched (for deferred ACE read events). It returns the worst latency
+// among the lines touched (HitLatency when everything hit).
+func (d *dcache) access(addr uint64, size int, write bool, buf []byte, cycle uint64,
+	visit func(byteIdx, n int)) (int, *arch.CrashError) {
+	lat := d.cfg.HitLatency
+	off := 0
+	for size > 0 {
+		lb := d.cfg.LineBytes
+		lineOff := int(addr) & (lb - 1)
+		n := lb - lineOff
+		if n > size {
+			n = size
+		}
+		// Bounds/permission check against the backing map first, so a
+		// wild address faults rather than filling garbage.
+		if write {
+			if err := d.backing.CheckWrite(addr, uint64(n)); err != nil {
+				return lat, err
+			}
+		}
+		li := d.lookup(addr)
+		if li < 0 {
+			d.misses++
+			if l := d.missLatency(addr, cycle); l > lat {
+				lat = l
+			}
+			var err *arch.CrashError
+			li, err = d.fill(addr, cycle)
+			if err != nil {
+				return lat, err
+			}
+		} else {
+			d.hits++
+		}
+		l := &d.lines[li]
+		l.lastUse = cycle
+		if write {
+			copy(l.data[lineOff:lineOff+n], buf[off:off+n])
+			l.dirty = true
+			if d.tracker != nil {
+				d.tracker.OnWrite(d.byteIndex(li, lineOff), n, cycle)
+			}
+		} else {
+			copy(buf[off:off+n], l.data[lineOff:lineOff+n])
+			if visit != nil {
+				visit(d.byteIndex(li, lineOff), n)
+			}
+		}
+		addr += uint64(n)
+		off += n
+		size -= n
+	}
+	return lat, nil
+}
+
+// flush writes back all dirty lines (end of simulation, before the
+// memory signature is computed).
+func (d *dcache) flush(cycle uint64) *arch.CrashError {
+	if d.tracker != nil {
+		d.tracker.Finish(func(idx int) bool {
+			return d.lines[idx/d.cfg.LineBytes].dirty
+		}, cycle)
+	}
+	for i := range d.lines {
+		l := &d.lines[i]
+		if l.valid && l.dirty {
+			d.writebacks++
+			if err := d.backing.WriteBytes(d.lineAddr(i), l.data); err != nil {
+				return err
+			}
+			l.dirty = false
+		}
+	}
+	return nil
+}
+
+// NumDataBits returns the number of data bits in the cache SRAM.
+func (d *dcache) NumDataBits() int { return len(d.data) * 8 }
+
+// FlipBit flips one bit of the cache data SRAM (transient fault). A flip
+// in an invalid line is naturally masked.
+func (d *dcache) FlipBit(bit int) {
+	d.data[bit/8] ^= 1 << uint(bit%8)
+}

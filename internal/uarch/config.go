@@ -1,0 +1,173 @@
+// Package uarch implements an execution-driven out-of-order core model:
+// the "detailed simulation-based microarchitecture engine" at the heart
+// of the Harpocrates loop (the role gem5 plays in the paper).
+//
+// The model renames onto physical register files, issues out of order
+// from an issue queue across latency-accurate functional units, executes
+// loads through a write-back L1 data cache with store-to-load forwarding,
+// predicts branches with a gshare predictor and squashes mispredicted
+// wrong-path work, and retires in order through a reorder buffer.
+// Architectural semantics come from internal/arch, so the timing model
+// and the golden reference can never disagree about values.
+//
+// Hardware coverage (ACE lifetime analysis of the physical integer
+// register file and L1D data array, IBR of the functional units) is
+// measured with events credited at commit, and fault injection hooks
+// allow flipping any PRF or cache data bit at any cycle and rerouting
+// arithmetic through gate-level unit models.
+//
+// Documented simplifications (see DESIGN.md): memory-operand instructions
+// execute as a single fused micro-op with combined latency; loads wait
+// until all older stores have executed (no memory-dependence
+// speculation); store commits do not stall on misses; wrong-path
+// instructions execute but cannot raise faults or coverage events.
+package uarch
+
+import (
+	"io"
+
+	"harpocrates/internal/arch"
+)
+
+// CacheConfig describes the L1 data cache.
+type CacheConfig struct {
+	SizeBytes   int
+	Ways        int
+	LineBytes   int
+	HitLatency  int
+	MissLatency int
+}
+
+// NumSets returns the number of cache sets.
+func (c CacheConfig) NumSets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// Config parameterizes the core. The defaults mirror a modern x86
+// out-of-order core (paper §III-B1: "microarchitectural parameters and
+// sizes based on publicly available data for commercial x86 CPUs").
+type Config struct {
+	FetchWidth  int
+	RenameWidth int
+	IssueWidth  int
+	CommitWidth int
+	FetchQueue  int
+
+	ROBSize int
+	IQSize  int
+	LQSize  int
+	SQSize  int
+
+	IntPRF  int // physical integer register file entries (ACE target)
+	FPPRF   int
+	FlagPRF int
+
+	NumIntALU  int
+	NumIntMul  int
+	NumIntDiv  int
+	NumFPAdd   int
+	NumFPMul   int
+	NumFPDiv   int
+	NumVecALU  int
+	NumBranch  int
+	NumMemPort int
+
+	GshareBits        int
+	MispredictPenalty int
+
+	L1D CacheConfig
+	// L2 is a unified second-level cache modelled as a tag array (timing
+	// only; SizeBytes 0 disables it, making L1 misses cost
+	// L1D.MissLatency).
+	L2 CacheConfig
+	// MemLatency is the cost of an access missing both levels.
+	MemLatency int
+	// EnablePrefetch turns on the L2 next-line prefetcher.
+	EnablePrefetch bool
+
+	// MaxCycles is the watchdog limit; 0 means a generous default.
+	MaxCycles uint64
+
+	// TrackIRF / TrackL1D / TrackFPRF / TrackIBR enable coverage
+	// instrumentation.
+	TrackIRF  bool
+	TrackL1D  bool
+	TrackFPRF bool
+	TrackIBR  bool
+	// ACEIgnoreWidths disables per-read width masks in the IRF ACE
+	// analysis (ablation; see internal/ace).
+	ACEIgnoreWidths bool
+
+	// FU reroutes arithmetic through external functional-unit models
+	// (gate-level netlists carrying permanent faults). FUWindow bounds
+	// the cycles in which the hooks are active (intermittent faults);
+	// a zero window means always active. FUOutside, if set, applies
+	// outside the window (e.g. the fault-free netlist, so golden and
+	// faulty runs share arithmetic semantics).
+	FU        *arch.FUHooks
+	FUOutside *arch.FUHooks
+	FUWindow  [2]uint64
+
+	// DebugScrub poisons the scratch execution state before each µop so
+	// that a missing source dependency shows up as a wrong value instead
+	// of being hidden by stale-but-plausible data. Test-only (slow).
+	DebugScrub bool
+
+	// NondetSalt seeds nondeterministic instructions, as in arch.State.
+	NondetSalt uint64
+
+	// OnCycle, if set, is invoked at the start of every cycle; fault
+	// injectors use it to corrupt PRF or cache state mid-run.
+	OnCycle func(c *Core, cycle uint64)
+
+	// Trace, if set, receives one line per committed instruction
+	// (cycle, sequence number, PC, disassembly) — a debugging aid, slow.
+	Trace io.Writer
+}
+
+// DefaultConfig returns the reference core configuration.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  4,
+		RenameWidth: 4,
+		IssueWidth:  8,
+		CommitWidth: 4,
+		FetchQueue:  16,
+
+		ROBSize: 224,
+		IQSize:  96,
+		LQSize:  72,
+		SQSize:  56,
+
+		IntPRF:  180,
+		FPPRF:   168,
+		FlagPRF: 48,
+
+		NumIntALU:  3,
+		NumIntMul:  1,
+		NumIntDiv:  1,
+		NumFPAdd:   1,
+		NumFPMul:   1,
+		NumFPDiv:   1,
+		NumVecALU:  2,
+		NumBranch:  1,
+		NumMemPort: 2,
+
+		GshareBits:        12,
+		MispredictPenalty: 12,
+
+		L1D: CacheConfig{
+			SizeBytes:   32 * 1024,
+			Ways:        8,
+			LineBytes:   64,
+			HitLatency:  4,
+			MissLatency: 40, // used when the L2 is disabled
+		},
+		L2: CacheConfig{
+			SizeBytes:  256 * 1024,
+			Ways:       8,
+			LineBytes:  64,
+			HitLatency: 14,
+		},
+		MemLatency:     120,
+		EnablePrefetch: true,
+	}
+}

@@ -1,0 +1,522 @@
+package uarch
+
+import (
+	"fmt"
+
+	"harpocrates/internal/ace"
+	"harpocrates/internal/arch"
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/isa"
+)
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	coverage.Snapshot
+
+	// Crash is non-nil if the program crashed architecturally.
+	Crash *arch.CrashError
+	// TimedOut reports that the watchdog fired (hang).
+	TimedOut bool
+
+	// Signature is the architectural output digest (registers + memory).
+	Signature uint64
+
+	Branches    uint64
+	Mispredicts uint64
+	CacheHits   uint64
+	CacheMisses uint64
+	Writebacks  uint64
+	L2Hits      uint64
+	L2Misses    uint64
+	Prefetches  uint64
+}
+
+// Clean reports a run that neither crashed nor hung.
+func (r *Result) Clean() bool { return r.Crash == nil && !r.TimedOut }
+
+// Detected compares a faulty run against a golden run: any deviation
+// (different signature, crash, or hang) counts as detection (§II-C).
+func (r *Result) Detected(golden *Result) bool {
+	if r.Crash != nil || r.TimedOut {
+		return true
+	}
+	return r.Signature != golden.Signature
+}
+
+type fqEntry struct {
+	pc       int
+	predNext int
+	poison   bool
+}
+
+// Core is the out-of-order core simulator.
+type Core struct {
+	cfg  Config
+	prog []isa.Inst
+	mem  *arch.Memory
+
+	cache *dcache
+	bp    *gshare
+	irf   *ace.RegFileTracker
+	// fprf tracks the FP register file as 2x64-bit lanes per entry
+	// (pseudo-register 2p for the low lane, 2p+1 for the high).
+	fprf *ace.RegFileTracker
+	ibrC [coverage.NumStructures]coverage.IBRCounter
+
+	intPRF   []uint64
+	intReady []bool
+	intFree  []uint16
+	fpPRF    [][2]uint64
+	fpReady  []bool
+	fpFree   []uint16
+	flagPRF  []isa.Flags
+	flagRdy  []bool
+	flagFree []uint16
+
+	rat ratSnapshot
+
+	rob     []uop
+	robHead int
+	robCnt  int
+
+	iq       []int // rob indices, program order
+	sq       []int // rob indices of in-flight stores, program order
+	inflight []int // rob indices issued but not written back
+
+	fq              []fqEntry
+	fetchPC         int
+	fetchStallUntil uint64
+
+	cycle   uint64
+	seq     uint64
+	instret uint64
+
+	nLoads, nStores int
+	memPortsUsed    int
+	unitUsed        [isa.NumUnits]int
+	divBusyUntil    [2]uint64 // int div, fp div
+
+	oldestUnexecStore uint64 // seq of oldest unexecuted store (or ^0)
+
+	execState arch.State
+	bus       execBus
+
+	branches, mispredicts uint64
+
+	crash    *arch.CrashError
+	timedOut bool
+	finished bool
+
+	scratchSrc []archRef
+	scratchDst []archRef
+}
+
+// NewCore builds a core for one run. init provides the initial
+// architectural state; its memory must be a plain *arch.Memory and is
+// used directly (clone beforehand if you need to keep it pristine).
+func NewCore(prog []isa.Inst, init *arch.State, cfg Config) *Core {
+	mem, ok := init.Mem.(*arch.Memory)
+	if !ok {
+		panic("uarch: initial state must use a plain *arch.Memory")
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 200*uint64(len(prog)) + 1_000_000
+	}
+	c := &Core{
+		cfg:  cfg,
+		prog: prog,
+		mem:  mem,
+		bp:   newGshare(cfg.GshareBits),
+
+		intPRF:   make([]uint64, cfg.IntPRF),
+		intReady: make([]bool, cfg.IntPRF),
+		fpPRF:    make([][2]uint64, cfg.FPPRF),
+		fpReady:  make([]bool, cfg.FPPRF),
+		flagPRF:  make([]isa.Flags, cfg.FlagPRF),
+		flagRdy:  make([]bool, cfg.FlagPRF),
+
+		rob: make([]uop, cfg.ROBSize),
+		fq:  make([]fqEntry, 0, cfg.FetchQueue),
+	}
+	var l1dTracker *ace.CacheTracker
+	if cfg.TrackL1D {
+		l1dTracker = ace.NewCacheTracker(cfg.L1D.SizeBytes)
+	}
+	c.cache = newDCache(cfg, mem, l1dTracker)
+	if cfg.TrackIRF {
+		c.irf = ace.NewRegFileTracker(cfg.IntPRF)
+		c.irf.IgnoreWidths = cfg.ACEIgnoreWidths
+	}
+	if cfg.TrackFPRF {
+		c.fprf = ace.NewRegFileTracker(2 * cfg.FPPRF)
+	}
+
+	// Initial rename map: arch register r -> physical r.
+	for r := 0; r < isa.NumGPR; r++ {
+		c.rat.intRAT[r] = uint16(r)
+		c.intPRF[r] = init.GPR[r]
+		c.intReady[r] = true
+		if c.irf != nil {
+			c.irf.OnWrite(r, 0)
+		}
+	}
+	for r := isa.NumGPR; r < cfg.IntPRF; r++ {
+		c.intFree = append(c.intFree, uint16(r))
+	}
+	for x := 0; x < isa.NumXMM; x++ {
+		c.rat.fpRAT[x] = uint16(x)
+		c.fpPRF[x] = init.XMM[x]
+		c.fpReady[x] = true
+		if c.fprf != nil {
+			c.fprf.OnWrite(2*x, 0)
+			c.fprf.OnWrite(2*x+1, 0)
+		}
+	}
+	for x := isa.NumXMM; x < cfg.FPPRF; x++ {
+		c.fpFree = append(c.fpFree, uint16(x))
+	}
+	c.rat.flagRAT = 0
+	c.flagPRF[0] = init.Flags
+	c.flagRdy[0] = true
+	for f := 1; f < cfg.FlagPRF; f++ {
+		c.flagFree = append(c.flagFree, uint16(f))
+	}
+
+	c.execState.NondetSalt = cfg.NondetSalt
+	c.bus.c = c
+	return c
+}
+
+// Cycle returns the current cycle (for injection hooks).
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// NumIntPRF returns the physical integer register file size.
+func (c *Core) NumIntPRF() int { return c.cfg.IntPRF }
+
+// FlipIntPRFBit flips one bit of a physical integer register (transient
+// fault injection).
+func (c *Core) FlipIntPRFBit(reg, bit int) {
+	c.intPRF[reg] ^= 1 << uint(bit)
+}
+
+// ForceIntPRFBit forces one bit of a physical integer register
+// (intermittent stuck-at).
+func (c *Core) ForceIntPRFBit(reg, bit int, val bool) {
+	if val {
+		c.intPRF[reg] |= 1 << uint(bit)
+	} else {
+		c.intPRF[reg] &^= 1 << uint(bit)
+	}
+}
+
+// NumFPPRF returns the FP physical register file size.
+func (c *Core) NumFPPRF() int { return c.cfg.FPPRF }
+
+// FlipFPPRFBit flips one bit of a 128-bit FP physical register.
+func (c *Core) FlipFPPRFBit(reg, bit int) {
+	c.fpPRF[reg][bit/64] ^= 1 << uint(bit%64)
+}
+
+// ForceFPPRFBit forces one bit of a FP physical register.
+func (c *Core) ForceFPPRFBit(reg, bit int, val bool) {
+	if val {
+		c.fpPRF[reg][bit/64] |= 1 << uint(bit%64)
+	} else {
+		c.fpPRF[reg][bit/64] &^= 1 << uint(bit%64)
+	}
+}
+
+// NumCacheBits returns the number of data bits in the L1D SRAM.
+func (c *Core) NumCacheBits() int { return c.cache.NumDataBits() }
+
+// FlipCacheBit flips one bit of the L1D data SRAM.
+func (c *Core) FlipCacheBit(bit int) { c.cache.FlipBit(bit) }
+
+// ForceCacheBit forces one bit of the L1D data SRAM.
+func (c *Core) ForceCacheBit(bit int, val bool) {
+	mask := byte(1) << uint(bit%8)
+	if val {
+		c.cache.data[bit/8] |= mask
+	} else {
+		c.cache.data[bit/8] &^= mask
+	}
+}
+
+// Run simulates to completion and returns the result.
+func (c *Core) Run() *Result {
+	for {
+		if c.finished || (c.robCnt == 0 && len(c.fq) == 0 && c.fetchPC == len(c.prog)) {
+			break
+		}
+		if c.cycle > c.cfg.MaxCycles {
+			c.timedOut = true
+			break
+		}
+		if c.cfg.OnCycle != nil {
+			c.cfg.OnCycle(c, c.cycle)
+		}
+		c.commit()
+		if c.crash != nil {
+			break
+		}
+		c.writeback()
+		c.issue()
+		c.rename()
+		c.fetch()
+		c.cycle++
+	}
+	return c.buildResult()
+}
+
+func (c *Core) buildResult() *Result {
+	if err := c.cache.flush(c.cycle); err != nil && c.crash == nil {
+		c.crash = err
+	}
+	fs := arch.State{Mem: c.mem}
+	for r := 0; r < isa.NumGPR; r++ {
+		fs.GPR[r] = c.intPRF[c.rat.intRAT[r]]
+	}
+	for x := 0; x < isa.NumXMM; x++ {
+		fs.XMM[x] = c.fpPRF[c.rat.fpRAT[x]]
+	}
+	fs.Flags = c.flagPRF[c.rat.flagRAT]
+
+	r := &Result{
+		Crash:       c.crash,
+		TimedOut:    c.timedOut,
+		Signature:   fs.Signature(),
+		Branches:    c.branches,
+		Mispredicts: c.mispredicts,
+		CacheHits:   c.cache.hits,
+		CacheMisses: c.cache.misses,
+		Writebacks:  c.cache.writebacks,
+	}
+	if c.cache.l2 != nil {
+		r.L2Hits = c.cache.l2.hits
+		r.L2Misses = c.cache.l2.misses
+		r.Prefetches = c.cache.l2.prefetches
+	}
+	r.Cycles = c.cycle
+	r.Instructions = c.instret
+	if c.irf != nil {
+		r.IRFVuln = c.irf.Vulnerability(c.cycle)
+	}
+	if c.fprf != nil {
+		r.FPRFVuln = c.fprf.Vulnerability(c.cycle)
+	}
+	if c.cache.tracker != nil {
+		r.L1DVuln = c.cache.tracker.Vulnerability(c.cycle)
+	}
+	for s := coverage.Structure(0); s < coverage.NumStructures; s++ {
+		r.IBR[s] = c.ibrC[s].Value(c.cycle)
+		r.UnitUses[s] = c.ibrC[s].Uses
+	}
+	return r
+}
+
+// traceCommit writes one retired-instruction line to the trace sink.
+func (c *Core) traceCommit(u *uop) {
+	text := "(poison)"
+	if u.inst != nil {
+		text = u.inst.String()
+	}
+	fmt.Fprintf(c.cfg.Trace, "cyc=%-8d seq=%-6d pc=%-6d issued@%-8d %s\n",
+		c.cycle, u.seq, u.pc, u.doneAt-uint64(u.v.Latency+u.memLat), text)
+}
+
+// --- commit -----------------------------------------------------------
+
+func (c *Core) commit() {
+	for k := 0; k < c.cfg.CommitWidth && c.robCnt > 0; k++ {
+		u := &c.rob[c.robHead]
+		if u.st != uDone || u.doneAt > c.cycle {
+			return
+		}
+		if u.err != nil {
+			err := *u.err
+			err.PC = u.pc
+			c.crash = &err
+			return
+		}
+		if u.isStore {
+			for _, w := range u.writes {
+				var buf [8]byte
+				for i := 0; i < int(w.size); i++ {
+					buf[i] = byte(w.data >> (8 * uint(i)))
+				}
+				if _, err := c.cache.access(w.addr, int(w.size), true, buf[:w.size], c.cycle, nil); err != nil {
+					e := *err
+					e.PC = u.pc
+					c.crash = &e
+					return
+				}
+			}
+			c.nStores--
+			// Pop from the store queue (it must be the oldest entry).
+			if len(c.sq) > 0 && c.sq[0] == c.robHead {
+				c.sq = c.sq[1:]
+			}
+		}
+		if u.isLoad {
+			c.nLoads--
+		}
+		if u.v != nil && u.v.IsBranch {
+			c.bp.update(u.pc, u.actualNext != u.pc+1)
+			c.branches++
+		}
+		for _, d := range u.dsts {
+			switch d.cls {
+			case clsInt:
+				c.intFree = append(c.intFree, d.old)
+				if c.irf != nil {
+					c.irf.OnFree(int(d.old), c.cycle)
+				}
+			case clsFP:
+				c.fpFree = append(c.fpFree, d.old)
+				if c.fprf != nil {
+					c.fprf.OnFree(2*int(d.old), c.cycle)
+					c.fprf.OnFree(2*int(d.old)+1, c.cycle)
+				}
+			case clsFlag:
+				c.flagFree = append(c.flagFree, d.old)
+			}
+		}
+		for _, e := range u.events {
+			switch e.kind {
+			case evPRFWrite:
+				if c.irf != nil {
+					c.irf.OnWrite(int(e.a), e.cycle)
+				}
+			case evPRFRead:
+				if c.irf != nil {
+					c.irf.OnRead(int(e.a), int(e.n), e.cycle)
+				}
+			case evCacheRead:
+				if c.cache.tracker != nil {
+					c.cache.tracker.OnRead(int(e.a), int(e.n), e.cycle)
+				}
+			case evFPRFWrite:
+				if c.fprf != nil {
+					c.fprf.OnWrite(int(e.a), e.cycle)
+				}
+			case evFPRFRead:
+				if c.fprf != nil {
+					c.fprf.OnRead(int(e.a), int(e.n), e.cycle)
+				}
+			}
+		}
+		for _, e := range u.ibr {
+			c.ibrC[e.unit].OnUse(e.a, e.b)
+		}
+		if c.cfg.Trace != nil {
+			c.traceCommit(u)
+		}
+		c.instret++
+		if u.actualNext == len(c.prog) {
+			c.finished = true
+		}
+		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robCnt--
+		if c.finished {
+			return
+		}
+	}
+}
+
+// --- writeback --------------------------------------------------------
+
+func (c *Core) writeback() {
+	kept := c.inflight[:0]
+	for _, idx := range c.inflight {
+		u := &c.rob[idx]
+		if u.squashed || u.st != uIssued {
+			continue // squashed entries drop out of the in-flight set
+		}
+		if u.doneAt > c.cycle {
+			kept = append(kept, idx)
+			continue
+		}
+		u.st = uDone
+		for _, d := range u.dsts {
+			switch d.cls {
+			case clsInt:
+				c.intReady[d.phys] = true
+			case clsFP:
+				c.fpReady[d.phys] = true
+			case clsFlag:
+				c.flagRdy[d.phys] = true
+			}
+		}
+		if u.v != nil && u.v.IsBranch && u.err == nil && u.actualNext != u.predNext {
+			c.squashAfter(idx, u.actualNext)
+			c.mispredicts++
+			// Entries after the branch were removed; the in-flight list
+			// is rebuilt below to drop squashed ones.
+		}
+	}
+	c.inflight = kept
+}
+
+// squashAfter removes every µop younger than the branch at rob index
+// bIdx, restores the rename map from the branch's snapshot, and
+// redirects fetch.
+func (c *Core) squashAfter(bIdx int, redirect int) {
+	b := &c.rob[bIdx]
+	// Walk from the youngest entry back to the branch.
+	tail := (c.robHead + c.robCnt - 1) % len(c.rob)
+	for c.robCnt > 0 {
+		u := &c.rob[tail]
+		if u.seq <= b.seq {
+			break
+		}
+		if !u.squashed {
+			for i := len(u.dsts) - 1; i >= 0; i-- {
+				d := u.dsts[i]
+				switch d.cls {
+				case clsInt:
+					c.intFree = append(c.intFree, d.phys)
+				case clsFP:
+					c.fpFree = append(c.fpFree, d.phys)
+				case clsFlag:
+					c.flagFree = append(c.flagFree, d.phys)
+				}
+			}
+			if u.isLoad {
+				c.nLoads--
+			}
+			if u.isStore {
+				c.nStores--
+			}
+			u.squashed = true
+		}
+		c.robCnt--
+		tail--
+		if tail < 0 {
+			tail += len(c.rob)
+		}
+	}
+	if !b.snapValid {
+		panic("uarch: mispredicted branch without RAT snapshot")
+	}
+	c.rat = b.snap
+	// Drop squashed stores from the store queue.
+	for len(c.sq) > 0 {
+		last := c.sq[len(c.sq)-1]
+		if c.rob[last].squashed {
+			c.sq = c.sq[:len(c.sq)-1]
+		} else {
+			break
+		}
+	}
+	// Drop squashed entries from the issue queue.
+	kept := c.iq[:0]
+	for _, idx := range c.iq {
+		if !c.rob[idx].squashed {
+			kept = append(kept, idx)
+		}
+	}
+	c.iq = kept
+	c.fq = c.fq[:0]
+	c.fetchPC = redirect
+	c.fetchStallUntil = c.cycle + uint64(c.cfg.MispredictPenalty)
+}

@@ -1,0 +1,508 @@
+package uarch
+
+import (
+	"harpocrates/internal/arch"
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/isa"
+)
+
+// --- issue + execute ----------------------------------------------------
+
+// unitCapacity returns how many operations of a unit class can issue per
+// cycle.
+func (c *Core) unitCapacity(u isa.Unit) int {
+	switch u {
+	case isa.UIntALU, isa.UNone:
+		return c.cfg.NumIntALU
+	case isa.UIntMul:
+		return c.cfg.NumIntMul
+	case isa.UIntDiv:
+		return c.cfg.NumIntDiv
+	case isa.UFPAdd:
+		return c.cfg.NumFPAdd
+	case isa.UFPMul:
+		return c.cfg.NumFPMul
+	case isa.UFPDiv:
+		return c.cfg.NumFPDiv
+	case isa.UBranch:
+		return c.cfg.NumBranch
+	case isa.UVecALU:
+		return c.cfg.NumVecALU
+	}
+	return 1
+}
+
+func (c *Core) srcsReady(u *uop) bool {
+	for _, s := range u.srcs {
+		switch s.cls {
+		case clsInt:
+			if !c.intReady[s.phys] {
+				return false
+			}
+		case clsFP:
+			if !c.fpReady[s.phys] {
+				return false
+			}
+		case clsFlag:
+			if !c.flagRdy[s.phys] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (c *Core) computeOldestUnexecStore() {
+	c.oldestUnexecStore = ^uint64(0)
+	for _, si := range c.sq {
+		su := &c.rob[si]
+		if !su.squashed && su.st == uWaiting {
+			c.oldestUnexecStore = su.seq
+			return
+		}
+	}
+}
+
+func (c *Core) issue() {
+	c.memPortsUsed = 0
+	for i := range c.unitUsed {
+		c.unitUsed[i] = 0
+	}
+	c.computeOldestUnexecStore()
+	issued := 0
+	kept := c.iq[:0]
+	for _, idx := range c.iq {
+		u := &c.rob[idx]
+		if u.squashed {
+			continue
+		}
+		if issued >= c.cfg.IssueWidth {
+			kept = append(kept, idx)
+			continue
+		}
+		unit := u.v.Unit
+		needMem := u.isLoad || u.isStore
+		if !c.srcsReady(u) ||
+			c.unitUsed[unit] >= c.unitCapacity(unit) ||
+			(needMem && c.memPortsUsed >= c.cfg.NumMemPort) ||
+			(unit == isa.UIntDiv && c.divBusyUntil[0] > c.cycle) ||
+			(unit == isa.UFPDiv && c.divBusyUntil[1] > c.cycle) ||
+			(u.isLoad && c.oldestUnexecStore < u.seq) {
+			kept = append(kept, idx)
+			continue
+		}
+		c.unitUsed[unit]++
+		if needMem {
+			c.memPortsUsed++
+		}
+		c.execUop(idx)
+		issued++
+	}
+	c.iq = kept
+}
+
+// activeFU returns the functional-unit hook set in force at the current
+// cycle: cfg.FU inside the fault window, cfg.FUOutside elsewhere. A zero
+// window means cfg.FU is always active.
+func (c *Core) activeFU() *arch.FUHooks {
+	if c.cfg.FUWindow[0] == 0 && c.cfg.FUWindow[1] == 0 {
+		return c.cfg.FU
+	}
+	if c.cycle >= c.cfg.FUWindow[0] && c.cycle < c.cfg.FUWindow[1] {
+		return c.cfg.FU
+	}
+	return c.cfg.FUOutside
+}
+
+func (c *Core) execUop(idx int) {
+	u := &c.rob[idx]
+	ms := &c.execState
+	c.bus.u = u
+	ms.Mem = &c.bus
+	ms.PC = u.pc
+	ms.Flags = 0
+	if c.cfg.DebugScrub {
+		for i := range ms.GPR {
+			ms.GPR[i] = 0xdead4dead4dead
+		}
+		for i := range ms.XMM {
+			ms.XMM[i] = [2]uint64{0xdead, 0xdead}
+		}
+	}
+	for _, s := range u.srcs {
+		switch s.cls {
+		case clsInt:
+			ms.GPR[s.arch] = c.intPRF[s.phys]
+			u.events = append(u.events, aceEvent{kind: evPRFRead, a: int32(s.phys), n: int32(s.bits), cycle: c.cycle})
+		case clsFP:
+			ms.XMM[s.arch] = c.fpPRF[s.phys]
+			if c.fprf != nil {
+				u.events = append(u.events, aceEvent{kind: evFPRFRead, a: int32(2 * s.phys), n: 64, cycle: c.cycle})
+				if s.bits > 64 {
+					u.events = append(u.events, aceEvent{kind: evFPRFRead, a: int32(2*s.phys + 1), n: 64, cycle: c.cycle})
+				}
+			}
+		case clsFlag:
+			ms.Flags = c.flagPRF[s.phys]
+		}
+	}
+	if c.cfg.TrackIBR && !u.poison {
+		c.captureIBR(u, ms)
+	}
+	ms.FU = c.activeFU()
+	u.memLat = 0
+
+	var err *arch.CrashError
+	if u.poison {
+		err = &arch.CrashError{Kind: arch.CrashBadBranch, PC: u.pc}
+	} else {
+		err = ms.Step(c.prog)
+	}
+	if err != nil {
+		u.err = err
+		u.actualNext = u.pc + 1
+	} else {
+		u.actualNext = ms.PC
+		for _, d := range u.dsts {
+			switch d.cls {
+			case clsInt:
+				c.intPRF[d.phys] = ms.GPR[d.arch]
+				u.events = append(u.events, aceEvent{kind: evPRFWrite, a: int32(d.phys), cycle: c.cycle})
+			case clsFP:
+				c.fpPRF[d.phys] = ms.XMM[d.arch]
+				if c.fprf != nil {
+					u.events = append(u.events,
+						aceEvent{kind: evFPRFWrite, a: int32(2 * d.phys), cycle: c.cycle},
+						aceEvent{kind: evFPRFWrite, a: int32(2*d.phys + 1), cycle: c.cycle})
+				}
+			case clsFlag:
+				c.flagPRF[d.phys] = ms.Flags
+			}
+		}
+	}
+	lat := u.v.Latency + u.memLat
+	if lat < 1 {
+		lat = 1
+	}
+	u.st = uIssued
+	u.doneAt = c.cycle + uint64(lat)
+	if u.v.Unit == isa.UIntDiv {
+		c.divBusyUntil[0] = u.doneAt
+	}
+	if u.v.Unit == isa.UFPDiv {
+		c.divBusyUntil[1] = u.doneAt
+	}
+	c.inflight = append(c.inflight, idx)
+}
+
+// captureIBR records the effective input bits fed to the functional unit
+// this operation exercises (paper §II-D footnote 5). Memory operands are
+// approximated at full operation width.
+func (c *Core) captureIBR(u *uop, ms *arch.State) {
+	st, ok := coverage.FUOf(u.v)
+	if !ok {
+		return
+	}
+	in := u.inst
+	v := u.v
+	intOp := func(i int) uint64 {
+		op := &in.Ops[i]
+		switch op.Kind {
+		case isa.KReg:
+			return ms.GPR[op.Reg] & v.Width.Mask()
+		case isa.KImm:
+			return uint64(op.Imm) & v.Width.Mask()
+		default:
+			return v.Width.Mask()
+		}
+	}
+	xmmLane := func(i, lane int) uint64 {
+		op := &in.Ops[i]
+		if op.Kind == isa.KXmm {
+			return ms.XMM[op.X][lane]
+		}
+		return ^uint64(0)
+	}
+	add := func(a, b uint64) {
+		u.ibr = append(u.ibr, ibrEvent{unit: uint8(st), a: a, b: b})
+	}
+	switch st {
+	case coverage.IntAdder:
+		switch v.Op {
+		case isa.OpINC, isa.OpDEC:
+			add(intOp(0), 1)
+		case isa.OpNEG:
+			add(0, intOp(0))
+		case isa.OpCMPXCHG:
+			add(ms.GPR[isa.RAX]&v.Width.Mask(), intOp(0))
+		default:
+			add(intOp(0), intOp(1))
+		}
+	case coverage.IntMul:
+		switch v.Op {
+		case isa.OpMUL, isa.OpIMUL:
+			add(ms.GPR[isa.RAX]&v.Width.Mask(), intOp(0))
+		case isa.OpIMULRR:
+			add(intOp(0), intOp(1))
+		case isa.OpIMULRRI:
+			add(intOp(1), uint64(in.Ops[2].Imm)&v.Width.Mask())
+		}
+	case coverage.FPAdd, coverage.FPMul:
+		switch v.Width {
+		case isa.W128:
+			add(xmmLane(0, 0), xmmLane(1, 0))
+			add(xmmLane(0, 1), xmmLane(1, 1))
+		case isa.W32:
+			add(xmmLane(0, 0)&0xffffffff, xmmLane(1, 0)&0xffffffff)
+		default:
+			add(xmmLane(0, 0), xmmLane(1, 0))
+		}
+	}
+}
+
+// --- rename ---------------------------------------------------------------
+
+func (c *Core) rename() {
+	for k := 0; k < c.cfg.RenameWidth && len(c.fq) > 0; k++ {
+		if !c.renameOne(c.fq[0]) {
+			return
+		}
+		c.fq = c.fq[1:]
+	}
+}
+
+func (c *Core) renameOne(f fqEntry) bool {
+	if c.robCnt == len(c.rob) || len(c.iq) >= c.cfg.IQSize {
+		return false
+	}
+	var v *isa.Variant
+	var in *isa.Inst
+	if !f.poison {
+		in = &c.prog[f.pc]
+		v = isa.Lookup(in.V)
+	} else {
+		v = isa.Lookup(0)
+	}
+	c.scratchSrc = c.scratchSrc[:0]
+	c.scratchDst = c.scratchDst[:0]
+	if !f.poison {
+		c.scratchSrc, c.scratchDst = collectRefs(in, v, c.scratchSrc, c.scratchDst)
+	}
+	// Resource checks.
+	var needInt, needFP, needFlag int
+	for _, d := range c.scratchDst {
+		switch d.cls {
+		case clsInt:
+			needInt++
+		case clsFP:
+			needFP++
+		case clsFlag:
+			needFlag++
+		}
+	}
+	if needInt > len(c.intFree) || needFP > len(c.fpFree) || needFlag > len(c.flagFree) {
+		return false
+	}
+	isLoad := !f.poison && (v.ReadsMem() || v.Op == isa.OpPOP)
+	isStore := !f.poison && (v.WritesMem() || v.Op == isa.OpPUSH)
+	if isLoad && c.nLoads >= c.cfg.LQSize {
+		return false
+	}
+	if isStore && c.nStores >= c.cfg.SQSize {
+		return false
+	}
+
+	idx := (c.robHead + c.robCnt) % len(c.rob)
+	u := &c.rob[idx]
+	u.reset()
+	u.seq = c.seq
+	c.seq++
+	u.pc = f.pc
+	u.v = v
+	u.inst = in
+	u.poison = f.poison
+	u.predNext = f.predNext
+	u.isLoad = isLoad
+	u.isStore = isStore
+
+	for _, s := range c.scratchSrc {
+		var phys uint16
+		switch s.cls {
+		case clsInt:
+			phys = c.rat.intRAT[s.arch]
+		case clsFP:
+			phys = c.rat.fpRAT[s.arch]
+		case clsFlag:
+			phys = c.rat.flagRAT
+		}
+		u.srcs = append(u.srcs, rsrc{cls: s.cls, arch: s.arch, bits: s.bits, phys: phys})
+	}
+	for _, d := range c.scratchDst {
+		var phys, old uint16
+		switch d.cls {
+		case clsInt:
+			phys = c.intFree[len(c.intFree)-1]
+			c.intFree = c.intFree[:len(c.intFree)-1]
+			old = c.rat.intRAT[d.arch]
+			c.rat.intRAT[d.arch] = phys
+			c.intReady[phys] = false
+		case clsFP:
+			phys = c.fpFree[len(c.fpFree)-1]
+			c.fpFree = c.fpFree[:len(c.fpFree)-1]
+			old = c.rat.fpRAT[d.arch]
+			c.rat.fpRAT[d.arch] = phys
+			c.fpReady[phys] = false
+		case clsFlag:
+			phys = c.flagFree[len(c.flagFree)-1]
+			c.flagFree = c.flagFree[:len(c.flagFree)-1]
+			old = c.rat.flagRAT
+			c.rat.flagRAT = phys
+			c.flagRdy[phys] = false
+		}
+		u.dsts = append(u.dsts, rdst{cls: d.cls, arch: d.arch, phys: phys, old: old})
+	}
+	if v.IsBranch || f.poison {
+		u.snap = c.rat
+		u.snapValid = true
+	}
+	if isStore {
+		c.sq = append(c.sq, idx)
+		c.nStores++
+	}
+	if isLoad {
+		c.nLoads++
+	}
+	c.iq = append(c.iq, idx)
+	c.robCnt++
+	return true
+}
+
+// --- fetch ------------------------------------------------------------------
+
+func (c *Core) fetch() {
+	if c.cycle < c.fetchStallUntil {
+		return
+	}
+	for i := 0; i < c.cfg.FetchWidth && len(c.fq) < c.cfg.FetchQueue; i++ {
+		pc := c.fetchPC
+		if pc == len(c.prog) {
+			return
+		}
+		if pc < 0 || pc > len(c.prog) {
+			// Wild (wrong-path or truly bad) target: a poison µop crashes
+			// at commit if it turns out to be on the correct path.
+			c.fq = append(c.fq, fqEntry{pc: pc, predNext: len(c.prog), poison: true})
+			c.fetchPC = len(c.prog)
+			return
+		}
+		in := &c.prog[pc]
+		v := isa.Lookup(in.V)
+		next := pc + 1
+		if v.IsBranch {
+			target := pc + 1 + int(in.Ops[0].Imm)
+			if v.Op == isa.OpJMP || c.bp.predict(pc) {
+				next = target
+			}
+			c.fq = append(c.fq, fqEntry{pc: pc, predNext: next})
+			c.fetchPC = next
+			return // at most one branch fetched per cycle
+		}
+		c.fq = append(c.fq, fqEntry{pc: pc, predNext: next})
+		c.fetchPC = next
+	}
+}
+
+// --- execution-time memory bus ------------------------------------------------
+
+// execBus is the arch.MemBus the execute stage sees: loads go through the
+// L1D with store-to-load forwarding from uncommitted older stores, and
+// stores are captured into the µop's write set (applied at commit).
+type execBus struct {
+	c *Core
+	u *uop
+}
+
+var _ arch.MemBus = (*execBus)(nil)
+
+func (b *execBus) Read(addr, size uint64) (uint64, *arch.CrashError) {
+	c := b.c
+	var buf [8]byte
+	lat, err := c.cache.access(addr, int(size), false, buf[:size], c.cycle, func(bi, n int) {
+		b.u.events = append(b.u.events, aceEvent{kind: evCacheRead, a: int32(bi), n: int32(n), cycle: c.cycle})
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Forward bytes from older uncommitted stores, oldest first so the
+	// youngest write wins.
+	for _, si := range c.sq {
+		su := &c.rob[si]
+		if su.seq >= b.u.seq {
+			break
+		}
+		if su.squashed || su.st == uWaiting {
+			continue
+		}
+		for _, w := range su.writes {
+			lo := max64(addr, w.addr)
+			hi := min64(addr+size, w.addr+uint64(w.size))
+			for a := lo; a < hi; a++ {
+				buf[a-addr] = byte(w.data >> (8 * (a - w.addr)))
+			}
+		}
+	}
+	if lat > b.u.memLat {
+		b.u.memLat = lat
+	}
+	var v uint64
+	for i := uint64(0); i < size; i++ {
+		v |= uint64(buf[i]) << (8 * i)
+	}
+	return v, nil
+}
+
+func (b *execBus) Write(addr, size, val uint64) *arch.CrashError {
+	if err := b.c.mem.CheckWrite(addr, size); err != nil {
+		return err
+	}
+	b.u.writes = append(b.u.writes, storeWrite{addr: addr, data: val, size: uint8(size)})
+	if b.u.memLat < b.c.cfg.L1D.HitLatency {
+		b.u.memLat = 1 // address generation only; the write retires later
+	}
+	return nil
+}
+
+func (b *execBus) Read128(addr uint64) ([2]uint64, *arch.CrashError) {
+	lo, err := b.Read(addr, 8)
+	if err != nil {
+		return [2]uint64{}, err
+	}
+	hi, err := b.Read(addr+8, 8)
+	if err != nil {
+		return [2]uint64{}, err
+	}
+	return [2]uint64{lo, hi}, nil
+}
+
+func (b *execBus) Write128(addr uint64, v [2]uint64) *arch.CrashError {
+	if err := b.Write(addr, 8, v[0]); err != nil {
+		return err
+	}
+	return b.Write(addr+8, 8, v[1])
+}
+
+func (b *execBus) Regions() []*arch.Region { return b.c.mem.Regions() }
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

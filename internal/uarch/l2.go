@@ -1,0 +1,87 @@
+package uarch
+
+// l2tags is a tag-only model of a unified second-level cache. Data
+// correctness is entirely handled by the L1D (which reads and writes the
+// backing memory image); the L2 tag array determines *timing* — whether
+// an L1 miss is served at L2 latency or memory latency — and receives
+// next-line prefetches. Keeping it tag-only means the timing extension
+// cannot perturb architectural results, which randomized differential
+// tests against the functional emulator verify.
+type l2tags struct {
+	numSets   int
+	ways      int
+	lineBytes int
+	valid     []bool
+	tag       []uint64
+	lastUse   []uint64
+
+	hits, misses, prefetches uint64
+}
+
+func newL2Tags(cfg CacheConfig) *l2tags {
+	if cfg.SizeBytes == 0 {
+		return nil
+	}
+	numSets := cfg.NumSets()
+	n := numSets * cfg.Ways
+	return &l2tags{
+		numSets:   numSets,
+		ways:      cfg.Ways,
+		lineBytes: cfg.LineBytes,
+		valid:     make([]bool, n),
+		tag:       make([]uint64, n),
+		lastUse:   make([]uint64, n),
+	}
+}
+
+func (t *l2tags) setAndTag(addr uint64) (int, uint64) {
+	line := addr / uint64(t.lineBytes)
+	return int(line) % t.numSets, line / uint64(t.numSets)
+}
+
+// access probes the L2 for the line containing addr, filling on miss.
+// It returns whether the line was present.
+func (t *l2tags) access(addr, cycle uint64) bool {
+	set, tag := t.setAndTag(addr)
+	base := set * t.ways
+	for w := 0; w < t.ways; w++ {
+		if t.valid[base+w] && t.tag[base+w] == tag {
+			t.hits++
+			t.lastUse[base+w] = cycle
+			return true
+		}
+	}
+	t.misses++
+	t.fill(set, tag, cycle)
+	return false
+}
+
+// prefetch installs a line without touching the demand statistics.
+func (t *l2tags) prefetch(addr, cycle uint64) {
+	set, tag := t.setAndTag(addr)
+	base := set * t.ways
+	for w := 0; w < t.ways; w++ {
+		if t.valid[base+w] && t.tag[base+w] == tag {
+			return
+		}
+	}
+	t.prefetches++
+	t.fill(set, tag, cycle)
+}
+
+func (t *l2tags) fill(set int, tag, cycle uint64) {
+	base := set * t.ways
+	victim := base
+	for w := 0; w < t.ways; w++ {
+		if !t.valid[base+w] {
+			victim = base + w
+			break
+		}
+		if t.lastUse[base+w] < t.lastUse[victim] {
+			victim = base + w
+		}
+	}
+	t.valid[victim] = true
+	t.tag[victim] = tag
+	t.lastUse[victim] = cycle
+}

@@ -1,0 +1,13 @@
+package uarch
+
+import (
+	"harpocrates/internal/arch"
+	"harpocrates/internal/isa"
+)
+
+// Run simulates prog from the given initial architectural state under
+// cfg and returns the result. The initial state's memory is mutated;
+// clone it first if it must survive.
+func Run(prog []isa.Inst, init *arch.State, cfg Config) *Result {
+	return NewCore(prog, init, cfg).Run()
+}

@@ -1,0 +1,228 @@
+package uarch
+
+import (
+	"harpocrates/internal/arch"
+	"harpocrates/internal/isa"
+)
+
+// Register classes for renaming.
+const (
+	clsInt  = 0
+	clsFP   = 1
+	clsFlag = 2
+)
+
+// archRef is an architectural register reference gathered from a
+// variant's operand specs before renaming.
+type archRef struct {
+	cls  uint8
+	arch uint8
+	bits uint16 // read width in bits (sources)
+}
+
+// rsrc is a renamed source operand.
+type rsrc struct {
+	cls  uint8
+	arch uint8
+	bits uint16
+	phys uint16
+}
+
+// rdst is a renamed destination operand.
+type rdst struct {
+	cls  uint8
+	arch uint8
+	phys uint16
+	old  uint16 // previous mapping, freed at commit
+}
+
+// uop states.
+type uopState uint8
+
+const (
+	uWaiting uopState = iota
+	uIssued
+	uDone
+)
+
+// storeWrite is one captured store (applied to the cache at commit).
+type storeWrite struct {
+	addr uint64
+	data uint64
+	size uint8
+}
+
+// ACE event kinds, buffered per uop and credited at commit.
+const (
+	evPRFWrite = iota
+	evPRFRead
+	evCacheRead
+	evFPRFWrite
+	evFPRFRead
+)
+
+type aceEvent struct {
+	kind  uint8
+	a     int32 // phys reg, or flat cache byte index
+	n     int32 // width bits, or byte count
+	cycle uint64
+}
+
+type ibrEvent struct {
+	unit uint8
+	a, b uint64
+}
+
+// ratSnapshot captures the rename maps at a branch for recovery.
+type ratSnapshot struct {
+	intRAT  [isa.NumGPR]uint16
+	fpRAT   [isa.NumXMM]uint16
+	flagRAT uint16
+}
+
+// uop is one in-flight instruction (fused micro-op).
+type uop struct {
+	seq  uint64
+	pc   int
+	v    *isa.Variant
+	inst *isa.Inst
+
+	srcs []rsrc
+	dsts []rdst
+
+	st      uopState
+	doneAt  uint64
+	memLat  int
+	isLoad  bool
+	isStore bool
+	poison  bool // fetched from an invalid PC: crashes if committed
+
+	predNext   int
+	actualNext int
+
+	snapValid bool
+	snap      ratSnapshot
+
+	err      *arch.CrashError
+	writes   []storeWrite
+	events   []aceEvent
+	ibr      []ibrEvent
+	squashed bool
+}
+
+func (u *uop) reset() {
+	u.srcs = u.srcs[:0]
+	u.dsts = u.dsts[:0]
+	u.writes = u.writes[:0]
+	u.events = u.events[:0]
+	u.ibr = u.ibr[:0]
+	u.st = uWaiting
+	u.doneAt = 0
+	u.memLat = 0
+	u.isLoad = false
+	u.isStore = false
+	u.poison = false
+	u.snapValid = false
+	u.err = nil
+	u.squashed = false
+}
+
+// collectRefs gathers the architectural sources and destinations of an
+// instruction, including implicit operands, partial-width merges and
+// flags — the dependence information the renamer needs (and exactly the
+// hazards the paper's §V-B discussion of implicit x86 operands is about).
+func collectRefs(in *isa.Inst, v *isa.Variant, srcs []archRef, dsts []archRef) ([]archRef, []archRef) {
+	addSrc := func(cls, arch uint8, bits uint16) {
+		srcs = append(srcs, archRef{cls: cls, arch: arch, bits: bits})
+	}
+	addDst := func(cls, arch uint8) {
+		dsts = append(dsts, archRef{cls: cls, arch: arch})
+	}
+
+	for i := 0; i < int(in.NOps); i++ {
+		spec := v.Ops[i]
+		op := &in.Ops[i]
+		switch spec.Kind {
+		case isa.KReg:
+			if spec.Acc&isa.AccR != 0 {
+				bits := uint16(spec.Width.Bits())
+				if spec.Acc&isa.AccW != 0 && spec.Width < isa.W32 {
+					// A partial-width read-modify-write merges the full
+					// old register into the new physical register, so
+					// all 64 bits are architecturally consumed.
+					bits = 64
+				}
+				addSrc(clsInt, uint8(op.Reg), bits)
+			}
+			if spec.Acc&isa.AccW != 0 {
+				if spec.Width < isa.W32 && spec.Acc&isa.AccR == 0 {
+					// Partial-width write merges with the old value.
+					addSrc(clsInt, uint8(op.Reg), 64)
+				}
+				addDst(clsInt, uint8(op.Reg))
+			}
+		case isa.KXmm:
+			if spec.Acc&isa.AccR != 0 {
+				bits := uint16(64)
+				if spec.Width == isa.W128 {
+					bits = 128
+				}
+				addSrc(clsFP, uint8(op.X), bits)
+			}
+			if spec.Acc&isa.AccW != 0 {
+				if spec.Width != isa.W128 && !xmmFullWrite(v, in) && spec.Acc&isa.AccR == 0 {
+					// Scalar writes preserve the upper lane.
+					addSrc(clsFP, uint8(op.X), 128)
+				}
+				addDst(clsFP, uint8(op.X))
+			}
+		case isa.KMem:
+			addSrc(clsInt, uint8(op.Mem.Base), 64)
+			if op.Mem.HasIndex {
+				addSrc(clsInt, uint8(op.Mem.Index), 64)
+			}
+		}
+	}
+	for _, r := range v.ImplicitIn {
+		addSrc(clsInt, uint8(r), 64)
+	}
+	for _, r := range v.ImplicitOut {
+		if v.Width < isa.W32 {
+			addSrc(clsInt, uint8(r), 64) // partial-width merge
+		}
+		addDst(clsInt, uint8(r))
+	}
+	if v.FlagsRead != 0 {
+		addSrc(clsFlag, 0, 8)
+	}
+	if v.FlagsWritten != 0 {
+		if v.FlagsRead == 0 && (v.FlagsWritten != isa.AllFlags || flagsCondWritten(v)) {
+			addSrc(clsFlag, 0, 8) // partial or conditional flag update merges
+		}
+		addDst(clsFlag, 0)
+	}
+	return srcs, dsts
+}
+
+// flagsCondWritten marks variants that may leave the flags untouched at
+// runtime despite declaring them written (shifts by a count of zero).
+func flagsCondWritten(v *isa.Variant) bool {
+	switch v.Op {
+	case isa.OpSHL, isa.OpSHR, isa.OpSAR, isa.OpROL, isa.OpROR:
+		return true
+	}
+	return false
+}
+
+// xmmFullWrite reports variants whose xmm destination is fully written
+// even at scalar width (no upper-lane merge).
+func xmmFullWrite(v *isa.Variant, in *isa.Inst) bool {
+	switch v.Op {
+	case isa.OpMOVQXR:
+		return true
+	case isa.OpMOVSD:
+		// movsd xmm, m64 zeroes the upper lane; movsd xmm, xmm merges.
+		return in.Ops[1].Kind == isa.KMem
+	}
+	return false
+}
