@@ -6,10 +6,12 @@ package harpocrates_test
 import (
 	"math/rand/v2"
 	"testing"
+	"time"
 
 	"harpocrates/internal/core"
 	"harpocrates/internal/coverage"
 	"harpocrates/internal/gen"
+	"harpocrates/internal/inject"
 	"harpocrates/internal/mutate"
 	"harpocrates/internal/uarch"
 )
@@ -82,6 +84,46 @@ func BenchmarkAblationAceWidthMask(b *testing.B) {
 			b.ReportMetric(100*vuln, "%irf-coverage")
 		})
 	}
+}
+
+// BenchmarkAblationCheckpointedSFI measures the campaign-level effect of
+// checkpointed fast-forward + ACE pre-classification (DESIGN.md §4.7):
+// the same transient-IRF campaign is timed with the optimization off
+// (every injection simulated from cycle 0) and on, asserting bit-
+// identical statistics and reporting the wall-clock ratio.
+func BenchmarkAblationCheckpointedSFI(b *testing.B) {
+	cfg := gen.DefaultConfig()
+	cfg.NumInstrs = 1200
+	rng := rand.New(rand.NewPCG(55, 56))
+	p := gen.Materialize(gen.NewRandom(&cfg, rng), &cfg)
+	campaign := func(noFF bool) *inject.Campaign {
+		return &inject.Campaign{
+			Prog: p.Insts, Init: p.InitFunc(),
+			Target: coverage.IRF, Type: inject.Transient,
+			N: 96, Seed: 9, Cfg: uarch.DefaultConfig(),
+			NoFastForward: noFF,
+		}
+	}
+	var fromZeroNS, fastForwardNS int64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		slow, err := campaign(true).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		fast, err := campaign(false).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		t2 := time.Now()
+		if *slow != *fast {
+			b.Fatalf("fast-forward changed campaign statistics: %+v vs %+v", slow, fast)
+		}
+		fromZeroNS += t1.Sub(t0).Nanoseconds()
+		fastForwardNS += t2.Sub(t1).Nanoseconds()
+	}
+	b.ReportMetric(float64(fromZeroNS)/float64(fastForwardNS), "x-speedup")
 }
 
 // BenchmarkAblationL1DConstraints quantifies the cache-aware generation

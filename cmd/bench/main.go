@@ -27,6 +27,7 @@ func main() {
 		rate      = flag.Bool("rate", false, "§VI-A generation-rate comparison")
 		interplay = flag.Bool("interplay", false, "fault-type interplay sweep (§II-D, Fig. 2)")
 		speed     = flag.Bool("speed", false, "§VI-C detection-speed comparison")
+		sfi       = flag.Bool("sfi", false, "SFI campaign fast-forward timing (checkpointed resume vs from-cycle-0)")
 		all       = flag.Bool("all", false, "run everything")
 	)
 	flag.Parse()
@@ -104,6 +105,12 @@ func main() {
 		r, err := experiments.DetectionSpeed(pp)
 		die(err)
 		experiments.FprintSpeed(os.Stdout, r)
+		fmt.Println()
+	}
+	if *all || *sfi {
+		r, err := experiments.CampaignSpeed(pp)
+		die(err)
+		experiments.FprintCampaignSpeed(os.Stdout, r)
 		fmt.Println()
 	}
 }

@@ -35,6 +35,32 @@ func NewRegFileTracker(numRegs int) *RegFileTracker {
 	}
 }
 
+// NumRegs returns the tracked register count (for tracker reuse).
+func (t *RegFileTracker) NumRegs() int { return t.numRegs }
+
+// Reset returns the tracker to its freshly-constructed state so a pooled
+// simulator can reuse its arrays across runs.
+func (t *RegFileTracker) Reset() {
+	clear(t.lastEvent)
+	clear(t.live)
+	t.aceCycles = 0
+	t.IgnoreWidths = false
+}
+
+// CloneInto deep-copies the tracker into dst, reusing dst's arrays when
+// the sizes match (simulator checkpoint/restore). Returns dst (or a
+// fresh tracker when dst is nil or mismatched).
+func (t *RegFileTracker) CloneInto(dst *RegFileTracker) *RegFileTracker {
+	if dst == nil || dst.numRegs != t.numRegs {
+		dst = NewRegFileTracker(t.numRegs)
+	}
+	copy(dst.lastEvent, t.lastEvent)
+	copy(dst.live, t.live)
+	dst.aceCycles = t.aceCycles
+	dst.IgnoreWidths = t.IgnoreWidths
+	return dst
+}
+
 // OnWrite records that physical register p was written at cycle. The
 // interval since the previous event is un-ACE (the old value was not
 // needed past its last read).
@@ -112,6 +138,30 @@ func NewCacheTracker(numBytes int) *CacheTracker {
 		lastEvent: make([]uint64, numBytes),
 		state:     make([]uint8, numBytes),
 	}
+}
+
+// NumBytes returns the tracked data-array size (for tracker reuse).
+func (t *CacheTracker) NumBytes() int { return t.numBytes }
+
+// Reset returns the tracker to its freshly-constructed state so a pooled
+// simulator can reuse its arrays across runs.
+func (t *CacheTracker) Reset() {
+	clear(t.lastEvent)
+	clear(t.state)
+	t.aceCycles = 0
+}
+
+// CloneInto deep-copies the tracker into dst, reusing dst's arrays when
+// the sizes match (simulator checkpoint/restore). Returns dst (or a
+// fresh tracker when dst is nil or mismatched).
+func (t *CacheTracker) CloneInto(dst *CacheTracker) *CacheTracker {
+	if dst == nil || dst.numBytes != t.numBytes {
+		dst = NewCacheTracker(t.numBytes)
+	}
+	copy(dst.lastEvent, t.lastEvent)
+	copy(dst.state, t.state)
+	dst.aceCycles = t.aceCycles
+	return dst
 }
 
 func (t *CacheTracker) credit(idx int, cycle uint64) {

@@ -1,0 +1,80 @@
+package ace
+
+import "sort"
+
+// IntervalRecorder records, per storage cell, the cycle intervals during
+// which the cell's stored value can still reach architectural state — the
+// exported counterpart of the lifetime analysis the trackers perform for
+// coverage accounting. The fault injector uses it to pre-classify
+// transient flips: a flip at a cycle outside every consumed interval of
+// its cell is provably masked and never needs to be simulated.
+//
+// Unlike RegFileTracker/CacheTracker, which are driven from *committed*
+// instructions (the AVF accounting of the paper), the recorder is driven
+// directly at access time, including wrong-path and squashed work. That
+// makes it strictly conservative for pre-classification: any read that
+// could observe the cell — even one whose result is later thrown away but
+// may have perturbed timing (e.g. a wrong-path load changing cache
+// contents) — keeps the interval consumed.
+//
+// Events must arrive in non-decreasing cycle order (the simulator is
+// cycle-driven), which keeps each cell's interval list sorted and
+// mergeable in O(1) per event.
+type IntervalRecorder struct {
+	lastWrite []uint64
+	spans     [][]ivalSpan
+}
+
+// ivalSpan is one consumed interval (start, end]: a corruption applied at
+// cycle t with start < t <= end is (or may be) consumed.
+type ivalSpan struct {
+	start, end uint64
+}
+
+// NewIntervalRecorder creates a recorder for cells storage cells. All
+// cells start with an implicit write at cycle 0 (reset state).
+func NewIntervalRecorder(cells int) *IntervalRecorder {
+	return &IntervalRecorder{
+		lastWrite: make([]uint64, cells),
+		spans:     make([][]ivalSpan, cells),
+	}
+}
+
+// NumCells returns the number of tracked cells.
+func (r *IntervalRecorder) NumCells() int { return len(r.lastWrite) }
+
+// Write records that the cell's value was overwritten at cycle: a
+// corruption of the old value strictly after the previous consumption is
+// dead.
+func (r *IntervalRecorder) Write(cell int, cycle uint64) {
+	r.lastWrite[cell] = cycle
+}
+
+// Read records that the cell's value was consumed at cycle: the interval
+// (lastWrite, cycle] becomes consumed. Fault hooks fire at the start of a
+// cycle, before that cycle's reads and writes, so a corruption at exactly
+// the read cycle is observed while one at exactly the write cycle is
+// overwritten — hence the half-open-at-start convention.
+func (r *IntervalRecorder) Read(cell int, cycle uint64) {
+	w := r.lastWrite[cell]
+	if cycle <= w {
+		return // empty interval (same-cycle write+read: write lands first)
+	}
+	s := r.spans[cell]
+	if n := len(s); n > 0 && w <= s[n-1].end {
+		if cycle > s[n-1].end {
+			s[n-1].end = cycle
+		}
+		return
+	}
+	r.spans[cell] = append(s, ivalSpan{start: w, end: cycle})
+}
+
+// Consumed reports whether a corruption of cell applied at the start of
+// cycle can reach architectural state, i.e. whether cycle falls in a
+// consumed interval. A false return is a proof of masking.
+func (r *IntervalRecorder) Consumed(cell int, cycle uint64) bool {
+	s := r.spans[cell]
+	i := sort.Search(len(s), func(i int) bool { return s[i].end >= cycle })
+	return i < len(s) && s[i].start < cycle
+}

@@ -1,0 +1,100 @@
+package ace
+
+import "testing"
+
+func TestIntervalRecorderBasics(t *testing.T) {
+	r := NewIntervalRecorder(4)
+
+	// Implicit reset write at cycle 0, read at 10: (0, 10] consumed.
+	r.Read(0, 10)
+	for _, tc := range []struct {
+		cycle uint64
+		want  bool
+	}{
+		{0, false}, // corruptions start at cycle 1; 0 is outside (0, 10]
+		{1, true},
+		{10, true},
+		{11, false},
+	} {
+		if got := r.Consumed(0, tc.cycle); got != tc.want {
+			t.Errorf("Consumed(0, %d) = %v, want %v", tc.cycle, got, tc.want)
+		}
+	}
+
+	// Write at 20 kills (10, 20]; read at 30 opens (20, 30].
+	r.Write(0, 20)
+	r.Read(0, 30)
+	for _, tc := range []struct {
+		cycle uint64
+		want  bool
+	}{
+		{15, false}, // dead between last read and the overwrite
+		{20, false}, // flip at the write cycle is overwritten first
+		{21, true},
+		{30, true},
+		{31, false},
+	} {
+		if got := r.Consumed(0, tc.cycle); got != tc.want {
+			t.Errorf("Consumed(0, %d) = %v, want %v", tc.cycle, got, tc.want)
+		}
+	}
+
+	// Untouched cell: never consumed.
+	if r.Consumed(3, 5) {
+		t.Error("untouched cell reported consumed")
+	}
+}
+
+func TestIntervalRecorderMergesAdjacentReads(t *testing.T) {
+	r := NewIntervalRecorder(1)
+	// Read-read chains extend a single span instead of stacking up.
+	r.Read(0, 5)
+	r.Read(0, 9)
+	r.Read(0, 9) // duplicate same-cycle read
+	if got := len(r.spans[0]); got != 1 {
+		t.Fatalf("expected 1 merged span, got %d", got)
+	}
+	if !r.Consumed(0, 7) || !r.Consumed(0, 9) || r.Consumed(0, 10) {
+		t.Fatal("merged span has wrong bounds")
+	}
+	// Same-cycle write+read: write lands first, so the read interval is
+	// empty and must not extend the previous span.
+	r.Write(0, 9)
+	r.Read(0, 9)
+	if r.Consumed(0, 10) {
+		t.Fatal("empty write/read interval extended a span")
+	}
+}
+
+func TestTrackerReset(t *testing.T) {
+	rt := NewRegFileTracker(4)
+	rt.OnWrite(1, 2)
+	rt.OnRead(1, 64, 10)
+	if rt.ACEBitCycles() == 0 {
+		t.Fatal("tracker accumulated nothing")
+	}
+	rt.Reset()
+	if rt.ACEBitCycles() != 0 || rt.NumRegs() != 4 {
+		t.Fatal("RegFileTracker.Reset did not clear state")
+	}
+	// After reset the tracker behaves like a fresh one.
+	rt.OnRead(1, 64, 10) // not live: ignored
+	if rt.ACEBitCycles() != 0 {
+		t.Fatal("reset tracker retained liveness")
+	}
+
+	ct := NewCacheTracker(64)
+	ct.OnFill(0, 64, 1)
+	ct.OnRead(0, 8, 9)
+	if ct.ACEBitCycles() == 0 {
+		t.Fatal("cache tracker accumulated nothing")
+	}
+	ct.Reset()
+	if ct.ACEBitCycles() != 0 || ct.NumBytes() != 64 {
+		t.Fatal("CacheTracker.Reset did not clear state")
+	}
+	ct.OnRead(0, 8, 20) // invalid bytes: ignored
+	if ct.ACEBitCycles() != 0 {
+		t.Fatal("reset cache tracker retained byte state")
+	}
+}

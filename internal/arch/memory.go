@@ -178,11 +178,38 @@ func (m *Memory) WriteBytes(addr uint64, src []byte) *CrashError {
 // Clone deep-copies the memory (used to snapshot initial state for
 // repeated golden/faulty runs).
 func (m *Memory) Clone() *Memory {
-	c := &Memory{regions: make([]*Region, len(m.regions))}
+	return m.CloneInto(nil)
+}
+
+// CloneInto deep-copies the memory into dst, reusing dst's region
+// buffers when the address maps match (the checkpoint-restore hot path:
+// restoring into a pooled core must not reallocate megabytes of stack
+// region per faulty run). A nil or mismatched dst gets fresh buffers.
+func (m *Memory) CloneInto(dst *Memory) *Memory {
+	if dst == nil || dst == m {
+		dst = &Memory{}
+	}
+	if len(dst.regions) == len(m.regions) {
+		same := true
+		for i, r := range m.regions {
+			d := dst.regions[i]
+			if d.Base != r.Base || len(d.Data) != len(r.Data) || d.Name != r.Name || d.Writable != r.Writable {
+				same = false
+				break
+			}
+		}
+		if same {
+			for i, r := range m.regions {
+				copy(dst.regions[i].Data, r.Data)
+			}
+			return dst
+		}
+	}
+	dst.regions = make([]*Region, len(m.regions))
 	for i, r := range m.regions {
 		nr := &Region{Name: r.Name, Base: r.Base, Writable: r.Writable, Data: make([]byte, len(r.Data))}
 		copy(nr.Data, r.Data)
-		c.regions[i] = nr
+		dst.regions[i] = nr
 	}
-	return c
+	return dst
 }

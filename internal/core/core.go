@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"runtime"
 	"sort"
@@ -104,6 +105,10 @@ type History struct {
 	// throughput (paper §VI-A).
 	EvaluatedPrograms     int
 	EvaluatedInstructions uint64
+	// CacheHits counts individuals whose fitness was served from the
+	// genotype memo instead of a fresh simulation (mutation can reproduce
+	// a genotype already graded in an earlier generation).
+	CacheHits int
 }
 
 // Result is the outcome of a Harpocrates run.
@@ -163,6 +168,45 @@ func (o *Options) normalize() error {
 	return nil
 }
 
+// evalCache memoizes fitness by genotype content hash. Evaluation is
+// deterministic — the same genotype always materializes to the same
+// program and grades to the same fitness — so mutation re-creating an
+// already-graded genotype (e.g. a no-op mutation draw) need not be
+// simulated again. Serving cached values preserves the GA trajectory
+// exactly.
+type evalCache struct {
+	mu sync.Mutex
+	m  map[uint64]evalEntry
+}
+
+type evalEntry struct {
+	fitness float64
+	snap    coverage.Snapshot
+}
+
+// hashGenotype keys a genotype by content: the materialization seed and
+// every variant, folded in order.
+func hashGenotype(g *gen.Genotype) uint64 {
+	h := stats.Mix64(stats.HashInit, g.Seed)
+	for _, v := range g.Variants {
+		h = stats.Mix64(h, uint64(v))
+	}
+	return h
+}
+
+func (ec *evalCache) get(key uint64) (evalEntry, bool) {
+	ec.mu.Lock()
+	e, ok := ec.m[key]
+	ec.mu.Unlock()
+	return e, ok
+}
+
+func (ec *evalCache) put(key uint64, e evalEntry) {
+	ec.mu.Lock()
+	ec.m[key] = e
+	ec.mu.Unlock()
+}
+
 // Run executes the Harpocrates loop.
 func Run(o Options) (*Result, error) {
 	if err := o.normalize(); err != nil {
@@ -170,6 +214,7 @@ func Run(o Options) (*Result, error) {
 	}
 	rng := stats.Derive(o.Seed, 0)
 	hist := &History{}
+	memo := &evalCache{m: make(map[uint64]evalEntry)}
 
 	// Step 0: the Generator bootstraps the initial population.
 	t0 := time.Now()
@@ -179,7 +224,7 @@ func Run(o Options) (*Result, error) {
 	}
 	hist.Times.Generation += time.Since(t0)
 
-	evaluate(pop, &o, hist)
+	evaluate(pop, &o, hist, memo)
 
 	converged := false
 	it := 0
@@ -222,7 +267,7 @@ func Run(o Options) (*Result, error) {
 
 		// Step 1 (next cycle): evaluate the offspring; elites keep their
 		// cached fitness.
-		evaluate(offspring, &o, hist)
+		evaluate(offspring, &o, hist, memo)
 
 		next := make([]*Individual, 0, o.TopK+len(offspring))
 		next = append(next, top...)
@@ -242,9 +287,11 @@ func Run(o Options) (*Result, error) {
 }
 
 // evaluate materializes and grades a set of individuals in parallel,
-// accounting generation/compilation/evaluation time (Table I).
-func evaluate(inds []*Individual, o *Options, hist *History) {
-	var genNS, compNS, evalNS, instrs int64
+// accounting generation/compilation/evaluation time (Table I). Fitness
+// is memoized by genotype hash: duplicates are served from memo without
+// touching the simulator.
+func evaluate(inds []*Individual, o *Options, hist *History, memo *evalCache) {
+	var genNS, compNS, evalNS, instrs, hits int64
 	var mu sync.Mutex
 
 	work := make(chan *Individual)
@@ -253,8 +300,15 @@ func evaluate(inds []*Individual, o *Options, hist *History) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var g, c, e, n int64
+			var g, c, e, n, h int64
 			for ind := range work {
+				key := hashGenotype(ind.G)
+				if cached, ok := memo.get(key); ok {
+					ind.Fitness = cached.fitness
+					ind.Snapshot = cached.snap
+					h++
+					continue
+				}
 				t0 := time.Now()
 				p := gen.Materialize(ind.G, &o.Gen)
 				t1 := time.Now()
@@ -271,6 +325,13 @@ func evaluate(inds []*Individual, o *Options, hist *History) {
 				} else {
 					ind.Fitness = 0 // crashing candidates are discarded
 				}
+				if math.IsNaN(ind.Fitness) {
+					// A pathological metric value must not poison the sort
+					// (NaN compares false to everything, corrupting
+					// selection); discard like a crash.
+					ind.Fitness = 0
+				}
+				memo.put(key, evalEntry{fitness: ind.Fitness, snap: ind.Snapshot})
 				g += t1.Sub(t0).Nanoseconds()
 				c += t2.Sub(t1).Nanoseconds()
 				e += t3.Sub(t2).Nanoseconds()
@@ -281,6 +342,7 @@ func evaluate(inds []*Individual, o *Options, hist *History) {
 			compNS += c
 			evalNS += e
 			instrs += n
+			hits += h
 			mu.Unlock()
 		}()
 	}
@@ -295,6 +357,7 @@ func evaluate(inds []*Individual, o *Options, hist *History) {
 	hist.Times.Evaluation += time.Duration(evalNS)
 	hist.EvaluatedPrograms += len(inds)
 	hist.EvaluatedInstructions += uint64(instrs)
+	hist.CacheHits += int(hits)
 }
 
 // PresetFor returns the paper's per-structure loop configuration
@@ -309,16 +372,16 @@ func PresetFor(st coverage.Structure, scale int) Options {
 	switch st {
 	case coverage.IRF:
 		// Paper: 10K instructions, 96 programs, top 16 x 6 mutants.
-		o.Gen.NumInstrs = minInt(10000, 1250*scale)
+		o.Gen.NumInstrs = min(10000, 1250*scale)
 		o.PopSize, o.TopK, o.MutantsPerParent = 24, 4, 6
-		o.Iterations = minInt(5000, 500*scale)
+		o.Iterations = min(5000, 500*scale)
 	case coverage.FPRF:
 		// Extension target: like the IRF but with selection biased toward
 		// XMM-writing variants so random programs populate the FP file.
-		o.Gen.NumInstrs = minInt(10000, 1250*scale)
+		o.Gen.NumInstrs = min(10000, 1250*scale)
 		o.Gen.Weights = fpHeavyWeights(o.Gen.Allowed)
 		o.PopSize, o.TopK, o.MutantsPerParent = 24, 4, 6
-		o.Iterations = minInt(5000, 150*scale)
+		o.Iterations = min(5000, 150*scale)
 	case coverage.L1D:
 		// Paper: 30K instructions, sequential fixed-stride references in
 		// a region intentionally sized to the 32 KB data cache — the
@@ -326,16 +389,16 @@ func PresetFor(st coverage.Structure, scale int) Options {
 		// (§VI-B2). Our sensitivity analysis on this cache model selects
 		// a line-granular stride (64 B; the paper's gem5 model preferred
 		// 8 B) — see BenchmarkAblationL1DConstraints.
-		o.Gen.NumInstrs = minInt(30000, 8000*scale)
+		o.Gen.NumInstrs = min(30000, 8000*scale)
 		o.Gen.Mem = gen.MemPolicy{RegionBytes: 32 * 1024, Stride: 64}
 		o.Gen.Weights = memHeavyWeights(o.Gen.Allowed)
 		o.PopSize, o.TopK, o.MutantsPerParent = 24, 4, 6
-		o.Iterations = minInt(2000, 60*scale)
+		o.Iterations = min(2000, 60*scale)
 	default:
 		// Functional units: 5K instructions, 32 programs, top 8 x 4.
-		o.Gen.NumInstrs = minInt(5000, 625*scale)
+		o.Gen.NumInstrs = min(5000, 625*scale)
 		o.PopSize, o.TopK, o.MutantsPerParent = 16, 4, 4
-		o.Iterations = minInt(1000, 400*scale)
+		o.Iterations = min(1000, 400*scale)
 	}
 	return o
 }
@@ -368,11 +431,4 @@ func memHeavyWeights(allowed []isa.VariantID) []float64 {
 		}
 	}
 	return w
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+	"math/rand/v2"
 	"testing"
 
 	"harpocrates/internal/coverage"
@@ -171,5 +173,82 @@ func TestBadOptionsRejected(t *testing.T) {
 	o.TopK = 100
 	if _, err := Run(o); err == nil {
 		t.Fatal("TopK > PopSize accepted")
+	}
+}
+
+func TestNaNFitnessDiscarded(t *testing.T) {
+	// A metric returning NaN must not poison selection: NaN compares
+	// false against everything, which would make the fitness sort
+	// order-dependent garbage. NaN clamps to 0, like a crash.
+	o := tinyOptions(coverage.IRF)
+	o.Workers = 1 // the counting metric below is not thread-safe
+	calls := 0
+	o.Metric = coverage.Metric{Name: "nan", Score: func(s *coverage.Snapshot) float64 {
+		calls++
+		if calls%2 == 0 {
+			return math.NaN()
+		}
+		return 0.5
+	}}
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ind := range res.TopK {
+		if math.IsNaN(ind.Fitness) {
+			t.Fatal("NaN fitness survived into the population")
+		}
+	}
+	if math.IsNaN(res.Best.Fitness) || res.Best.Fitness != 0.5 {
+		t.Fatalf("best fitness %f, want 0.5 (NaN individuals discarded)", res.Best.Fitness)
+	}
+}
+
+func TestFitnessMemoization(t *testing.T) {
+	// A no-op "mutation" reproduces the parent genotype exactly, so every
+	// offspring after the first generation must be served from the memo.
+	o := tinyOptions(coverage.IntAdder)
+	o.Mutate = func(parent *gen.Genotype, cfg *gen.Config, rng *rand.Rand) *gen.Genotype {
+		return parent.Clone()
+	}
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.History
+	wantHits := (res.Iterations - 1) * o.TopK * o.MutantsPerParent
+	if h.CacheHits != wantHits {
+		t.Fatalf("cache hits %d, want %d (every clone offspring memoized)", h.CacheHits, wantHits)
+	}
+	// Cached fitness must equal a fresh evaluation's: the trajectory is
+	// flat under no-op mutation.
+	for i := 1; i < len(h.Best); i++ {
+		if h.Best[i] != h.Best[0] {
+			t.Fatalf("best fitness drifted under no-op mutation: %v", h.Best)
+		}
+	}
+}
+
+func TestMemoizationPreservesTrajectory(t *testing.T) {
+	// Memoization serves bit-identical fitness values, so two identical
+	// runs (which share every genotype) must agree point for point.
+	a, err := Run(tinyOptions(coverage.IRF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tinyOptions(coverage.IRF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.History.Best) != len(b.History.Best) {
+		t.Fatal("iteration counts diverged")
+	}
+	for i := range a.History.Best {
+		if a.History.Best[i] != b.History.Best[i] {
+			t.Fatalf("trajectory diverged at %d: %v vs %v", i, a.History.Best[i], b.History.Best[i])
+		}
+	}
+	if a.History.CacheHits != b.History.CacheHits {
+		t.Fatalf("cache hits diverged: %d vs %d", a.History.CacheHits, b.History.CacheHits)
 	}
 }

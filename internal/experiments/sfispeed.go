@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/gen"
+	"harpocrates/internal/inject"
+	"harpocrates/internal/stats"
+	"harpocrates/internal/uarch"
+)
+
+// CampaignSpeedResult compares SFI campaign wall-clock with and without
+// checkpointed fast-forward + ACE pre-classification (DESIGN.md §4.7) on
+// the same program, seed and injection count. The optimization is exact,
+// so both sides must report identical per-outcome counts — a mismatch is
+// returned as an error.
+type CampaignSpeedResult struct {
+	Structure    coverage.Structure
+	N            int
+	GoldenCycles uint64
+	FromZero     time.Duration // every injection simulated from cycle 0
+	FastForward  time.Duration // checkpoint resume + pre-classification
+	SpeedupX     float64
+	Stats        *inject.Stats
+}
+
+// CampaignSpeed times one transient IRF campaign both ways.
+func CampaignSpeed(pp Params) (*CampaignSpeedResult, error) {
+	cfg := gen.DefaultConfig()
+	cfg.NumInstrs = 1000 * pp.Scale
+	p := gen.Materialize(gen.NewRandom(&cfg, stats.Derive(pp.Seed, 5)), &cfg)
+
+	campaign := func(noFF bool) *inject.Campaign {
+		return &inject.Campaign{
+			Prog: p.Insts, Init: p.InitFunc(),
+			Target: coverage.IRF, Type: inject.Transient,
+			N: pp.InjBitArray, Seed: pp.Seed, Cfg: uarch.DefaultConfig(),
+			NoFastForward: noFF,
+		}
+	}
+	t0 := time.Now()
+	slow, err := campaign(true).Run()
+	if err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	fast, err := campaign(false).Run()
+	if err != nil {
+		return nil, err
+	}
+	t2 := time.Now()
+	if *slow != *fast {
+		return nil, fmt.Errorf("experiments: fast-forward changed campaign statistics: %+v vs %+v", slow, fast)
+	}
+
+	r := &CampaignSpeedResult{
+		Structure:    coverage.IRF,
+		N:            pp.InjBitArray,
+		GoldenCycles: slow.GoldenCycles,
+		FromZero:     t1.Sub(t0),
+		FastForward:  t2.Sub(t1),
+		Stats:        fast,
+	}
+	if r.FastForward > 0 {
+		r.SpeedupX = float64(r.FromZero) / float64(r.FastForward)
+	}
+	return r, nil
+}
+
+// FprintCampaignSpeed renders the comparison.
+func FprintCampaignSpeed(w io.Writer, r *CampaignSpeedResult) {
+	fmt.Fprintf(w, "SFI campaign fast-forward — %v, %d transient injections, golden run %d cycles\n",
+		r.Structure, r.N, r.GoldenCycles)
+	fmt.Fprintf(w, "  from cycle 0:   %v\n", r.FromZero.Round(time.Millisecond))
+	fmt.Fprintf(w, "  fast-forward:   %v  (checkpoint resume + ACE pre-classification)\n",
+		r.FastForward.Round(time.Millisecond))
+	fmt.Fprintf(w, "  speedup: %.1fx with bit-identical statistics (%s)\n", r.SpeedupX, r.Stats)
+}

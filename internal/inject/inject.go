@@ -18,8 +18,10 @@ package inject
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
+	"harpocrates/internal/ace"
 	"harpocrates/internal/arch"
 	"harpocrates/internal/coverage"
 	"harpocrates/internal/gates"
@@ -102,6 +104,20 @@ type Campaign struct {
 	Cfg  uarch.Config
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
+
+	// CheckpointInterval is the initial spacing (in cycles) of the
+	// fast-forward checkpoints taken during the golden run; the campaign
+	// adaptively doubles it to keep at most a fixed number of snapshots.
+	// 0 means a sensible default.
+	CheckpointInterval uint64
+	// NoFastForward disables checkpointed resume and ACE
+	// pre-classification, simulating every injection from cycle 0 (the
+	// pre-optimization path; kept for ablation and validation).
+	NoFastForward bool
+	// ValidateAll simulates even provably-masked injections and fails
+	// the campaign if the simulated outcome disagrees with the
+	// pre-classifier (a soundness self-check; slow).
+	ValidateAll bool
 }
 
 // Stats summarizes a campaign.
@@ -199,41 +215,333 @@ func (c *Campaign) Golden() *uarch.Result {
 	return uarch.Run(c.Prog, c.Init(), c.goldenConfig())
 }
 
+// Checkpointing parameters: the golden run snapshots its state every
+// defaultCheckpointInterval cycles, and when maxCheckpoints snapshots
+// accumulate, every other one is dropped and the spacing doubles — one
+// pass, bounded memory, spacing proportional to program length.
+const (
+	defaultCheckpointInterval = 512
+	maxCheckpoints            = 16
+)
+
+// faultSpec is one injection's precomputed parameters. Deriving all
+// specs up front (in exactly the RNG order the original per-run code
+// used, so outcomes stay bit-identical for a fixed seed) lets the
+// campaign sort injections by cycle and resume each from the nearest
+// checkpoint.
+type faultSpec struct {
+	idx   int
+	start uint64 // first cycle the fault manifests (0 = active from reset)
+	end   uint64 // first cycle past an intermittent window
+	reg   int    // PRF entry (bit-array targets)
+	bit   int    // bit within the entry / flat cache bit
+	val   bool   // stuck-at value (intermittent / FU faults)
+	gate  int    // netlist gate (FU faults)
+}
+
+// deriveSpec computes injection i's fault parameters from (Seed, i).
+func (c *Campaign) deriveSpec(i int, goldenCycles uint64, nl *gates.Netlist) faultSpec {
+	rng := stats.Derive(c.Seed, i)
+	sp := faultSpec{idx: i}
+	if !c.Target.IsFunctionalUnit() {
+		sp.start = 1 + rng.Uint64N(max(goldenCycles, 1))
+		if c.Type != Transient {
+			sp.end = sp.start + max(c.IntermittentLen, 1)
+			sp.val = rng.IntN(2) == 1
+		}
+		switch c.Target {
+		case coverage.IRF:
+			sp.reg = rng.IntN(c.Cfg.IntPRF)
+			sp.bit = rng.IntN(64)
+		case coverage.FPRF:
+			sp.reg = rng.IntN(c.Cfg.FPPRF)
+			sp.bit = rng.IntN(128)
+		default:
+			sp.bit = rng.IntN(c.Cfg.L1D.SizeBytes * 8)
+		}
+		return sp
+	}
+	sp.gate = rng.IntN(nl.NumGates())
+	sp.val = rng.IntN(2) == 1
+	if c.Type == Intermittent {
+		sp.start = 1 + rng.Uint64N(max(goldenCycles, 1))
+		sp.end = sp.start + max(c.IntermittentLen, 1)
+	}
+	return sp
+}
+
+// cfgFor builds the faulty-run configuration for one spec, identical to
+// what the pre-optimization per-run code produced.
+func (c *Campaign) cfgFor(sp faultSpec, golden *uarch.Result) uarch.Config {
+	cfg := c.goldenConfig()
+	// Give the faulty run headroom before declaring a hang.
+	cfg.MaxCycles = golden.Cycles*4 + 100_000
+
+	if !c.Target.IsFunctionalUnit() {
+		start, end, reg, bit, val := sp.start, sp.end, sp.reg, sp.bit, sp.val
+		if c.Type == Transient {
+			switch c.Target {
+			case coverage.IRF:
+				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
+					if cyc == start {
+						core.FlipIntPRFBit(reg, bit)
+					}
+				}
+			case coverage.FPRF:
+				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
+					if cyc == start {
+						core.FlipFPPRFBit(reg, bit)
+					}
+				}
+			default:
+				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
+					if cyc == start {
+						core.FlipCacheBit(bit)
+					}
+				}
+			}
+		} else { // intermittent stuck-at window
+			switch c.Target {
+			case coverage.IRF:
+				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
+					if cyc >= start && cyc < end {
+						core.ForceIntPRFBit(reg, bit, val)
+					}
+				}
+			case coverage.FPRF:
+				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
+					if cyc >= start && cyc < end {
+						core.ForceFPPRFBit(reg, bit, val)
+					}
+				}
+			default:
+				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
+					if cyc >= start && cyc < end {
+						core.ForceCacheBit(bit, val)
+					}
+				}
+			}
+		}
+		return cfg
+	}
+
+	// Functional units: gate-level stuck-at.
+	fault := &gates.StuckAt{Gate: sp.gate, Value: sp.val}
+	cfg.FU = FUHooksFor(c.Target, fault)
+	if c.Type == Intermittent {
+		cfg.FUOutside = FUHooksFor(c.Target, nil)
+		cfg.FUWindow = [2]uint64{sp.start, sp.end}
+		if c.Target == coverage.IntAdder || c.Target == coverage.IntMul {
+			cfg.FUOutside = nil // native semantics are bit-exact
+		}
+	}
+	return cfg
+}
+
+// goldenInstrumented runs the fault-free reference once, collecting
+// fast-forward checkpoints and (for transient bit-array campaigns) the
+// consumed-interval log of the target structure. The instrumentation is
+// purely observational: the result is bit-identical to Golden().
+func (c *Campaign) goldenInstrumented() (*uarch.Result, []*uarch.Checkpoint) {
+	cfg := c.goldenConfig()
+	if c.NoFastForward {
+		return uarch.Run(c.Prog, c.Init(), cfg), nil
+	}
+	if c.Type == Transient && !c.Target.IsFunctionalUnit() {
+		switch c.Target {
+		case coverage.IRF:
+			cfg.RecordIRFIntervals = true
+		case coverage.FPRF:
+			cfg.RecordFPRFIntervals = true
+		default:
+			cfg.RecordL1DIntervals = true
+		}
+	}
+	var cks []*uarch.Checkpoint
+	interval := c.CheckpointInterval
+	if interval == 0 {
+		interval = defaultCheckpointInterval
+	}
+	next := interval
+	cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
+		if cyc != next {
+			return
+		}
+		if len(cks) >= maxCheckpoints {
+			kept := cks[:0]
+			for j := 1; j < len(cks); j += 2 {
+				kept = append(kept, cks[j])
+			}
+			cks = kept
+			interval *= 2
+		}
+		cks = append(cks, core.Checkpoint())
+		next = cyc + interval
+	}
+	golden := uarch.Run(c.Prog, c.Init(), cfg)
+	return golden, cks
+}
+
+// recorderFor returns the golden run's interval log for the campaign's
+// target structure (nil when pre-classification does not apply).
+func (c *Campaign) recorderFor(golden *uarch.Result) *ace.IntervalRecorder {
+	switch c.Target {
+	case coverage.IRF:
+		return golden.IRFIntervals
+	case coverage.FPRF:
+		return golden.FPRFIntervals
+	case coverage.L1D:
+		return golden.L1DIntervals
+	}
+	return nil
+}
+
+// preMasked reports whether a transient flip is provably masked without
+// simulation: the flip either lands at or past the golden run's final
+// cycle (the injection hook never fires in a run that stays on the
+// golden trajectory) or outside every consumed interval of its cell —
+// no access, right- or wrong-path, ever observes the corrupted value, so
+// the faulty run is cycle-for-cycle identical to the golden run.
+func (c *Campaign) preMasked(sp faultSpec, rec *ace.IntervalRecorder, goldenCycles uint64) bool {
+	if sp.start >= goldenCycles {
+		return true
+	}
+	var cell int
+	switch c.Target {
+	case coverage.IRF:
+		cell = sp.reg*64 + sp.bit
+	case coverage.FPRF:
+		cell = (2*sp.reg+sp.bit/64)*64 + sp.bit%64
+	default:
+		cell = sp.bit / 8 // the L1D log is per byte
+	}
+	return !rec.Consumed(cell, sp.start)
+}
+
+// nearestCheckpoint returns the latest checkpoint at or before cycle
+// (cks is in ascending cycle order), or nil.
+func nearestCheckpoint(cks []*uarch.Checkpoint, cycle uint64) *uarch.Checkpoint {
+	i := sort.Search(len(cks), func(i int) bool { return cks[i].Cycle() > cycle })
+	if i == 0 {
+		return nil
+	}
+	return cks[i-1]
+}
+
+// runSpec simulates one injection, resuming from the nearest checkpoint
+// preceding the fault's first active cycle when one exists. The prefix
+// before that cycle is bit-identical to the golden run (the fault has
+// not manifested yet), so resuming cannot change the outcome.
+func (c *Campaign) runSpec(sp faultSpec, golden *uarch.Result, cks []*uarch.Checkpoint) Outcome {
+	cfg := c.cfgFor(sp, golden)
+	var res *uarch.Result
+	if ck := nearestCheckpoint(cks, sp.start); ck != nil && sp.start > 0 {
+		res = uarch.RunFromCheckpoint(ck, cfg)
+	} else {
+		res = uarch.Run(c.Prog, c.Init(), cfg)
+	}
+	return classify(res, golden)
+}
+
+// classify grades a faulty run against the golden run (§II-E).
+func classify(res, golden *uarch.Result) Outcome {
+	switch {
+	case res.TimedOut:
+		return Hang
+	case res.Crash != nil:
+		return Crash
+	case res.Signature != golden.Signature:
+		return SDC
+	default:
+		return Masked
+	}
+}
+
 // Run executes the campaign and returns aggregate statistics.
+//
+// The fast path (default) simulates one instrumented golden run, proves
+// un-consumed transient flips masked without simulating them, sorts the
+// remaining injections by fault cycle and resumes each from the nearest
+// preceding checkpoint. Per-outcome counts are bit-identical to the
+// NoFastForward path for a fixed seed (asserted by tests across all
+// structures and by ValidateAll).
 func (c *Campaign) Run() (*Stats, error) {
 	if c.N <= 0 {
 		return nil, fmt.Errorf("inject: campaign needs N > 0")
 	}
-	golden := c.Golden()
+	golden, cks := c.goldenInstrumented()
 	if golden.TimedOut {
 		return nil, fmt.Errorf("inject: golden run timed out")
 	}
 	st := &Stats{N: c.N, GoldenCycles: golden.Cycles}
 
+	var nl *gates.Netlist
+	if c.Target.IsFunctionalUnit() {
+		nl = targetNetlist(c.Target)
+	}
+	specs := make([]faultSpec, c.N)
+	for i := range specs {
+		specs[i] = c.deriveSpec(i, golden.Cycles, nl)
+	}
+
+	outcomes := make([]Outcome, c.N)
+	pre := make([]bool, c.N)
+	toRun := make([]faultSpec, 0, c.N)
+	for _, sp := range specs {
+		if rec := c.recorderFor(golden); rec != nil && c.Type == Transient &&
+			golden.Clean() && c.preMasked(sp, rec, golden.Cycles) {
+			outcomes[sp.idx] = Masked
+			pre[sp.idx] = true
+			if !c.ValidateAll {
+				continue
+			}
+		}
+		toRun = append(toRun, sp)
+	}
+	sort.SliceStable(toRun, func(a, b int) bool { return toRun[a].start < toRun[b].start })
+
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > c.N {
-		workers = c.N
+	if workers > len(toRun) {
+		workers = len(toRun)
 	}
-	outcomes := make([]Outcome, c.N)
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var valErr error
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				outcomes[i] = c.runOne(i, golden)
+				sp := toRun[i]
+				out := c.runSpec(sp, golden, cks)
+				if pre[sp.idx] {
+					if out != Masked {
+						mu.Lock()
+						if valErr == nil {
+							valErr = fmt.Errorf(
+								"inject: pre-classifier unsound: injection %d (cycle %d reg %d bit %d) simulated as %v",
+								sp.idx, sp.start, sp.reg, sp.bit, out)
+						}
+						mu.Unlock()
+					}
+					continue
+				}
+				outcomes[sp.idx] = out
 			}
 		}()
 	}
-	for i := 0; i < c.N; i++ {
+	for i := range toRun {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
+	if valErr != nil {
+		return nil, valErr
+	}
 
 	for _, o := range outcomes {
 		switch o {
@@ -248,105 +556,4 @@ func (c *Campaign) Run() (*Stats, error) {
 		}
 	}
 	return st, nil
-}
-
-// runOne executes a single injection run. The fault parameters are
-// derived deterministically from (Seed, i).
-func (c *Campaign) runOne(i int, golden *uarch.Result) Outcome {
-	rng := stats.Derive(c.Seed, i)
-	cfg := c.goldenConfig()
-	// Give the faulty run headroom before declaring a hang.
-	cfg.MaxCycles = golden.Cycles*4 + 100_000
-
-	switch {
-	case !c.Target.IsFunctionalUnit():
-		cycle := 1 + rng.Uint64N(maxU64(golden.Cycles, 1))
-		if c.Type == Transient {
-			switch c.Target {
-			case coverage.IRF:
-				reg := rng.IntN(cfg.IntPRF)
-				bit := rng.IntN(64)
-				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
-					if cyc == cycle {
-						core.FlipIntPRFBit(reg, bit)
-					}
-				}
-			case coverage.FPRF:
-				reg := rng.IntN(cfg.FPPRF)
-				bit := rng.IntN(128)
-				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
-					if cyc == cycle {
-						core.FlipFPPRFBit(reg, bit)
-					}
-				}
-			default:
-				bit := rng.IntN(cfg.L1D.SizeBytes * 8)
-				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
-					if cyc == cycle {
-						core.FlipCacheBit(bit)
-					}
-				}
-			}
-		} else { // intermittent stuck-at window
-			end := cycle + maxU64(c.IntermittentLen, 1)
-			val := rng.IntN(2) == 1
-			switch c.Target {
-			case coverage.IRF:
-				reg := rng.IntN(cfg.IntPRF)
-				bit := rng.IntN(64)
-				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
-					if cyc >= cycle && cyc < end {
-						core.ForceIntPRFBit(reg, bit, val)
-					}
-				}
-			case coverage.FPRF:
-				reg := rng.IntN(cfg.FPPRF)
-				bit := rng.IntN(128)
-				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
-					if cyc >= cycle && cyc < end {
-						core.ForceFPPRFBit(reg, bit, val)
-					}
-				}
-			default:
-				bit := rng.IntN(cfg.L1D.SizeBytes * 8)
-				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
-					if cyc >= cycle && cyc < end {
-						core.ForceCacheBit(bit, val)
-					}
-				}
-			}
-		}
-
-	default: // functional units: gate-level stuck-at
-		n := targetNetlist(c.Target)
-		fault := &gates.StuckAt{Gate: rng.IntN(n.NumGates()), Value: rng.IntN(2) == 1}
-		cfg.FU = FUHooksFor(c.Target, fault)
-		if c.Type == Intermittent {
-			start := 1 + rng.Uint64N(maxU64(golden.Cycles, 1))
-			cfg.FUOutside = FUHooksFor(c.Target, nil)
-			cfg.FUWindow = [2]uint64{start, start + maxU64(c.IntermittentLen, 1)}
-			if c.Target == coverage.IntAdder || c.Target == coverage.IntMul {
-				cfg.FUOutside = nil // native semantics are bit-exact
-			}
-		}
-	}
-
-	res := uarch.Run(c.Prog, c.Init(), cfg)
-	switch {
-	case res.TimedOut:
-		return Hang
-	case res.Crash != nil:
-		return Crash
-	case res.Signature != golden.Signature:
-		return SDC
-	default:
-		return Masked
-	}
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

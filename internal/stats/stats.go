@@ -80,6 +80,23 @@ func splitmix(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// HashInit is the starting value for Mix64 chains (the 64-bit FNV-1a
+// offset basis).
+const HashInit uint64 = 14695981039346656037
+
+// Mix64 folds v into the running content hash h (FNV-1a over v's eight
+// bytes). Used to key memoization caches by value identity: start from
+// HashInit and fold each word of the structure in a fixed order.
+func Mix64(h, v uint64) uint64 {
+	const prime = 1099511628211
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}
+
 // Thin returns at most k evenly spaced elements of xs (for plotting long
 // convergence series at the paper's sampling intervals).
 func Thin(xs []float64, k int) []float64 {

@@ -75,6 +75,33 @@ func TestDeriveDeterministic(t *testing.T) {
 	}
 }
 
+func TestMix64(t *testing.T) {
+	if Mix64(HashInit, 1) == Mix64(HashInit, 2) {
+		t.Fatal("Mix64 collides on adjacent words")
+	}
+	// Order sensitivity: folding (a, b) must differ from (b, a).
+	ab := Mix64(Mix64(HashInit, 3), 4)
+	ba := Mix64(Mix64(HashInit, 4), 3)
+	if ab == ba {
+		t.Fatal("Mix64 chain is order-insensitive")
+	}
+	if Mix64(HashInit, 5) != Mix64(HashInit, 5) {
+		t.Fatal("Mix64 not deterministic")
+	}
+	// Dispersion sanity: single-bit input changes flip ~half the bits.
+	f := func(v uint64) bool {
+		d := Mix64(HashInit, v) ^ Mix64(HashInit, v^1)
+		n := 0
+		for ; d != 0; d &= d - 1 {
+			n++
+		}
+		return n >= 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestThin(t *testing.T) {
 	xs := make([]float64, 100)
 	for i := range xs {

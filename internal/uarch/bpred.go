@@ -17,6 +17,12 @@ func newGshare(bits int) *gshare {
 	}
 }
 
+// reset clears history and counters for reuse by a pooled core.
+func (g *gshare) reset() {
+	g.history = 0
+	clear(g.table)
+}
+
 func (g *gshare) index(pc int) uint64 {
 	return (uint64(pc) ^ g.history) & g.mask
 }

@@ -24,6 +24,10 @@ type dcache struct {
 	data    []byte      // flat SRAM: (set*ways+way)*lineBytes + offset
 	backing *arch.Memory
 	tracker *ace.CacheTracker
+	// rec logs per-byte consumed-value intervals at access time (fills
+	// and stores are writes; loads, dirty evictions and the final flush
+	// are consumptions). Nil unless Config.RecordL1DIntervals.
+	rec *ace.IntervalRecorder
 
 	// Second level (timing only) and latency table.
 	l2       *l2tags
@@ -34,27 +38,40 @@ type dcache struct {
 	hits, misses, writebacks uint64
 }
 
-func newDCache(full Config, backing *arch.Memory, tracker *ace.CacheTracker) *dcache {
+// initDCache builds the L1D model, reusing the SRAM, line metadata and
+// L2 tag arrays of a previous instance when the geometry matches (the
+// pooled-core fast path).
+func initDCache(d *dcache, full Config, backing *arch.Memory, tracker *ace.CacheTracker,
+	rec *ace.IntervalRecorder) *dcache {
 	cfg := full.L1D
 	numSets := cfg.NumSets()
 	n := numSets * cfg.Ways
-	d := &dcache{
-		cfg:      cfg,
-		numSets:  numSets,
-		lines:    make([]cacheLine, n),
-		data:     make([]byte, n*cfg.LineBytes),
-		backing:  backing,
-		tracker:  tracker,
-		l2:       newL2Tags(full.L2),
-		l2HitLat: full.L2.HitLatency,
-		memLat:   full.MemLatency,
-		prefetch: full.EnablePrefetch,
+	reuse := d != nil && d.cfg == cfg && len(d.lines) == n
+	if !reuse {
+		d = &dcache{
+			cfg:     cfg,
+			numSets: numSets,
+			lines:   make([]cacheLine, n),
+			data:    make([]byte, n*cfg.LineBytes),
+		}
 	}
+	d.backing = backing
+	d.tracker = tracker
+	d.rec = rec
+	d.l2 = initL2Tags(d.l2, full.L2)
+	d.l2HitLat = full.L2.HitLatency
+	d.memLat = full.MemLatency
+	d.prefetch = full.EnablePrefetch
+	d.hits, d.misses, d.writebacks = 0, 0, 0
 	if d.memLat == 0 {
 		d.memLat = cfg.MissLatency
 	}
+	// Clearing the SRAM is not required for correctness (invalid lines
+	// are never read and always filled before use) but keeps every run
+	// bit-for-bit independent of pool history, fault injection included.
+	clear(d.data)
 	for i := range d.lines {
-		d.lines[i].data = d.data[i*cfg.LineBytes : (i+1)*cfg.LineBytes]
+		d.lines[i] = cacheLine{data: d.data[i*cfg.LineBytes : (i+1)*cfg.LineBytes]}
 	}
 	return d
 }
@@ -135,6 +152,12 @@ func (d *dcache) fill(addr uint64, cycle uint64) (int, *arch.CrashError) {
 	if d.tracker != nil {
 		d.tracker.OnFill(d.byteIndex(victim, 0), d.cfg.LineBytes, cycle)
 	}
+	if d.rec != nil {
+		base := d.byteIndex(victim, 0)
+		for i := 0; i < d.cfg.LineBytes; i++ {
+			d.rec.Write(base+i, cycle)
+		}
+	}
 	return victim, nil
 }
 
@@ -146,6 +169,14 @@ func (d *dcache) evict(lineIdx int, cycle uint64) *arch.CrashError {
 	}
 	if d.tracker != nil {
 		d.tracker.OnEvict(d.byteIndex(lineIdx, 0), d.cfg.LineBytes, cycle, l.dirty)
+	}
+	if d.rec != nil && l.dirty {
+		// A writeback consumes every byte of the line, including bytes
+		// never stored to since the fill: their values reach memory.
+		base := d.byteIndex(lineIdx, 0)
+		for i := 0; i < d.cfg.LineBytes; i++ {
+			d.rec.Read(base+i, cycle)
+		}
 	}
 	if l.dirty {
 		d.writebacks++
@@ -210,10 +241,22 @@ func (d *dcache) access(addr uint64, size int, write bool, buf []byte, cycle uin
 			if d.tracker != nil {
 				d.tracker.OnWrite(d.byteIndex(li, lineOff), n, cycle)
 			}
+			if d.rec != nil {
+				base := d.byteIndex(li, lineOff)
+				for i := 0; i < n; i++ {
+					d.rec.Write(base+i, cycle)
+				}
+			}
 		} else {
 			copy(buf[off:off+n], l.data[lineOff:lineOff+n])
 			if visit != nil {
 				visit(d.byteIndex(li, lineOff), n)
+			}
+			if d.rec != nil {
+				base := d.byteIndex(li, lineOff)
+				for i := 0; i < n; i++ {
+					d.rec.Read(base+i, cycle)
+				}
 			}
 		}
 		addr += uint64(n)
@@ -235,6 +278,12 @@ func (d *dcache) flush(cycle uint64) *arch.CrashError {
 		l := &d.lines[i]
 		if l.valid && l.dirty {
 			d.writebacks++
+			if d.rec != nil {
+				base := d.byteIndex(i, 0)
+				for j := 0; j < d.cfg.LineBytes; j++ {
+					d.rec.Read(base+j, cycle)
+				}
+			}
 			if err := d.backing.WriteBytes(d.lineAddr(i), l.data); err != nil {
 				return err
 			}

@@ -1,0 +1,171 @@
+package uarch
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// resultsEqual compares every scalar field of two results (the interval
+// recorder pointers are per-run instrumentation and excluded).
+func resultsEqual(a, b *Result) bool {
+	return a.Signature == b.Signature &&
+		a.TimedOut == b.TimedOut &&
+		(a.Crash == nil) == (b.Crash == nil) &&
+		a.Cycles == b.Cycles &&
+		a.Instructions == b.Instructions &&
+		a.Branches == b.Branches &&
+		a.Mispredicts == b.Mispredicts &&
+		a.CacheHits == b.CacheHits &&
+		a.CacheMisses == b.CacheMisses &&
+		a.Writebacks == b.Writebacks &&
+		a.L2Hits == b.L2Hits &&
+		a.L2Misses == b.L2Misses &&
+		a.Prefetches == b.Prefetches &&
+		a.IRFVuln == b.IRFVuln &&
+		a.L1DVuln == b.L1DVuln &&
+		a.FPRFVuln == b.FPRFVuln &&
+		a.IBR == b.IBR &&
+		a.UnitUses == b.UnitUses
+}
+
+// TestCheckpointResumeBitIdentical runs a program once uninstrumented,
+// then again taking checkpoints mid-run, resumes from each checkpoint,
+// and requires every observable result field — signature, cycle and
+// instruction counts, cache/predictor statistics, ACE vulnerability, IBR
+// — to be bit-identical to the straight-through run.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	prog := randomProgram(rng, 400, false)
+	cfg := DefaultConfig()
+	cfg.TrackIRF = true
+	cfg.TrackL1D = true
+	cfg.TrackFPRF = true
+	cfg.TrackIBR = true
+
+	ref := Run(prog, newInitState(t, 3), cfg)
+	if ref.Crash != nil || ref.TimedOut {
+		t.Fatalf("reference run not clean: %v timedOut=%v", ref.Crash, ref.TimedOut)
+	}
+	if ref.Cycles < 40 {
+		t.Fatalf("program too short for checkpointing: %d cycles", ref.Cycles)
+	}
+
+	ckCfg := cfg
+	var cks []*Checkpoint
+	interval := ref.Cycles / 5
+	ckCfg.OnCycle = func(c *Core, cyc uint64) {
+		if cyc > 0 && cyc%interval == 0 {
+			cks = append(cks, c.Checkpoint())
+		}
+	}
+	instrumented := Run(prog, newInitState(t, 3), ckCfg)
+	if !resultsEqual(ref, instrumented) {
+		t.Fatalf("taking checkpoints perturbed the run:\nref:  %+v\ninst: %+v", ref.Snapshot, instrumented.Snapshot)
+	}
+	if len(cks) < 3 {
+		t.Fatalf("expected >=3 checkpoints, got %d", len(cks))
+	}
+
+	for i, ck := range cks {
+		if ck.Cycle() != uint64(i+1)*interval {
+			t.Fatalf("checkpoint %d at cycle %d, want %d", i, ck.Cycle(), uint64(i+1)*interval)
+		}
+		resumeCfg := cfg
+		resumeCfg.OnCycle = nil
+		got := RunFromCheckpoint(ck, resumeCfg)
+		if !resultsEqual(ref, got) {
+			t.Errorf("resume from checkpoint %d (cycle %d) diverged:\nref: sig=%#x cyc=%d instr=%d vuln=%v/%v/%v\ngot: sig=%#x cyc=%d instr=%d vuln=%v/%v/%v",
+				i, ck.Cycle(),
+				ref.Signature, ref.Cycles, ref.Instructions, ref.IRFVuln, ref.L1DVuln, ref.FPRFVuln,
+				got.Signature, got.Cycles, got.Instructions, got.IRFVuln, got.L1DVuln, got.FPRFVuln)
+		}
+	}
+
+	// A checkpoint stays reusable: a second restore from the same
+	// snapshot must agree with the first.
+	again := RunFromCheckpoint(cks[0], cfg)
+	if !resultsEqual(ref, again) {
+		t.Fatal("second restore from the same checkpoint diverged")
+	}
+}
+
+// TestCheckpointResumeWithInjection checks the fast-forward contract the
+// injector relies on: a flip applied at cycle T >= ck.Cycle() through a
+// resumed run gives the same outcome as applying it to a run from cycle
+// 0 — including a flip at exactly the checkpoint cycle (OnCycle re-fires
+// for the re-entered cycle).
+func TestCheckpointResumeWithInjection(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	prog := randomProgram(rng, 300, false)
+	cfg := DefaultConfig()
+
+	ref := Run(prog, newInitState(t, 5), cfg)
+	if ref.Crash != nil || ref.TimedOut {
+		t.Fatalf("reference run not clean: %v", ref.Crash)
+	}
+
+	ckCfg := cfg
+	var ck *Checkpoint
+	ckCycle := ref.Cycles / 2
+	ckCfg.OnCycle = func(c *Core, cyc uint64) {
+		if cyc == ckCycle && ck == nil {
+			ck = c.Checkpoint()
+		}
+	}
+	Run(prog, newInitState(t, 5), ckCfg)
+	if ck == nil {
+		t.Fatal("no checkpoint taken")
+	}
+
+	for _, flipCycle := range []uint64{ckCycle, ckCycle + 1, ckCycle + ref.Cycles/4} {
+		for reg := 0; reg < 16; reg += 5 {
+			for _, bit := range []int{0, 17, 63} {
+				inj := cfg
+				fc, fr, fb := flipCycle, reg, bit
+				inj.OnCycle = func(c *Core, cyc uint64) {
+					if cyc == fc {
+						c.FlipIntPRFBit(fr, fb)
+					}
+				}
+				full := Run(prog, newInitState(t, 5), inj)
+				fast := RunFromCheckpoint(ck, inj)
+				if !resultsEqual(full, fast) {
+					t.Fatalf("flip (reg=%d bit=%d cycle=%d): full sig=%#x crash=%v cyc=%d; resumed sig=%#x crash=%v cyc=%d",
+						fr, fb, fc, full.Signature, full.Crash, full.Cycles,
+						fast.Signature, fast.Crash, fast.Cycles)
+				}
+			}
+		}
+	}
+}
+
+// TestPooledRunDeterministic re-runs the same program many times through
+// the pooled Run path (forcing pool reuse) and requires bit-identical
+// results, tracking enabled and disabled.
+func TestPooledRunDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	prog := randomProgram(rng, 350, false)
+	for _, track := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.TrackIRF = track
+		cfg.TrackL1D = track
+		cfg.TrackFPRF = track
+		cfg.TrackIBR = track
+		ref := Run(prog, newInitState(t, 9), cfg)
+		for i := 0; i < 8; i++ {
+			got := Run(prog, newInitState(t, 9), cfg)
+			if !resultsEqual(ref, got) {
+				t.Fatalf("track=%v: pooled run %d diverged (sig %#x vs %#x, cycles %d vs %d)",
+					track, i, ref.Signature, got.Signature, ref.Cycles, got.Cycles)
+			}
+		}
+		// Alternating a different program through the pool must not leak
+		// state into the next run of the original.
+		other := randomProgram(rng, 120, false)
+		Run(other, newInitState(t, 77), cfg)
+		got := Run(prog, newInitState(t, 9), cfg)
+		if !resultsEqual(ref, got) {
+			t.Fatalf("track=%v: run after pool cross-use diverged", track)
+		}
+	}
+}

@@ -96,6 +96,17 @@ type Config struct {
 	// analysis (ablation; see internal/ace).
 	ACEIgnoreWidths bool
 
+	// RecordIRFIntervals / RecordFPRFIntervals / RecordL1DIntervals
+	// attach an ace.IntervalRecorder to the corresponding bit array,
+	// logging consumed-value intervals directly at access time (including
+	// wrong-path work, so the log is conservative). The fault injector
+	// uses the recorders, surfaced on Result, to prove transient flips
+	// masked without simulating them. Pure observation: enabling a
+	// recorder cannot change simulated behaviour.
+	RecordIRFIntervals  bool
+	RecordFPRFIntervals bool
+	RecordL1DIntervals  bool
+
 	// FU reroutes arithmetic through external functional-unit models
 	// (gate-level netlists carrying permanent faults). FUWindow bounds
 	// the cycles in which the hooks are active (intermittent faults);

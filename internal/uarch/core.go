@@ -29,6 +29,14 @@ type Result struct {
 	L2Hits      uint64
 	L2Misses    uint64
 	Prefetches  uint64
+
+	// IRFIntervals / FPRFIntervals / L1DIntervals are the consumed-value
+	// interval logs of the bit arrays, present when the corresponding
+	// Record*Intervals config flag was set. The fault injector queries
+	// them to prove transient flips masked without simulation.
+	IRFIntervals  *ace.IntervalRecorder
+	FPRFIntervals *ace.IntervalRecorder
+	L1DIntervals  *ace.IntervalRecorder
 }
 
 // Clean reports a run that neither crashed nor hung.
@@ -61,7 +69,12 @@ type Core struct {
 	// fprf tracks the FP register file as 2x64-bit lanes per entry
 	// (pseudo-register 2p for the low lane, 2p+1 for the high).
 	fprf *ace.RegFileTracker
-	ibrC [coverage.NumStructures]coverage.IBRCounter
+	// recIRF / recFPRF log consumed-value intervals per PRF bit at access
+	// time (cell = phys*64+bit; FP registers as two 64-bit lanes). The
+	// L1D recorder lives on the dcache.
+	recIRF  *ace.IntervalRecorder
+	recFPRF *ace.IntervalRecorder
+	ibrC    [coverage.NumStructures]coverage.IBRCounter
 
 	intPRF   []uint64
 	intReady []bool
@@ -115,6 +128,30 @@ type Core struct {
 // architectural state; its memory must be a plain *arch.Memory and is
 // used directly (clone beforehand if you need to keep it pristine).
 func NewCore(prog []isa.Inst, init *arch.State, cfg Config) *Core {
+	c := &Core{}
+	c.init(prog, init, cfg)
+	return c
+}
+
+// grow reslices s to length n, reusing its backing array when possible.
+// Surviving elements are retained (so pooled ROB entries keep the
+// capacity of their per-µop slices); callers reset whatever state needs
+// resetting.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	ns := make([]T, n)
+	copy(ns, s)
+	return ns
+}
+
+// init (re)initializes the core for one run, reusing any allocations a
+// pooled core carries from earlier runs: the PRF/ready arrays, free
+// lists, ROB entries (and their per-µop slices), cache SRAM and line
+// metadata, L2 tag arrays, predictor table and ACE trackers all survive,
+// so repeated runs stop churning the garbage collector.
+func (c *Core) init(prog []isa.Inst, init *arch.State, cfg Config) {
 	mem, ok := init.Mem.(*arch.Memory)
 	if !ok {
 		panic("uarch: initial state must use a plain *arch.Memory")
@@ -122,33 +159,100 @@ func NewCore(prog []isa.Inst, init *arch.State, cfg Config) *Core {
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 200*uint64(len(prog)) + 1_000_000
 	}
-	c := &Core{
-		cfg:  cfg,
-		prog: prog,
-		mem:  mem,
-		bp:   newGshare(cfg.GshareBits),
+	c.cfg = cfg
+	c.prog = prog
+	c.mem = mem
 
-		intPRF:   make([]uint64, cfg.IntPRF),
-		intReady: make([]bool, cfg.IntPRF),
-		fpPRF:    make([][2]uint64, cfg.FPPRF),
-		fpReady:  make([]bool, cfg.FPPRF),
-		flagPRF:  make([]isa.Flags, cfg.FlagPRF),
-		flagRdy:  make([]bool, cfg.FlagPRF),
-
-		rob: make([]uop, cfg.ROBSize),
-		fq:  make([]fqEntry, 0, cfg.FetchQueue),
+	if c.bp != nil && len(c.bp.table) == 1<<uint(cfg.GshareBits) {
+		c.bp.reset()
+	} else {
+		c.bp = newGshare(cfg.GshareBits)
 	}
+
+	c.intPRF = grow(c.intPRF, cfg.IntPRF)
+	clear(c.intPRF)
+	c.intReady = grow(c.intReady, cfg.IntPRF)
+	clear(c.intReady)
+	c.fpPRF = grow(c.fpPRF, cfg.FPPRF)
+	clear(c.fpPRF)
+	c.fpReady = grow(c.fpReady, cfg.FPPRF)
+	clear(c.fpReady)
+	c.flagPRF = grow(c.flagPRF, cfg.FlagPRF)
+	clear(c.flagPRF)
+	c.flagRdy = grow(c.flagRdy, cfg.FlagPRF)
+	clear(c.flagRdy)
+	c.intFree = c.intFree[:0]
+	c.fpFree = c.fpFree[:0]
+	c.flagFree = c.flagFree[:0]
+	c.rat = ratSnapshot{}
+
+	c.rob = grow(c.rob, cfg.ROBSize)
+	c.robHead, c.robCnt = 0, 0
+	c.iq = c.iq[:0]
+	c.sq = c.sq[:0]
+	c.inflight = c.inflight[:0]
+	if cap(c.fq) < cfg.FetchQueue {
+		c.fq = make([]fqEntry, 0, cfg.FetchQueue)
+	} else {
+		c.fq = c.fq[:0]
+	}
+	c.fetchPC = 0
+	c.fetchStallUntil = 0
+	c.cycle, c.seq, c.instret = 0, 0, 0
+	c.nLoads, c.nStores = 0, 0
+	c.memPortsUsed = 0
+	c.unitUsed = [isa.NumUnits]int{}
+	c.divBusyUntil = [2]uint64{}
+	c.oldestUnexecStore = 0
+	c.execState = arch.State{NondetSalt: cfg.NondetSalt}
+	c.bus = execBus{c: c}
+	c.branches, c.mispredicts = 0, 0
+	c.crash = nil
+	c.timedOut = false
+	c.finished = false
+	c.ibrC = [coverage.NumStructures]coverage.IBRCounter{}
+
 	var l1dTracker *ace.CacheTracker
 	if cfg.TrackL1D {
-		l1dTracker = ace.NewCacheTracker(cfg.L1D.SizeBytes)
+		if c.cache != nil && c.cache.tracker != nil && c.cache.tracker.NumBytes() == cfg.L1D.SizeBytes {
+			l1dTracker = c.cache.tracker
+			l1dTracker.Reset()
+		} else {
+			l1dTracker = ace.NewCacheTracker(cfg.L1D.SizeBytes)
+		}
 	}
-	c.cache = newDCache(cfg, mem, l1dTracker)
+	// Interval recorders escape through Result, so a pooled core must
+	// never reuse them: fresh per run, nil unless requested.
+	var recL1D *ace.IntervalRecorder
+	if cfg.RecordL1DIntervals {
+		recL1D = ace.NewIntervalRecorder(cfg.L1D.SizeBytes)
+	}
+	c.cache = initDCache(c.cache, cfg, mem, l1dTracker, recL1D)
 	if cfg.TrackIRF {
-		c.irf = ace.NewRegFileTracker(cfg.IntPRF)
+		if c.irf != nil && c.irf.NumRegs() == cfg.IntPRF {
+			c.irf.Reset()
+		} else {
+			c.irf = ace.NewRegFileTracker(cfg.IntPRF)
+		}
 		c.irf.IgnoreWidths = cfg.ACEIgnoreWidths
+	} else {
+		c.irf = nil
 	}
 	if cfg.TrackFPRF {
-		c.fprf = ace.NewRegFileTracker(2 * cfg.FPPRF)
+		if c.fprf != nil && c.fprf.NumRegs() == 2*cfg.FPPRF {
+			c.fprf.Reset()
+		} else {
+			c.fprf = ace.NewRegFileTracker(2 * cfg.FPPRF)
+		}
+	} else {
+		c.fprf = nil
+	}
+	c.recIRF, c.recFPRF = nil, nil
+	if cfg.RecordIRFIntervals {
+		c.recIRF = ace.NewIntervalRecorder(cfg.IntPRF * 64)
+	}
+	if cfg.RecordFPRFIntervals {
+		c.recFPRF = ace.NewIntervalRecorder(2 * cfg.FPPRF * 64)
 	}
 
 	// Initial rename map: arch register r -> physical r.
@@ -181,10 +285,6 @@ func NewCore(prog []isa.Inst, init *arch.State, cfg Config) *Core {
 	for f := 1; f < cfg.FlagPRF; f++ {
 		c.flagFree = append(c.flagFree, uint16(f))
 	}
-
-	c.execState.NondetSalt = cfg.NondetSalt
-	c.bus.c = c
-	return c
 }
 
 // Cycle returns the current cycle (for injection hooks).
@@ -272,6 +372,30 @@ func (c *Core) buildResult() *Result {
 	if err := c.cache.flush(c.cycle); err != nil && c.crash == nil {
 		c.crash = err
 	}
+	// The final architectural state is itself a consumer: physical
+	// registers still mapped at the end of the run feed the output
+	// signature, so their last values must be logged as read or the
+	// pre-classifier would wrongly prove end-of-run flips masked. RSP is
+	// excluded from the signature, so it is soundly skipped.
+	if c.recIRF != nil {
+		for r := 0; r < isa.NumGPR; r++ {
+			if isa.Reg(r) == isa.RSP {
+				continue
+			}
+			base := int(c.rat.intRAT[r]) * 64
+			for b := 0; b < 64; b++ {
+				c.recIRF.Read(base+b, c.cycle)
+			}
+		}
+	}
+	if c.recFPRF != nil {
+		for x := 0; x < isa.NumXMM; x++ {
+			base := 2 * int(c.rat.fpRAT[x]) * 64
+			for b := 0; b < 128; b++ {
+				c.recFPRF.Read(base+b, c.cycle)
+			}
+		}
+	}
 	fs := arch.State{Mem: c.mem}
 	for r := 0; r < isa.NumGPR; r++ {
 		fs.GPR[r] = c.intPRF[c.rat.intRAT[r]]
@@ -296,6 +420,9 @@ func (c *Core) buildResult() *Result {
 		r.L2Misses = c.cache.l2.misses
 		r.Prefetches = c.cache.l2.prefetches
 	}
+	r.IRFIntervals = c.recIRF
+	r.FPRFIntervals = c.recFPRF
+	r.L1DIntervals = c.cache.rec
 	r.Cycles = c.cycle
 	r.Instructions = c.instret
 	if c.irf != nil {

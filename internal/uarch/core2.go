@@ -134,12 +134,27 @@ func (c *Core) execUop(idx int) {
 		case clsInt:
 			ms.GPR[s.arch] = c.intPRF[s.phys]
 			u.events = append(u.events, aceEvent{kind: evPRFRead, a: int32(s.phys), n: int32(s.bits), cycle: c.cycle})
+			if c.recIRF != nil {
+				// Width-limited is sound: the executor masks operands to
+				// the declared read width, so higher bits cannot reach
+				// architectural state through this read.
+				base := int(s.phys) * 64
+				for b := 0; b < min(int(s.bits), 64); b++ {
+					c.recIRF.Read(base+b, c.cycle)
+				}
+			}
 		case clsFP:
 			ms.XMM[s.arch] = c.fpPRF[s.phys]
 			if c.fprf != nil {
 				u.events = append(u.events, aceEvent{kind: evFPRFRead, a: int32(2 * s.phys), n: 64, cycle: c.cycle})
 				if s.bits > 64 {
 					u.events = append(u.events, aceEvent{kind: evFPRFRead, a: int32(2*s.phys + 1), n: 64, cycle: c.cycle})
+				}
+			}
+			if c.recFPRF != nil {
+				base := 2 * int(s.phys) * 64
+				for b := 0; b < min(int(s.bits), 128); b++ {
+					c.recFPRF.Read(base+b, c.cycle)
 				}
 			}
 		case clsFlag:
@@ -168,12 +183,24 @@ func (c *Core) execUop(idx int) {
 			case clsInt:
 				c.intPRF[d.phys] = ms.GPR[d.arch]
 				u.events = append(u.events, aceEvent{kind: evPRFWrite, a: int32(d.phys), cycle: c.cycle})
+				if c.recIRF != nil {
+					base := int(d.phys) * 64
+					for b := 0; b < 64; b++ {
+						c.recIRF.Write(base+b, c.cycle)
+					}
+				}
 			case clsFP:
 				c.fpPRF[d.phys] = ms.XMM[d.arch]
 				if c.fprf != nil {
 					u.events = append(u.events,
 						aceEvent{kind: evFPRFWrite, a: int32(2 * d.phys), cycle: c.cycle},
 						aceEvent{kind: evFPRFWrite, a: int32(2*d.phys + 1), cycle: c.cycle})
+				}
+				if c.recFPRF != nil {
+					base := 2 * int(d.phys) * 64
+					for b := 0; b < 128; b++ {
+						c.recFPRF.Write(base+b, c.cycle)
+					}
 				}
 			case clsFlag:
 				c.flagPRF[d.phys] = ms.Flags
@@ -444,8 +471,8 @@ func (b *execBus) Read(addr, size uint64) (uint64, *arch.CrashError) {
 			continue
 		}
 		for _, w := range su.writes {
-			lo := max64(addr, w.addr)
-			hi := min64(addr+size, w.addr+uint64(w.size))
+			lo := max(addr, w.addr)
+			hi := min(addr+size, w.addr+uint64(w.size))
 			for a := lo; a < hi; a++ {
 				buf[a-addr] = byte(w.data >> (8 * (a - w.addr)))
 			}
@@ -492,17 +519,3 @@ func (b *execBus) Write128(addr uint64, v [2]uint64) *arch.CrashError {
 }
 
 func (b *execBus) Regions() []*arch.Region { return b.c.mem.Regions() }
-
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min64(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
-}

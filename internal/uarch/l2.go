@@ -18,12 +18,21 @@ type l2tags struct {
 	hits, misses, prefetches uint64
 }
 
-func newL2Tags(cfg CacheConfig) *l2tags {
+// initL2Tags builds the L2 tag model, reusing a previous instance's
+// arrays when the geometry matches (the pooled-core fast path).
+func initL2Tags(t *l2tags, cfg CacheConfig) *l2tags {
 	if cfg.SizeBytes == 0 {
 		return nil
 	}
 	numSets := cfg.NumSets()
 	n := numSets * cfg.Ways
+	if t != nil && t.numSets == numSets && t.ways == cfg.Ways && t.lineBytes == cfg.LineBytes {
+		// Invalidating is enough: tag and lastUse entries are only read
+		// once a line is valid again (and thus rewritten by fill).
+		clear(t.valid)
+		t.hits, t.misses, t.prefetches = 0, 0, 0
+		return t
+	}
 	return &l2tags{
 		numSets:   numSets,
 		ways:      cfg.Ways,

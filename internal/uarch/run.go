@@ -1,13 +1,31 @@
 package uarch
 
 import (
+	"sync"
+
 	"harpocrates/internal/arch"
 	"harpocrates/internal/isa"
 )
 
+// corePool recycles cores across runs so the big allocations — PRFs,
+// ROB entries and their per-µop slices, the 32 KB L1D SRAM, L2 tags,
+// predictor table, ACE trackers — are reused instead of churning the
+// garbage collector. Core.init fully re-establishes every piece of state
+// a run can observe, so pooled runs are bit-identical to fresh ones
+// (asserted by TestPooledRunDeterministic).
+var corePool = sync.Pool{New: func() any { return new(Core) }}
+
+func getPooledCore() *Core  { return corePool.Get().(*Core) }
+func putPooledCore(c *Core) { corePool.Put(c) }
+
 // Run simulates prog from the given initial architectural state under
 // cfg and returns the result. The initial state's memory is mutated;
-// clone it first if it must survive.
+// clone it first if it must survive. Runs execute on pooled cores;
+// results never alias pooled storage.
 func Run(prog []isa.Inst, init *arch.State, cfg Config) *Result {
-	return NewCore(prog, init, cfg).Run()
+	c := getPooledCore()
+	c.init(prog, init, cfg)
+	r := c.Run()
+	putPooledCore(c)
+	return r
 }
