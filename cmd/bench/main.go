@@ -18,6 +18,7 @@ import (
 
 	"harpocrates/internal/coverage"
 	"harpocrates/internal/experiments"
+	"harpocrates/internal/obs"
 )
 
 func main() {
@@ -29,10 +30,21 @@ func main() {
 		speed     = flag.Bool("speed", false, "§VI-C detection-speed comparison")
 		sfi       = flag.Bool("sfi", false, "SFI campaign fast-forward timing (checkpointed resume vs from-cycle-0)")
 		all       = flag.Bool("all", false, "run everything")
+
+		tracePath = flag.String("trace", "", "write a JSONL event trace to this file")
+		metrics   = flag.Bool("metrics", false, "print a metrics summary at exit")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
+	ob, obFinish, err := obs.SetupCLI(*tracePath, *metrics, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	pp := experiments.DefaultParams()
+	pp.Obs = ob
 	fmt.Printf("scale=%d (HARPO_SCALE), injections per campaign: bit-array=%d adder=%d mul=%d fp=%d\n\n",
 		pp.Scale, pp.InjBitArray, pp.InjAdder, pp.InjMul, pp.InjFP)
 
@@ -113,4 +125,5 @@ func main() {
 		experiments.FprintCampaignSpeed(os.Stdout, r)
 		fmt.Println()
 	}
+	die(obFinish(os.Stdout))
 }

@@ -20,6 +20,7 @@ import (
 	"harpocrates/internal/baselines/mibench"
 	"harpocrates/internal/coverage"
 	"harpocrates/internal/inject"
+	"harpocrates/internal/obs"
 	"harpocrates/internal/prog"
 	"harpocrates/internal/uarch"
 )
@@ -45,8 +46,18 @@ func main() {
 		scale  = flag.Int("scale", 1, "workload scale")
 		window = flag.Uint64("window", 100, "intermittent fault window (cycles)")
 		list   = flag.Bool("list", false, "list available programs and exit")
+
+		tracePath = flag.String("trace", "", "write a JSONL event trace to this file")
+		metrics   = flag.Bool("metrics", false, "print a metrics summary at exit")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	ob, obFinish, err := obs.SetupCLI(*tracePath, *metrics, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	suites := map[string][]*prog.Program{
 		"mibench": mibench.Programs(*scale),
@@ -117,6 +128,7 @@ func main() {
 		IntermittentLen: *window,
 		Seed:            *seed,
 		Cfg:             uarch.DefaultConfig(),
+		Obs:             ob,
 	}
 	golden := c.Golden()
 	fmt.Printf("program %s: %d instructions, %d cycles golden, IPC %.2f\n",
@@ -129,4 +141,8 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(" ", stats)
+	if err := obFinish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

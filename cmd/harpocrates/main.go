@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"harpocrates"
+	"harpocrates/internal/obs"
 )
 
 func parseStructure(s string) (harpocrates.Structure, error) {
@@ -45,6 +46,9 @@ func main() {
 		detect     = flag.Int("detect", 0, "run a final fault-injection campaign with N injections")
 		dump       = flag.Int("dump", 0, "print the first N instructions of the best program")
 		save       = flag.String("save", "", "save the best program to a .hxpg file")
+		tracePath  = flag.String("trace", "", "write a JSONL event trace to this file")
+		metrics    = flag.Bool("metrics", false, "print a metrics summary at exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -53,8 +57,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	ob, obFinish, err := obs.SetupCLI(*tracePath, *metrics, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	o := harpocrates.Preset(st, *scale)
 	o.Seed = *seed
+	o.Obs = ob
 	if *iterations > 0 {
 		o.Iterations = *iterations
 	}
@@ -96,12 +106,18 @@ func main() {
 	if *detect > 0 {
 		fmt.Printf("running %v SFI campaign (%d injections, %s faults)...\n",
 			st, *detect, faultName(st))
-		stats, err := harpocrates.MeasureDetection(best, st, *detect, *seed)
+		c := harpocrates.NewDetectionCampaign(best, st, *detect, *seed)
+		c.Obs = ob
+		stats, err := c.Run()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("  %v\n", stats)
+	}
+	if err := obFinish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

@@ -29,12 +29,14 @@
 package harpocrates
 
 import (
+	"io"
 	"math/rand/v2"
 
 	"harpocrates/internal/core"
 	"harpocrates/internal/coverage"
 	"harpocrates/internal/gen"
 	"harpocrates/internal/inject"
+	"harpocrates/internal/obs"
 	"harpocrates/internal/prog"
 	"harpocrates/internal/uarch"
 )
@@ -73,7 +75,24 @@ type (
 	Campaign = inject.Campaign
 	// Metric is a coverage objective function.
 	Metric = coverage.Metric
+	// Observer carries the observability layer (metrics + trace) into
+	// the loop and campaigns via LoopOptions.Obs / Campaign.Obs.
+	Observer = obs.Observer
+	// Metrics is a registry of counters, gauges and histograms.
+	Metrics = obs.Registry
+	// Tracer emits a structured JSONL event log.
+	Tracer = obs.Tracer
 )
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewTracer returns a tracer writing JSONL events to w.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// NewObserver bundles a metrics registry and/or tracer into an Observer
+// (either may be nil; both nil returns a nil, fully no-op Observer).
+func NewObserver(reg *Metrics, tr *Tracer) *Observer { return obs.New(reg, tr) }
 
 // DefaultGenConfig returns the default generator configuration
 // (10K instructions, uniform selection over the deterministic pool,
@@ -121,12 +140,13 @@ func Simulate(p *Program, st Structure) *SimResult {
 	return uarch.Run(p.Insts, p.NewState(), cfg)
 }
 
-// MeasureDetection runs a statistical fault-injection campaign against
-// the structure's default fault model (transient bit flips for bit
-// arrays, permanent gate-level stuck-at faults for functional units) and
-// returns the detection statistics.
-func MeasureDetection(p *Program, st Structure, injections int, seed uint64) (*DetectionStats, error) {
-	c := &inject.Campaign{
+// NewDetectionCampaign builds the standard statistical fault-injection
+// campaign for a program: the structure's default fault model (transient
+// bit flips for bit arrays, permanent gate-level stuck-at faults for
+// functional units) on the reference core. Adjust fields (e.g. attach an
+// Observer via Obs) before calling Run.
+func NewDetectionCampaign(p *Program, st Structure, injections int, seed uint64) *Campaign {
+	return &inject.Campaign{
 		Prog:   p.Insts,
 		Init:   p.InitFunc(),
 		Target: st,
@@ -135,5 +155,12 @@ func MeasureDetection(p *Program, st Structure, injections int, seed uint64) (*D
 		Seed:   seed,
 		Cfg:    uarch.DefaultConfig(),
 	}
-	return c.Run()
+}
+
+// MeasureDetection runs a statistical fault-injection campaign against
+// the structure's default fault model (transient bit flips for bit
+// arrays, permanent gate-level stuck-at faults for functional units) and
+// returns the detection statistics.
+func MeasureDetection(p *Program, st Structure, injections int, seed uint64) (*DetectionStats, error) {
+	return NewDetectionCampaign(p, st, injections, seed).Run()
 }

@@ -24,6 +24,7 @@ import (
 	"harpocrates/internal/gen"
 	"harpocrates/internal/isa"
 	"harpocrates/internal/mutate"
+	"harpocrates/internal/obs"
 	"harpocrates/internal/prog"
 	"harpocrates/internal/stats"
 	"harpocrates/internal/uarch"
@@ -66,6 +67,13 @@ type Options struct {
 	// instruction replacement, mutate.ReplaceAll — the paper's choice,
 	// §V-B1). Used by the mutation-strategy ablation.
 	Mutate func(parent *gen.Genotype, cfg *gen.Config, rng *rand.Rand) *gen.Genotype
+
+	// Obs, if set, receives the run's metrics (per-phase wall-clock
+	// timings, simulator counters, population diversity, mutation
+	// effectiveness) and a trace span per iteration. Observation is
+	// passive: it never perturbs the optimization trajectory. Nil
+	// disables all instrumentation.
+	Obs *obs.Observer
 }
 
 // Individual is one member of the population with its evaluation.
@@ -137,18 +145,29 @@ func (o *Options) normalize() error {
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	// Defaults apply field-wise: a caller setting only some generator or
+	// core fields (a custom variant pool, a custom cache geometry) keeps
+	// them, and only the unset fields take defaults. (This used to
+	// replace the entire Gen config when NumInstrs was zero and the
+	// entire Core config when ROBSize was zero, silently discarding
+	// every other caller-set field.)
+	genDef := gen.DefaultConfig()
 	if o.Gen.NumInstrs == 0 {
-		o.Gen = gen.DefaultConfig()
+		o.Gen.NumInstrs = genDef.NumInstrs
 	}
 	if len(o.Gen.Allowed) == 0 {
 		o.Gen.Allowed = gen.DefaultPool()
 	}
+	if o.Gen.Mem.RegionBytes == 0 {
+		o.Gen.Mem.RegionBytes = genDef.Mem.RegionBytes
+	}
+	if o.Gen.Mem.Stride == 0 {
+		o.Gen.Mem.Stride = genDef.Mem.Stride
+	}
 	if o.Metric.Score == nil {
 		o.Metric = coverage.MetricFor(o.Structure)
 	}
-	if o.Core.ROBSize == 0 {
-		o.Core = uarch.DefaultConfig()
-	}
+	o.Core = o.Core.WithDefaults()
 	switch o.Structure {
 	case coverage.IRF:
 		o.Core.TrackIRF = true
@@ -216,12 +235,21 @@ func Run(o Options) (*Result, error) {
 	hist := &History{}
 	memo := &evalCache{m: make(map[uint64]evalEntry)}
 
+	stopRun := o.Obs.Phase("core.run")
+	runSpan := o.Obs.Span("run", obs.Fields{
+		"structure": o.Structure.String(), "pop": o.PopSize, "topk": o.TopK,
+		"mutants_per_parent": o.MutantsPerParent, "iterations": o.Iterations,
+		"num_instrs": o.Gen.NumInstrs, "seed": o.Seed,
+	})
+
 	// Step 0: the Generator bootstraps the initial population.
 	t0 := time.Now()
+	stopGen := o.Obs.Phase("core.phase.generate")
 	pop := make([]*Individual, o.PopSize)
 	for i := range pop {
 		pop[i] = &Individual{G: gen.NewRandom(&o.Gen, rng)}
 	}
+	stopGen()
 	hist.Times.Generation += time.Since(t0)
 
 	evaluate(pop, &o, hist, memo)
@@ -229,7 +257,10 @@ func Run(o Options) (*Result, error) {
 	converged := false
 	it := 0
 	for ; it < o.Iterations; it++ {
+		itSpan := runSpan.Child("iteration", obs.Fields{"it": it})
+
 		// Step 2: selection — advance the top-K programs.
+		stopSel := o.Obs.Phase("core.phase.select")
 		sort.SliceStable(pop, func(a, b int) bool { return pop[a].Fitness > pop[b].Fitness })
 		top := pop[:o.TopK]
 
@@ -239,35 +270,86 @@ func Run(o Options) (*Result, error) {
 			mean += ind.Fitness
 		}
 		hist.MeanTopK = append(hist.MeanTopK, mean/float64(len(top)))
+
+		itFields := obs.Fields{
+			"best": top[0].Fitness, "mean_topk": mean / float64(len(top)),
+			"cache_hits": hist.CacheHits, "evaluated": hist.EvaluatedPrograms,
+		}
+		if o.Obs.Enabled() {
+			o.Obs.Counter("core.iterations").Inc()
+			div := diversity(pop)
+			gs := make([]*gen.Genotype, len(top))
+			for i, ind := range top {
+				gs[i] = ind.G
+			}
+			usage := gen.PoolUsage(&o.Gen, gs)
+			o.Obs.Gauge("core.pop.diversity").Set(div)
+			o.Obs.Gauge("core.pool.usage").Set(usage)
+			itFields["diversity"] = div
+			itFields["pool_usage"] = usage
+		}
+		stopSel()
+
 		if o.OnIteration != nil {
+			stopCb := o.Obs.Phase("core.phase.callback")
 			o.OnIteration(it, top[0])
+			stopCb()
 		}
 		if o.ConvergeWindow > 0 && len(hist.Best) > o.ConvergeWindow {
 			prev := hist.Best[len(hist.Best)-1-o.ConvergeWindow]
 			if hist.Best[len(hist.Best)-1]-prev < o.ConvergeEps {
 				converged = true
+				itSpan.End(itFields)
 				it++
 				break
 			}
 		}
 		if it == o.Iterations-1 {
+			itSpan.End(itFields)
 			it++
 			break
 		}
 
 		// Step 3: mutation — each survivor yields M offspring.
 		tm := time.Now()
+		stopMut := o.Obs.Phase("core.phase.mutate")
 		offspring := make([]*Individual, 0, o.TopK*o.MutantsPerParent)
 		for _, parent := range top {
 			for m := 0; m < o.MutantsPerParent; m++ {
 				offspring = append(offspring, &Individual{G: o.Mutate(parent.G, &o.Gen, rng)})
 			}
 		}
+		stopMut()
 		hist.Times.Mutation += time.Since(tm)
 
 		// Step 1 (next cycle): evaluate the offspring; elites keep their
 		// cached fitness.
 		evaluate(offspring, &o, hist, memo)
+
+		if o.Obs.Enabled() {
+			// Mutation effectiveness: how offspring fitness moved against
+			// the parent (offspring are appended parent-major, so
+			// offspring[p*M+m] descends from top[p]).
+			improved, neutral, degraded := 0, 0, 0
+			for i, off := range offspring {
+				parent := top[i/o.MutantsPerParent]
+				switch {
+				case off.Fitness > parent.Fitness:
+					improved++
+				case off.Fitness < parent.Fitness:
+					degraded++
+				default:
+					neutral++
+				}
+			}
+			o.Obs.Counter("core.mutation.improved").Add(int64(improved))
+			o.Obs.Counter("core.mutation.neutral").Add(int64(neutral))
+			o.Obs.Counter("core.mutation.degraded").Add(int64(degraded))
+			itFields["mut_improved"] = improved
+			itFields["mut_neutral"] = neutral
+			itFields["mut_degraded"] = degraded
+		}
+		itSpan.End(itFields)
 
 		next := make([]*Individual, 0, o.TopK+len(offspring))
 		next = append(next, top...)
@@ -283,7 +365,26 @@ func Run(o Options) (*Result, error) {
 		Iterations: it,
 		Converged:  converged,
 	}
+	stopRun()
+	runSpan.End(obs.Fields{
+		"iterations": it, "converged": converged, "best": res.Best.Fitness,
+		"evaluated": hist.EvaluatedPrograms, "cache_hits": hist.CacheHits,
+	})
 	return res, nil
+}
+
+// diversity is the fraction of distinct genotypes in a population
+// (content-hashed); 1.0 means no duplicates, low values mean mutation
+// keeps reproducing the same candidates.
+func diversity(pop []*Individual) float64 {
+	if len(pop) == 0 {
+		return 0
+	}
+	seen := make(map[uint64]struct{}, len(pop))
+	for _, ind := range pop {
+		seen[hashGenotype(ind.G)] = struct{}{}
+	}
+	return float64(len(seen)) / float64(len(pop))
 }
 
 // evaluate materializes and grades a set of individuals in parallel,
@@ -291,8 +392,12 @@ func Run(o Options) (*Result, error) {
 // is memoized by genotype hash: duplicates are served from memo without
 // touching the simulator.
 func evaluate(inds []*Individual, o *Options, hist *History, memo *evalCache) {
+	stopEval := o.Obs.Phase("core.phase.evaluate")
+	defer stopEval()
+
 	var genNS, compNS, evalNS, instrs, hits int64
 	var mu sync.Mutex
+	var sim simTotals
 
 	work := make(chan *Individual)
 	var wg sync.WaitGroup
@@ -301,6 +406,7 @@ func evaluate(inds []*Individual, o *Options, hist *History, memo *evalCache) {
 		go func() {
 			defer wg.Done()
 			var g, c, e, n, h int64
+			var st simTotals
 			for ind := range work {
 				key := hashGenotype(ind.G)
 				if cached, ok := memo.get(key); ok {
@@ -336,6 +442,10 @@ func evaluate(inds []*Individual, o *Options, hist *History, memo *evalCache) {
 				c += t2.Sub(t1).Nanoseconds()
 				e += t3.Sub(t2).Nanoseconds()
 				n += int64(len(p.Insts))
+				st.add(r)
+				if o.Obs.Enabled() {
+					o.Obs.Histogram("core.eval.ns").Observe(t3.Sub(t2).Nanoseconds())
+				}
 			}
 			mu.Lock()
 			genNS += g
@@ -343,6 +453,7 @@ func evaluate(inds []*Individual, o *Options, hist *History, memo *evalCache) {
 			evalNS += e
 			instrs += n
 			hits += h
+			sim.merge(st)
 			mu.Unlock()
 		}()
 	}
@@ -358,6 +469,45 @@ func evaluate(inds []*Individual, o *Options, hist *History, memo *evalCache) {
 	hist.EvaluatedPrograms += len(inds)
 	hist.EvaluatedInstructions += uint64(instrs)
 	hist.CacheHits += int(hits)
+
+	if o.Obs.Enabled() {
+		o.Obs.Counter("core.sim.cycles").Add(sim.cycles)
+		o.Obs.Counter("core.sim.instructions").Add(sim.instructions)
+		o.Obs.Counter("core.sim.branches").Add(sim.branches)
+		o.Obs.Counter("core.sim.mispredicts").Add(sim.mispredicts)
+		o.Obs.Counter("core.sim.flushes").Add(sim.flushes)
+		o.Obs.Counter("core.sim.cache_hits").Add(sim.cacheHits)
+		o.Obs.Counter("core.sim.cache_misses").Add(sim.cacheMisses)
+		if sim.cycles > 0 {
+			o.Obs.Gauge("core.sim.ipc").Set(float64(sim.instructions) / float64(sim.cycles))
+		}
+	}
+}
+
+// simTotals aggregates simulator counters across one evaluate batch.
+type simTotals struct {
+	cycles, instructions, branches, mispredicts, flushes int64
+	cacheHits, cacheMisses                               int64
+}
+
+func (s *simTotals) add(r *uarch.Result) {
+	s.cycles += int64(r.Cycles)
+	s.instructions += int64(r.Instructions)
+	s.branches += int64(r.Branches)
+	s.mispredicts += int64(r.Mispredicts)
+	s.flushes += int64(r.Flushes)
+	s.cacheHits += int64(r.CacheHits)
+	s.cacheMisses += int64(r.CacheMisses)
+}
+
+func (s *simTotals) merge(o simTotals) {
+	s.cycles += o.cycles
+	s.instructions += o.instructions
+	s.branches += o.branches
+	s.mispredicts += o.mispredicts
+	s.flushes += o.flushes
+	s.cacheHits += o.cacheHits
+	s.cacheMisses += o.cacheMisses
 }
 
 // PresetFor returns the paper's per-structure loop configuration

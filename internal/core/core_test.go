@@ -1,12 +1,16 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"math/rand/v2"
 	"testing"
 
 	"harpocrates/internal/coverage"
 	"harpocrates/internal/gen"
+	"harpocrates/internal/isa"
+	"harpocrates/internal/obs"
 )
 
 func tinyOptions(st coverage.Structure) Options {
@@ -226,6 +230,222 @@ func TestFitnessMemoization(t *testing.T) {
 		if h.Best[i] != h.Best[0] {
 			t.Fatalf("best fitness drifted under no-op mutation: %v", h.Best)
 		}
+	}
+}
+
+func TestNormalizePreservesCustomGenFields(t *testing.T) {
+	// Regression: normalize used to replace the entire Gen config with
+	// DefaultConfig whenever NumInstrs was zero, silently discarding a
+	// caller-set variant pool (or weights, or memory policy).
+	pool := gen.DefaultPool()[:5]
+	o := Options{Structure: coverage.IntAdder}
+	o.Gen.Allowed = pool
+	if err := o.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Gen.Allowed) != 5 {
+		t.Fatalf("custom pool clobbered: %d variants, want 5", len(o.Gen.Allowed))
+	}
+	for i, v := range pool {
+		if o.Gen.Allowed[i] != v {
+			t.Fatalf("custom pool rewritten at %d", i)
+		}
+	}
+	d := gen.DefaultConfig()
+	if o.Gen.NumInstrs != d.NumInstrs {
+		t.Fatalf("NumInstrs not defaulted: %d", o.Gen.NumInstrs)
+	}
+	if o.Gen.Mem.RegionBytes != d.Mem.RegionBytes || o.Gen.Mem.Stride != d.Mem.Stride {
+		t.Fatalf("memory policy not defaulted: %+v", o.Gen.Mem)
+	}
+}
+
+func TestNormalizePreservesCustomCoreFields(t *testing.T) {
+	// Regression: normalize used to replace the entire Core config with
+	// uarch.DefaultConfig whenever ROBSize was zero, silently discarding
+	// a caller-set cache geometry.
+	o := tinyOptions(coverage.L1D)
+	o.Core.L1D.SizeBytes = 16 * 1024
+	if err := o.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Core.L1D.SizeBytes != 16*1024 {
+		t.Fatalf("custom L1D size clobbered: %d", o.Core.L1D.SizeBytes)
+	}
+	if o.Core.ROBSize == 0 || o.Core.IntPRF == 0 || o.Core.L1D.Ways == 0 {
+		t.Fatalf("unset core fields not defaulted: %+v", o.Core)
+	}
+	if !o.Core.TrackL1D {
+		t.Fatal("structure tracking flag not enabled")
+	}
+}
+
+func TestIterationAccountingConverged(t *testing.T) {
+	// The history must have exactly one entry per reported iteration on
+	// the early-converged exit path.
+	o := tinyOptions(coverage.IntAdder)
+	o.Iterations = 200
+	o.ConvergeWindow = 3
+	o.ConvergeEps = 2.0 // impossible improvement: stops at the window edge
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("expected convergence")
+	}
+	if len(res.History.Best) != res.Iterations {
+		t.Fatalf("history %d entries, reported %d iterations", len(res.History.Best), res.Iterations)
+	}
+	if len(res.History.MeanTopK) != res.Iterations {
+		t.Fatalf("MeanTopK %d entries, reported %d iterations", len(res.History.MeanTopK), res.Iterations)
+	}
+}
+
+func TestIterationAccountingExhausted(t *testing.T) {
+	o := tinyOptions(coverage.IntAdder)
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("unexpected convergence flag")
+	}
+	if res.Iterations != o.Iterations {
+		t.Fatalf("ran %d iterations, want %d", res.Iterations, o.Iterations)
+	}
+	if len(res.History.Best) != res.Iterations {
+		t.Fatalf("history %d entries, reported %d iterations", len(res.History.Best), res.Iterations)
+	}
+}
+
+func TestConvergeZeroEpsNeverFiresOnMonotoneElite(t *testing.T) {
+	// With eps 0, convergence requires the windowed best to *decrease* —
+	// impossible under elitism (the best is monotone non-decreasing), so
+	// the loop must run to exhaustion, never falsely triggering on a
+	// plateau.
+	o := tinyOptions(coverage.IntAdder)
+	o.ConvergeWindow = 2
+	o.ConvergeEps = 0
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("eps=0 convergence fired on a monotone trajectory")
+	}
+	if res.Iterations != o.Iterations {
+		t.Fatalf("stopped after %d iterations, want %d", res.Iterations, o.Iterations)
+	}
+}
+
+func TestRunEmitsTraceAndPhaseTimings(t *testing.T) {
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(&buf)
+	o := tinyOptions(coverage.IntAdder)
+	o.Obs = obs.New(reg, tr)
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatalf("tracer error: %v", err)
+	}
+
+	// Every line must parse; iteration end-spans must match the reported
+	// iteration count exactly (both exit paths end the span).
+	type rec struct {
+		Ev     string         `json:"ev"`
+		Name   string         `json:"name"`
+		Fields map[string]any `json:"fields"`
+	}
+	itEnds, runEnds := 0, 0
+	for i, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var r rec
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("trace line %d unparseable: %v\n%s", i, err, line)
+		}
+		if r.Ev == "end" && r.Name == "iteration" {
+			itEnds++
+			if _, ok := r.Fields["best"]; !ok {
+				t.Fatalf("iteration end-span missing best fitness: %s", line)
+			}
+		}
+		if r.Ev == "end" && r.Name == "run" {
+			runEnds++
+		}
+	}
+	if itEnds != res.Iterations {
+		t.Fatalf("%d iteration end-spans, want %d", itEnds, res.Iterations)
+	}
+	if runEnds != 1 {
+		t.Fatalf("%d run end-spans, want 1", runEnds)
+	}
+
+	// Phase wall-clock timings must account for (nearly) the whole run:
+	// everything outside the named phases is bookkeeping.
+	phases := []string{
+		"core.phase.generate.wall_ns", "core.phase.evaluate.wall_ns",
+		"core.phase.select.wall_ns", "core.phase.mutate.wall_ns",
+	}
+	var sum int64
+	for _, ph := range phases {
+		v := reg.Counter(ph).Load()
+		if v <= 0 {
+			t.Fatalf("phase %s recorded no time", ph)
+		}
+		sum += v
+	}
+	run := reg.Counter("core.run.wall_ns").Load()
+	if run <= 0 {
+		t.Fatal("core.run.wall_ns empty")
+	}
+	if float64(sum) < 0.90*float64(run) || float64(sum) > 1.01*float64(run) {
+		t.Fatalf("phase timings sum %d ns vs run %d ns (%.1f%% accounted)",
+			sum, run, 100*float64(sum)/float64(run))
+	}
+	if got := reg.Counter("core.iterations").Load(); got != int64(res.Iterations) {
+		t.Fatalf("core.iterations %d, want %d", got, res.Iterations)
+	}
+	if reg.Counter("core.sim.cycles").Load() <= 0 || reg.Counter("core.sim.instructions").Load() <= 0 {
+		t.Fatal("simulator counters empty")
+	}
+}
+
+func TestObservationDoesNotPerturbTrajectory(t *testing.T) {
+	// Attaching an Observer must not change a single fitness value.
+	plain, err := Run(tinyOptions(coverage.IntAdder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	o := tinyOptions(coverage.IntAdder)
+	o.Obs = obs.New(obs.NewRegistry(), obs.NewTracer(&buf))
+	observed, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.History.Best) != len(observed.History.Best) {
+		t.Fatal("iteration counts diverged under observation")
+	}
+	for i := range plain.History.Best {
+		if plain.History.Best[i] != observed.History.Best[i] {
+			t.Fatalf("trajectory diverged at iteration %d under observation", i)
+		}
+	}
+}
+
+func TestDiversity(t *testing.T) {
+	g1 := &gen.Genotype{Variants: []isa.VariantID{1, 2, 3}, Seed: 1}
+	g2 := &gen.Genotype{Variants: []isa.VariantID{1, 2, 3}, Seed: 1} // duplicate content
+	g3 := &gen.Genotype{Variants: []isa.VariantID{1, 2, 4}, Seed: 1}
+	pop := []*Individual{{G: g1}, {G: g2}, {G: g3}}
+	if d := diversity(pop); d != 2.0/3.0 {
+		t.Fatalf("diversity %f, want 2/3", d)
+	}
+	if d := diversity(nil); d != 0 {
+		t.Fatalf("diversity of empty population %f, want 0", d)
 	}
 }
 

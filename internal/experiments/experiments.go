@@ -21,6 +21,7 @@ import (
 	"harpocrates/internal/baselines/silifuzz"
 	"harpocrates/internal/coverage"
 	"harpocrates/internal/inject"
+	"harpocrates/internal/obs"
 	"harpocrates/internal/prog"
 	"harpocrates/internal/uarch"
 )
@@ -44,6 +45,10 @@ type Params struct {
 	InjMul      int
 	InjFP       int
 	Seed        uint64
+
+	// Obs, if set, is threaded into every refinement loop and SFI
+	// campaign a harness runs (purely observational; nil disables).
+	Obs *obs.Observer
 }
 
 // DefaultParams derives campaign sizes from the scale factor.
@@ -185,6 +190,7 @@ func measure(p *prog.Program, st coverage.Structure, pp Params) (Measurement, er
 		N:      pp.Injections(st),
 		Seed:   pp.Seed,
 		Cfg:    uarch.DefaultConfig(),
+		Obs:    pp.Obs,
 	}
 	stt, err := c.Run()
 	if err != nil {

@@ -62,6 +62,7 @@ func Fig10(st coverage.Structure, pp Params) (*Convergence, error) {
 func fig10(st coverage.Structure, pp Params) (*Convergence, error) {
 	o := core.PresetFor(st, pp.Scale)
 	o.Seed = pp.Seed
+	o.Obs = pp.Obs
 
 	nCheck := 8
 	every := o.Iterations / nCheck
@@ -95,6 +96,7 @@ func fig10(st coverage.Structure, pp Params) (*Convergence, error) {
 			N:      pp.Injections(st),
 			Seed:   pp.Seed,
 			Cfg:    uarch.DefaultConfig(),
+			Obs:    pp.Obs,
 		}
 		s, err := camp.Run()
 		if err != nil {

@@ -39,6 +39,7 @@ func CampaignSpeed(pp Params) (*CampaignSpeedResult, error) {
 			Target: coverage.IRF, Type: inject.Transient,
 			N: pp.InjBitArray, Seed: pp.Seed, Cfg: uarch.DefaultConfig(),
 			NoFastForward: noFF,
+			Obs:           pp.Obs,
 		}
 	}
 	t0 := time.Now()

@@ -40,7 +40,7 @@ func (s StepBreakdown) InstrsPerSecond() float64 {
 // Table1 measures the loop-step breakdown at (scaled) paper parameters:
 // 96 programs of 5K instructions per step.
 func Table1(pp Params) (StepBreakdown, error) {
-	o := core.Options{Structure: coverage.IntAdder, Seed: pp.Seed}
+	o := core.Options{Structure: coverage.IntAdder, Seed: pp.Seed, Obs: pp.Obs}
 	o.Gen = gen.DefaultConfig()
 	o.Gen.NumInstrs = minI(5000, 1250*pp.Scale)
 	o.PopSize = minI(96, 24*pp.Scale)

@@ -121,6 +121,32 @@ func PoolFilter(keep func(*isa.Variant) bool) []isa.VariantID {
 	return out
 }
 
+// PoolUsage reports the fraction of the configured variant pool that
+// appears in at least one of the given genotypes (0..1). A refinement
+// loop whose survivors exercise a shrinking slice of the pool has
+// collapsed onto a few instruction kinds — a diversity signal surfaced
+// by the observability layer.
+func PoolUsage(cfg *Config, gs []*Genotype) float64 {
+	if len(cfg.Allowed) == 0 {
+		return 0
+	}
+	present := make(map[isa.VariantID]struct{}, len(cfg.Allowed))
+	for _, g := range gs {
+		for _, v := range g.Variants {
+			present[v] = struct{}{}
+		}
+	}
+	// Count only variants actually in the pool: mutation cannot introduce
+	// out-of-pool variants, but seeded genotypes might carry them.
+	n := 0
+	for _, v := range cfg.Allowed {
+		if _, ok := present[v]; ok {
+			n++
+		}
+	}
+	return float64(n) / float64(len(cfg.Allowed))
+}
+
 // Genotype is the heritable representation: the variant sequence plus
 // the operand-resolution seed. Mutation edits Variants; materialization
 // is a pure function of the genotype and config.

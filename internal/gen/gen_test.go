@@ -290,3 +290,41 @@ func TestMaterializeArbitrarySequencesProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPoolUsage(t *testing.T) {
+	cfg := smallConfig()
+	pool := cfg.Allowed
+	if len(pool) < 3 {
+		t.Skip("pool too small")
+	}
+	// A genotype using exactly two pool variants.
+	g := &Genotype{Variants: []isa.VariantID{pool[0], pool[1], pool[0]}}
+	want := 2.0 / float64(len(pool))
+	if got := PoolUsage(&cfg, []*Genotype{g}); got != want {
+		t.Fatalf("PoolUsage = %f, want %f", got, want)
+	}
+	// Out-of-pool variants must not count.
+	var outside isa.VariantID
+	for v := isa.VariantID(0); int(v) < isa.NumVariants(); v++ {
+		found := false
+		for _, p := range pool {
+			if p == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			outside = v
+			break
+		}
+	}
+	g2 := &Genotype{Variants: []isa.VariantID{outside}}
+	if got := PoolUsage(&cfg, []*Genotype{g, g2}); got != want {
+		t.Fatalf("out-of-pool variant counted: %f, want %f", got, want)
+	}
+	// Empty pool reports zero.
+	empty := Config{}
+	if got := PoolUsage(&empty, []*Genotype{g}); got != 0 {
+		t.Fatalf("empty pool usage %f, want 0", got)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"harpocrates/internal/coverage"
 	"harpocrates/internal/gates"
 	"harpocrates/internal/isa"
+	"harpocrates/internal/obs"
 	"harpocrates/internal/stats"
 	"harpocrates/internal/uarch"
 )
@@ -118,6 +119,12 @@ type Campaign struct {
 	// the campaign if the simulated outcome disagrees with the
 	// pre-classifier (a soundness self-check; slow).
 	ValidateAll bool
+
+	// Obs, if set, receives campaign metrics (per-phase wall-clock
+	// timings, outcome counts, pre-classification and checkpoint-reuse
+	// rates) and a trace span per campaign. Purely observational; nil
+	// disables all instrumentation.
+	Obs *obs.Observer
 }
 
 // Stats summarizes a campaign.
@@ -436,8 +443,10 @@ func (c *Campaign) runSpec(sp faultSpec, golden *uarch.Result, cks []*uarch.Chec
 	cfg := c.cfgFor(sp, golden)
 	var res *uarch.Result
 	if ck := nearestCheckpoint(cks, sp.start); ck != nil && sp.start > 0 {
+		c.Obs.Counter("inject.resume.checkpoint").Inc()
 		res = uarch.RunFromCheckpoint(ck, cfg)
 	} else {
+		c.Obs.Counter("inject.resume.reset").Inc()
 		res = uarch.Run(c.Prog, c.Init(), cfg)
 	}
 	return classify(res, golden)
@@ -469,12 +478,32 @@ func (c *Campaign) Run() (*Stats, error) {
 	if c.N <= 0 {
 		return nil, fmt.Errorf("inject: campaign needs N > 0")
 	}
+	stopRun := c.Obs.Phase("inject.run")
+	defer stopRun()
+	span := c.Obs.Span("campaign", obs.Fields{
+		"target": c.Target.String(), "type": c.Type.String(),
+		"n": c.N, "seed": c.Seed,
+	})
+
+	stopGolden := c.Obs.Phase("inject.phase.golden")
 	golden, cks := c.goldenInstrumented()
+	stopGolden()
 	if golden.TimedOut {
+		span.End(obs.Fields{"error": "golden run timed out"})
 		return nil, fmt.Errorf("inject: golden run timed out")
 	}
 	st := &Stats{N: c.N, GoldenCycles: golden.Cycles}
+	if c.Obs.Enabled() {
+		ipc := 0.0
+		if golden.Cycles > 0 {
+			ipc = float64(golden.Instructions) / float64(golden.Cycles)
+		}
+		span.Event("golden", obs.Fields{
+			"cycles": golden.Cycles, "checkpoints": len(cks), "ipc": ipc,
+		})
+	}
 
+	stopClassify := c.Obs.Phase("inject.phase.classify")
 	var nl *gates.Netlist
 	if c.Target.IsFunctionalUnit() {
 		nl = targetNetlist(c.Target)
@@ -499,7 +528,23 @@ func (c *Campaign) Run() (*Stats, error) {
 		toRun = append(toRun, sp)
 	}
 	sort.SliceStable(toRun, func(a, b int) bool { return toRun[a].start < toRun[b].start })
+	stopClassify()
+	if c.Obs.Enabled() {
+		premasked := c.N - len(toRun)
+		if c.ValidateAll {
+			premasked = 0
+			for _, p := range pre {
+				if p {
+					premasked++
+				}
+			}
+		}
+		c.Obs.Counter("inject.premasked").Add(int64(premasked))
+		c.Obs.Counter("inject.simulated").Add(int64(len(toRun)))
+		c.Obs.Gauge("inject.premask.rate").Set(float64(premasked) / float64(c.N))
+	}
 
+	stopSim := c.Obs.Phase("inject.phase.simulate")
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -539,7 +584,9 @@ func (c *Campaign) Run() (*Stats, error) {
 	}
 	close(next)
 	wg.Wait()
+	stopSim()
 	if valErr != nil {
+		span.End(obs.Fields{"error": valErr.Error()})
 		return nil, valErr
 	}
 
@@ -555,5 +602,16 @@ func (c *Campaign) Run() (*Stats, error) {
 			st.Hang++
 		}
 	}
+	if c.Obs.Enabled() {
+		c.Obs.Counter("inject.outcome.masked").Add(int64(st.Masked))
+		c.Obs.Counter("inject.outcome.sdc").Add(int64(st.SDC))
+		c.Obs.Counter("inject.outcome.crash").Add(int64(st.Crash))
+		c.Obs.Counter("inject.outcome.hang").Add(int64(st.Hang))
+		c.Obs.Counter("inject.campaigns").Inc()
+	}
+	span.End(obs.Fields{
+		"masked": st.Masked, "sdc": st.SDC, "crash": st.Crash, "hang": st.Hang,
+		"detection": st.Detection(), "golden_cycles": st.GoldenCycles,
+	})
 	return st, nil
 }

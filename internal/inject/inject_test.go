@@ -1,11 +1,14 @@
 package inject
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand/v2"
 	"testing"
 
 	"harpocrates/internal/coverage"
 	"harpocrates/internal/gen"
+	"harpocrates/internal/obs"
 	"harpocrates/internal/uarch"
 )
 
@@ -168,5 +171,77 @@ func TestCampaignRejectsZeroN(t *testing.T) {
 	c.N = 0
 	if _, err := c.Run(); err == nil {
 		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestCampaignObservability(t *testing.T) {
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	c := testProgram(t, 400, nil)
+	c.Target = coverage.IRF
+	c.Type = Transient
+	c.N = 48
+	c.Obs = obs.New(reg, obs.NewTracer(&buf))
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Outcome counters must agree with the returned stats.
+	load := func(name string) int64 { return reg.Counter(name).Load() }
+	if load("inject.outcome.masked") != int64(st.Masked) ||
+		load("inject.outcome.sdc") != int64(st.SDC) ||
+		load("inject.outcome.crash") != int64(st.Crash) ||
+		load("inject.outcome.hang") != int64(st.Hang) {
+		t.Fatalf("outcome counters disagree with stats %+v", st)
+	}
+	// Every injection is either pre-classified or simulated, and every
+	// simulated one either resumed from a checkpoint or restarted.
+	pre, sim := load("inject.premasked"), load("inject.simulated")
+	if pre+sim != int64(st.N) {
+		t.Fatalf("premasked %d + simulated %d != N %d", pre, sim, st.N)
+	}
+	if pre == 0 {
+		t.Fatal("transient IRF campaign pre-classified nothing (recorder broken?)")
+	}
+	if got := load("inject.resume.checkpoint") + load("inject.resume.reset"); got != sim {
+		t.Fatalf("resume counters %d != simulated %d", got, sim)
+	}
+
+	// The trace must parse and carry exactly one campaign span pair.
+	type rec struct {
+		Ev   string `json:"ev"`
+		Name string `json:"name"`
+	}
+	begins, ends := 0, 0
+	for i, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var r rec
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("trace line %d unparseable: %v\n%s", i, err, line)
+		}
+		if r.Name == "campaign" {
+			switch r.Ev {
+			case "begin":
+				begins++
+			case "end":
+				ends++
+			}
+		}
+	}
+	if begins != 1 || ends != 1 {
+		t.Fatalf("campaign spans: %d begins, %d ends (want 1/1)", begins, ends)
+	}
+
+	// Observation must not change the statistics.
+	plain := testProgram(t, 400, nil)
+	plain.Target = coverage.IRF
+	plain.Type = Transient
+	plain.N = 48
+	pst, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *pst != *st {
+		t.Fatalf("observation changed campaign statistics: %+v vs %+v", pst, st)
 	}
 }

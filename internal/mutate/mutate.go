@@ -19,10 +19,14 @@ import (
 
 // ReplaceAll returns a mutant in which all occurrences of one randomly
 // chosen variant present in the sequence are replaced by a uniformly
-// random variant from the pool ("the same mnemonics with different
-// operand types are handled as distinct instructions"). The uniform
-// selection of the replacement gives fairness; no structure-specific
-// tuning is required (paper §V-B1).
+// random *other* variant from the pool ("the same mnemonics with
+// different operand types are handled as distinct instructions"). The
+// paper replaces a variant with another variant (§V-B1), so the
+// replacement is resampled until it differs from the target — a draw of
+// repl == target would produce a no-op mutant that burns an evaluation
+// slot without exploring anything. When the pool holds no variant
+// distinct from the target (single-variant pools), the clone is
+// returned unchanged rather than looping forever.
 func ReplaceAll(g *gen.Genotype, cfg *gen.Config, rng *rand.Rand) *gen.Genotype {
 	m := g.Clone()
 	if len(m.Variants) == 0 {
@@ -30,12 +34,29 @@ func ReplaceAll(g *gen.Genotype, cfg *gen.Config, rng *rand.Rand) *gen.Genotype 
 	}
 	target := m.Variants[rng.IntN(len(m.Variants))]
 	repl := cfg.Allowed[rng.IntN(len(cfg.Allowed))]
+	for repl == target {
+		if !poolHasDistinct(cfg.Allowed, target) {
+			return m
+		}
+		repl = cfg.Allowed[rng.IntN(len(cfg.Allowed))]
+	}
 	for i, v := range m.Variants {
 		if v == target {
 			m.Variants[i] = repl
 		}
 	}
 	return m
+}
+
+// poolHasDistinct reports whether the pool offers any variant other
+// than target (checked lazily, only after a colliding draw).
+func poolHasDistinct(pool []isa.VariantID, target isa.VariantID) bool {
+	for _, v := range pool {
+		if v != target {
+			return true
+		}
+	}
+	return false
 }
 
 // Point returns a mutant with a single position replaced by a random
@@ -50,7 +71,9 @@ func Point(g *gen.Genotype, cfg *gen.Config, rng *rand.Rand) *gen.Genotype {
 }
 
 // CrossoverK performs k-point crossover between two parents of equal
-// length, returning one child (segments alternate between parents).
+// length, returning one child (segments alternate between parents). The
+// k cut points are distinct, so k < n always yields exactly k segment
+// boundaries; k is clamped to the sequence length.
 func CrossoverK(a, b *gen.Genotype, k int, rng *rand.Rand) *gen.Genotype {
 	n := len(a.Variants)
 	if len(b.Variants) != n {
@@ -60,18 +83,28 @@ func CrossoverK(a, b *gen.Genotype, k int, rng *rand.Rand) *gen.Genotype {
 	if n == 0 || k <= 0 {
 		return child
 	}
-	// Sample k cut points.
-	cuts := make([]int, k)
-	for i := range cuts {
-		cuts[i] = rng.IntN(n)
+	if k > n {
+		k = n
+	}
+	// Sample k *distinct* cut points (partial Fisher-Yates over the
+	// index space). Sampling with replacement would let duplicate cuts
+	// cancel — two toggles at the same index — silently degrading
+	// k-point crossover to fewer cuts.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	isCut := make([]bool, n)
+	for i := 0; i < k; i++ {
+		j := i + rng.IntN(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		isCut[idx[i]] = true
 	}
 	// Walk the sequence, toggling the source parent at each cut.
 	useB := false
 	for i := 0; i < n; i++ {
-		for _, c := range cuts {
-			if c == i {
-				useB = !useB
-			}
+		if isCut[i] {
+			useB = !useB
 		}
 		if useB {
 			child.Variants[i] = b.Variants[i]

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// SetupCLI wires the standard observability command-line surface shared
+// by the cmd/ binaries: a JSONL trace file ("" disables), an in-process
+// metrics registry (off unless withMetrics), and a net/http/pprof server
+// ("" disables). It returns the Observer to thread through the run (nil
+// when everything is disabled — the zero-overhead path) and a finish
+// function that closes the trace file, reports any deferred trace write
+// error, and renders the metrics summary to w.
+func SetupCLI(tracePath string, withMetrics bool, pprofAddr string) (*Observer, func(w io.Writer) error, error) {
+	var (
+		reg *Registry
+		tr  *Tracer
+		f   *os.File
+	)
+	if withMetrics {
+		reg = NewRegistry()
+	}
+	if tracePath != "" {
+		var err error
+		f, err = os.Create(tracePath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("obs: create trace file: %w", err)
+		}
+		tr = NewTracer(f)
+	}
+	if pprofAddr != "" {
+		addr, err := StartPprof(pprofAddr)
+		if err != nil {
+			if f != nil {
+				f.Close()
+			}
+			return nil, nil, fmt.Errorf("obs: start pprof: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
+	}
+	finish := func(w io.Writer) error {
+		var firstErr error
+		if tr != nil {
+			if err := tr.Err(); err != nil {
+				firstErr = fmt.Errorf("obs: trace write: %w", err)
+			}
+		}
+		if f != nil {
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("obs: close trace file: %w", err)
+			}
+		}
+		if reg != nil && w != nil {
+			reg.WriteSummary(w)
+		}
+		return firstErr
+	}
+	return New(reg, tr), finish, nil
+}

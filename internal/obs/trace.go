@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fields carries the structured payload of one trace record.
+type Fields map[string]any
+
+// record is the wire form of one JSONL line.
+type record struct {
+	US     int64  `json:"us"`           // microseconds since tracer start
+	Ev     string `json:"ev"`           // "begin", "end" or "event"
+	Name   string `json:"name"`         // span or event name
+	ID     int64  `json:"id,omitempty"` // span id (begin/end and span-scoped events)
+	Parent int64  `json:"parent,omitempty"`
+	DurUS  int64  `json:"dur_us,omitempty"` // span duration (end records)
+	Fields Fields `json:"fields,omitempty"`
+}
+
+// Tracer writes a structured event log: one JSON object per line.
+// Records are spans ("begin"/"end" pairs sharing an id, optionally
+// nested via parent) and point events ("event"). All methods are
+// nil-safe and safe for concurrent use; timestamps are microseconds
+// relative to the tracer's creation, so two traces of the same seed can
+// be diffed offline.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	err    error
+	start  time.Time
+	nextID atomic.Int64
+}
+
+// NewTracer returns a tracer emitting JSONL to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, start: time.Now()}
+}
+
+// Err returns the first write or encoding error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func (t *Tracer) emit(rec record) {
+	if t == nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(append(b, '\n')); err != nil {
+		t.err = err
+	}
+}
+
+func (t *Tracer) sinceUS() int64 {
+	return time.Since(t.start).Microseconds()
+}
+
+// Span begins a root span and returns it (nil on a nil tracer).
+func (t *Tracer) Span(name string, fields Fields) *Span {
+	return t.span(name, 0, fields)
+}
+
+func (t *Tracer) span(name string, parent int64, fields Fields) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{t: t, id: t.nextID.Add(1), name: name, start: time.Now()}
+	t.emit(record{US: t.sinceUS(), Ev: "begin", Name: name, ID: s.id, Parent: parent, Fields: fields})
+	return s
+}
+
+// Event emits a parentless point event.
+func (t *Tracer) Event(name string, fields Fields) {
+	if t == nil {
+		return
+	}
+	t.emit(record{US: t.sinceUS(), Ev: "event", Name: name, Fields: fields})
+}
+
+// Span is one open interval in the trace. A nil span accepts all calls.
+type Span struct {
+	t     *Tracer
+	id    int64
+	name  string
+	start time.Time
+}
+
+// Child begins a nested span.
+func (s *Span) Child(name string, fields Fields) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.span(name, s.id, fields)
+}
+
+// Event emits a point event scoped to this span.
+func (s *Span) Event(name string, fields Fields) {
+	if s == nil {
+		return
+	}
+	s.t.emit(record{US: s.t.sinceUS(), Ev: "event", Name: name, Parent: s.id, Fields: fields})
+}
+
+// End closes the span, recording its duration and final fields.
+func (s *Span) End(fields Fields) {
+	if s == nil {
+		return
+	}
+	s.t.emit(record{US: s.t.sinceUS(), Ev: "end", Name: s.name, ID: s.id,
+		DurUS: time.Since(s.start).Microseconds(), Fields: fields})
+}

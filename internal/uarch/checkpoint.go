@@ -150,6 +150,7 @@ func (c *Core) copyFrom(src *Core) {
 	c.bus = execBus{c: c}
 
 	c.branches, c.mispredicts = src.branches, src.mispredicts
+	c.flushes = src.flushes
 	c.crash = src.crash
 	c.timedOut = src.timedOut
 	c.finished = src.finished

@@ -134,6 +134,75 @@ type Config struct {
 	Trace io.Writer
 }
 
+// WithDefaults returns c with every unset (zero) width, capacity and
+// latency field filled from DefaultConfig, field-wise — fields the
+// caller did set (cache geometry, tracking flags, hooks, a custom PRF
+// size) are preserved. Optional features follow two special rules:
+//
+//   - A configuration with no structural field set at all ("give me the
+//     reference core") additionally takes the default L2 and prefetcher,
+//     matching DefaultConfig exactly.
+//   - Once any structural field is set, L2.SizeBytes == 0 keeps the L2
+//     disabled and EnablePrefetch == false keeps the prefetcher off; a
+//     partially specified enabled L2 (SizeBytes > 0) has its remaining
+//     zero fields filled from the default L2.
+func (c Config) WithDefaults() Config {
+	d := DefaultConfig()
+	structZero := c.FetchWidth == 0 && c.RenameWidth == 0 && c.IssueWidth == 0 &&
+		c.CommitWidth == 0 && c.FetchQueue == 0 &&
+		c.ROBSize == 0 && c.IQSize == 0 && c.LQSize == 0 && c.SQSize == 0 &&
+		c.IntPRF == 0 && c.FPPRF == 0 && c.FlagPRF == 0 &&
+		c.NumIntALU == 0 && c.NumIntMul == 0 && c.NumIntDiv == 0 &&
+		c.NumFPAdd == 0 && c.NumFPMul == 0 && c.NumFPDiv == 0 &&
+		c.NumVecALU == 0 && c.NumBranch == 0 && c.NumMemPort == 0 &&
+		c.GshareBits == 0 && c.MispredictPenalty == 0 &&
+		c.L1D == (CacheConfig{}) && c.L2 == (CacheConfig{}) && c.MemLatency == 0
+	if structZero {
+		c.L2 = d.L2
+		c.EnablePrefetch = d.EnablePrefetch
+	}
+	fill := func(p *int, def int) {
+		if *p == 0 {
+			*p = def
+		}
+	}
+	fill(&c.FetchWidth, d.FetchWidth)
+	fill(&c.RenameWidth, d.RenameWidth)
+	fill(&c.IssueWidth, d.IssueWidth)
+	fill(&c.CommitWidth, d.CommitWidth)
+	fill(&c.FetchQueue, d.FetchQueue)
+	fill(&c.ROBSize, d.ROBSize)
+	fill(&c.IQSize, d.IQSize)
+	fill(&c.LQSize, d.LQSize)
+	fill(&c.SQSize, d.SQSize)
+	fill(&c.IntPRF, d.IntPRF)
+	fill(&c.FPPRF, d.FPPRF)
+	fill(&c.FlagPRF, d.FlagPRF)
+	fill(&c.NumIntALU, d.NumIntALU)
+	fill(&c.NumIntMul, d.NumIntMul)
+	fill(&c.NumIntDiv, d.NumIntDiv)
+	fill(&c.NumFPAdd, d.NumFPAdd)
+	fill(&c.NumFPMul, d.NumFPMul)
+	fill(&c.NumFPDiv, d.NumFPDiv)
+	fill(&c.NumVecALU, d.NumVecALU)
+	fill(&c.NumBranch, d.NumBranch)
+	fill(&c.NumMemPort, d.NumMemPort)
+	fill(&c.GshareBits, d.GshareBits)
+	fill(&c.MispredictPenalty, d.MispredictPenalty)
+	fill(&c.L1D.SizeBytes, d.L1D.SizeBytes)
+	fill(&c.L1D.Ways, d.L1D.Ways)
+	fill(&c.L1D.LineBytes, d.L1D.LineBytes)
+	fill(&c.L1D.HitLatency, d.L1D.HitLatency)
+	fill(&c.L1D.MissLatency, d.L1D.MissLatency)
+	if c.L2.SizeBytes > 0 {
+		fill(&c.L2.Ways, d.L2.Ways)
+		fill(&c.L2.LineBytes, d.L2.LineBytes)
+		fill(&c.L2.HitLatency, d.L2.HitLatency)
+	}
+	fill(&c.MemLatency, d.MemLatency)
+	return c
+}
+
 // DefaultConfig returns the reference core configuration.
 func DefaultConfig() Config {
 	return Config{

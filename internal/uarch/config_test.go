@@ -1,0 +1,88 @@
+package uarch
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"harpocrates/internal/gen"
+)
+
+func testRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+func TestWithDefaultsFullyZeroMatchesDefault(t *testing.T) {
+	got := Config{}.WithDefaults()
+	want := DefaultConfig()
+	// Compare the comparable structural portion field by field (Config
+	// itself is not comparable: it carries hook funcs).
+	if got.ROBSize != want.ROBSize || got.IntPRF != want.IntPRF ||
+		got.L1D != want.L1D || got.L2 != want.L2 ||
+		got.EnablePrefetch != want.EnablePrefetch ||
+		got.MemLatency != want.MemLatency ||
+		got.FetchWidth != want.FetchWidth || got.GshareBits != want.GshareBits {
+		t.Fatalf("zero config defaulted to %+v, want DefaultConfig", got)
+	}
+}
+
+func TestWithDefaultsPreservesSetFields(t *testing.T) {
+	// Setting one field must not clobber it, and the rest must default.
+	c := Config{L1D: CacheConfig{SizeBytes: 16 * 1024}}.WithDefaults()
+	if c.L1D.SizeBytes != 16*1024 {
+		t.Fatalf("caller's L1D size clobbered: %d", c.L1D.SizeBytes)
+	}
+	d := DefaultConfig()
+	if c.ROBSize != d.ROBSize || c.IntPRF != d.IntPRF || c.FetchWidth != d.FetchWidth {
+		t.Fatalf("unset fields not defaulted: ROB=%d IntPRF=%d Fetch=%d", c.ROBSize, c.IntPRF, c.FetchWidth)
+	}
+	if c.L1D.Ways != d.L1D.Ways || c.L1D.HitLatency != d.L1D.HitLatency {
+		t.Fatalf("L1D subfields not defaulted: %+v", c.L1D)
+	}
+	// The caller set a structural field, so a zero L2 stays disabled.
+	if c.L2.SizeBytes != 0 {
+		t.Fatalf("L2 enabled behind the caller's back: %+v", c.L2)
+	}
+}
+
+func TestWithDefaultsPartialL2(t *testing.T) {
+	c := Config{L2: CacheConfig{SizeBytes: 512 * 1024}}.WithDefaults()
+	d := DefaultConfig()
+	if c.L2.SizeBytes != 512*1024 {
+		t.Fatalf("L2 size clobbered: %d", c.L2.SizeBytes)
+	}
+	if c.L2.Ways != d.L2.Ways || c.L2.LineBytes != d.L2.LineBytes || c.L2.HitLatency != d.L2.HitLatency {
+		t.Fatalf("enabled L2 subfields not defaulted: %+v", c.L2)
+	}
+}
+
+func TestWithDefaultsRunsClean(t *testing.T) {
+	// A sparse config must be runnable after defaulting (the old
+	// behaviour silently required all-or-nothing configuration).
+	cfg := gen.DefaultConfig()
+	cfg.NumInstrs = 200
+	p := gen.Materialize(gen.NewRandom(&cfg, testRNG(1)), &cfg)
+	c := Config{ROBSize: 64}.WithDefaults()
+	c.TrackIRF = true
+	r := Run(p.Insts, p.NewState(), c)
+	if !r.Clean() {
+		t.Fatalf("sparse defaulted config produced unclean run: crash=%v timeout=%v", r.Crash, r.TimedOut)
+	}
+	if r.Instructions == 0 || r.IPC() <= 0 {
+		t.Fatalf("no progress: instrs=%d ipc=%f", r.Instructions, r.IPC())
+	}
+}
+
+func TestFlushCounterMatchesMispredictedBranches(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	cfg.NumInstrs = 2000
+	p := gen.Materialize(gen.NewRandom(&cfg, testRNG(7)), &cfg)
+	r := Run(p.Insts, p.NewState(), DefaultConfig())
+	if !r.Clean() {
+		t.Fatal("golden run not clean")
+	}
+	// Every execute-time mispredict squashes; the model flushes exactly
+	// once per mispredicted branch.
+	if r.Flushes != r.Mispredicts {
+		t.Fatalf("flushes %d != mispredicts %d", r.Flushes, r.Mispredicts)
+	}
+}

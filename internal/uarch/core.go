@@ -23,6 +23,10 @@ type Result struct {
 
 	Branches    uint64
 	Mispredicts uint64
+	// Flushes counts pipeline squashes (every mispredicted branch that
+	// reached execute flushes the younger ROB entries and redirects
+	// fetch).
+	Flushes     uint64
 	CacheHits   uint64
 	CacheMisses uint64
 	Writebacks  uint64
@@ -41,6 +45,14 @@ type Result struct {
 
 // Clean reports a run that neither crashed nor hung.
 func (r *Result) Clean() bool { return r.Crash == nil && !r.TimedOut }
+
+// IPC returns the committed instructions per cycle (0 for an empty run).
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
 
 // Detected compares a faulty run against a golden run: any deviation
 // (different signature, crash, or hang) counts as detection (§II-C).
@@ -114,7 +126,7 @@ type Core struct {
 	execState arch.State
 	bus       execBus
 
-	branches, mispredicts uint64
+	branches, mispredicts, flushes uint64
 
 	crash    *arch.CrashError
 	timedOut bool
@@ -206,7 +218,7 @@ func (c *Core) init(prog []isa.Inst, init *arch.State, cfg Config) {
 	c.oldestUnexecStore = 0
 	c.execState = arch.State{NondetSalt: cfg.NondetSalt}
 	c.bus = execBus{c: c}
-	c.branches, c.mispredicts = 0, 0
+	c.branches, c.mispredicts, c.flushes = 0, 0, 0
 	c.crash = nil
 	c.timedOut = false
 	c.finished = false
@@ -411,6 +423,7 @@ func (c *Core) buildResult() *Result {
 		Signature:   fs.Signature(),
 		Branches:    c.branches,
 		Mispredicts: c.mispredicts,
+		Flushes:     c.flushes,
 		CacheHits:   c.cache.hits,
 		CacheMisses: c.cache.misses,
 		Writebacks:  c.cache.writebacks,
@@ -588,6 +601,7 @@ func (c *Core) writeback() {
 // bIdx, restores the rename map from the branch's snapshot, and
 // redirects fetch.
 func (c *Core) squashAfter(bIdx int, redirect int) {
+	c.flushes++
 	b := &c.rob[bIdx]
 	// Walk from the youngest entry back to the branch.
 	tail := (c.robHead + c.robCnt - 1) % len(c.rob)
