@@ -117,7 +117,7 @@ func BenchmarkAblationCheckpointedSFI(b *testing.B) {
 			b.Fatal(err)
 		}
 		t2 := time.Now()
-		if *slow != *fast {
+		if !slow.Equal(fast) {
 			b.Fatalf("fast-forward changed campaign statistics: %+v vs %+v", slow, fast)
 		}
 		fromZeroNS += t1.Sub(t0).Nanoseconds()

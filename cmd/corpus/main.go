@@ -1,0 +1,278 @@
+// Command corpus manages a persistent archive of Harpocrates test
+// programs: list and import entries, measure their fault-detection
+// capability, distill the archive to a minimal covering subset, and
+// export ranked programs for fleet deployment.
+//
+// Usage:
+//
+//	corpus ls      -dir corpus
+//	corpus add     -dir corpus -file best.hxpg -structure irf
+//	corpus rank    -dir corpus -structure irf -n 100 -seed 1
+//	corpus distill -dir corpus -structure irf -apply
+//	corpus export  -dir corpus -structure irf -out fleet/ -top 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"harpocrates"
+	"harpocrates/internal/corpus"
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/inject"
+	"harpocrates/internal/obs"
+	"harpocrates/internal/prog"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: corpus <command> [flags]
+
+commands:
+  ls       list archived programs (hash, structure, fitness, detection)
+  add      import a .hxpg program file into the archive
+  rank     run fault-injection campaigns over the archive, recording
+           each program's detection rate and detected-fault set
+  distill  minimize the archive to the smallest subset preserving the
+           union of detected-fault sets (greedy set cover)
+  export   copy the top-ranked programs out as .hxpg files
+
+run "corpus <command> -h" for command flags
+`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func openStore(dir string, ob *obs.Observer) *corpus.Store {
+	if dir == "" {
+		fatal(fmt.Errorf("corpus: -dir is required"))
+	}
+	s, err := corpus.Open(dir, ob)
+	if err != nil {
+		fatal(err)
+	}
+	return s
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "ls":
+		cmdLs(args)
+	case "add":
+		cmdAdd(args)
+	case "rank":
+		cmdRank(args)
+	case "distill":
+		cmdDistill(args)
+	case "export":
+		cmdExport(args)
+	default:
+		usage()
+	}
+}
+
+func cmdLs(args []string) {
+	fs := flag.NewFlagSet("corpus ls", flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus directory")
+	structure := fs.String("structure", "", "restrict to one structure")
+	fs.Parse(args)
+	st := openStore(*dir, nil)
+
+	metas := st.List()
+	if *structure != "" {
+		c, err := coverage.Parse(*structure)
+		if err != nil {
+			fatal(err)
+		}
+		metas = st.ListStructure(c.String())
+	}
+	fmt.Printf("%-16s %-10s %8s %8s %9s %6s %s\n",
+		"HASH", "STRUCTURE", "FITNESS", "DETECT", "FAULTS", "INSTS", "NAME")
+	for _, m := range metas {
+		det, faults := "-", "-"
+		if m.Ranked() {
+			det = fmt.Sprintf("%.1f%%", 100*m.Detection)
+			faults = fmt.Sprintf("%d/%d", len(m.Detected), m.FaultN)
+		}
+		fmt.Printf("%-16s %-10s %8.4f %8s %9s %6d %s\n",
+			m.Hash, m.Structure, m.Fitness, det, faults, m.Insts, m.Name)
+	}
+	fmt.Printf("%d programs\n", len(metas))
+}
+
+func cmdAdd(args []string) {
+	fs := flag.NewFlagSet("corpus add", flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus directory")
+	file := fs.String("file", "", ".hxpg program file to import")
+	structure := fs.String("structure", "", "target structure the program tests")
+	bound := fs.Int("max", 0, "per-structure archive bound (0 = unbounded)")
+	fs.Parse(args)
+	if *file == "" || *structure == "" {
+		fatal(fmt.Errorf("corpus add: -file and -structure are required"))
+	}
+	c, err := coverage.Parse(*structure)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := prog.Load(*file)
+	if err != nil {
+		fatal(err)
+	}
+	st := openStore(*dir, nil)
+	st.SetBound(*bound)
+
+	// Grade the import so it lands fitness-ranked alongside evolved
+	// entries.
+	sim := harpocrates.Simulate(p, c)
+	fitness := 0.0
+	if sim.Clean() {
+		fitness = sim.Snapshot.Value(c)
+	} else {
+		fmt.Fprintf(os.Stderr, "warning: program does not run cleanly; archiving with fitness 0\n")
+	}
+	res, err := st.Add(p, nil, corpus.Meta{
+		Structure: c.String(),
+		Fitness:   fitness,
+		Iteration: -1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if res.Added {
+		fmt.Printf("added %s (%s, fitness %.4f, %d instructions)\n",
+			res.Hash, c, fitness, len(p.Insts))
+	} else {
+		fmt.Printf("not retained: %s (duplicate or below the fitness bound)\n", res.Hash)
+	}
+	for _, h := range res.Evicted {
+		fmt.Printf("evicted %s\n", h)
+	}
+}
+
+func cmdRank(args []string) {
+	fs := flag.NewFlagSet("corpus rank", flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus directory")
+	structure := fs.String("structure", "", "structure to rank")
+	n := fs.Int("n", 100, "injections per program")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	ftype := fs.String("type", "", "fault type: transient, intermittent, permanent (default per structure)")
+	window := fs.Uint64("window", 100, "intermittent fault window (cycles)")
+	force := fs.Bool("force", false, "re-rank entries already measured with this configuration")
+	metrics := fs.Bool("metrics", false, "print a metrics summary at exit")
+	fs.Parse(args)
+	if *structure == "" {
+		fatal(fmt.Errorf("corpus rank: -structure is required"))
+	}
+	c, err := coverage.Parse(*structure)
+	if err != nil {
+		fatal(err)
+	}
+	ob, obFinish, err := obs.SetupCLI("", *metrics, "")
+	if err != nil {
+		fatal(err)
+	}
+	st := openStore(*dir, ob)
+
+	ft := inject.DefaultFaultType(c)
+	switch strings.ToLower(*ftype) {
+	case "transient":
+		ft = inject.Transient
+	case "intermittent":
+		ft = inject.Intermittent
+	case "permanent":
+		ft = inject.Permanent
+	case "":
+	default:
+		fatal(fmt.Errorf("unknown fault type %q", *ftype))
+	}
+
+	ranked, skipped, err := st.Rank(corpus.RankOptions{
+		Structure:       c,
+		Type:            ft,
+		N:               *n,
+		Seed:            *seed,
+		IntermittentLen: *window,
+		Force:           *force,
+		Obs:             ob,
+		Progress: func(m *corpus.Meta, s *inject.Stats) {
+			fmt.Printf("  %s  %s\n", m.Hash, s)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ranked %d programs (%d already measured, skipped)\n", ranked, skipped)
+	if err := obFinish(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func cmdDistill(args []string) {
+	fs := flag.NewFlagSet("corpus distill", flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus directory")
+	structure := fs.String("structure", "", "structure to distill")
+	apply := fs.Bool("apply", false, "actually remove redundant entries (default: dry run)")
+	fs.Parse(args)
+	if *structure == "" {
+		fatal(fmt.Errorf("corpus distill: -structure is required"))
+	}
+	c, err := coverage.Parse(*structure)
+	if err != nil {
+		fatal(err)
+	}
+	st := openStore(*dir, nil)
+
+	kept, dropped, err := st.Distill(c.String(), *apply)
+	if err != nil {
+		fatal(err)
+	}
+	union := corpus.DetectedUnion(kept)
+	for _, m := range kept {
+		fmt.Printf("keep %s  detects %d/%d  fitness %.4f\n",
+			m.Hash, len(m.Detected), m.FaultN, m.Fitness)
+	}
+	for _, m := range dropped {
+		verb := "would drop"
+		if *apply {
+			verb = "dropped"
+		}
+		fmt.Printf("%s %s  detects %d/%d (all covered by kept set)\n",
+			verb, m.Hash, len(m.Detected), m.FaultN)
+	}
+	fmt.Printf("distilled %d -> %d programs, union of detected faults preserved (%d faults)\n",
+		len(kept)+len(dropped), len(kept), len(union))
+}
+
+func cmdExport(args []string) {
+	fs := flag.NewFlagSet("corpus export", flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus directory")
+	structure := fs.String("structure", "", "structure to export")
+	out := fs.String("out", "", "output directory")
+	top := fs.Int("top", 0, "export only the top K by fitness (0 = all)")
+	fs.Parse(args)
+	if *structure == "" || *out == "" {
+		fatal(fmt.Errorf("corpus export: -structure and -out are required"))
+	}
+	c, err := coverage.Parse(*structure)
+	if err != nil {
+		fatal(err)
+	}
+	st := openStore(*dir, nil)
+	paths, err := st.Export(c.String(), *top, *out)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range paths {
+		fmt.Println(p)
+	}
+	fmt.Printf("exported %d programs to %s\n", len(paths), *out)
+}

@@ -7,6 +7,7 @@
 //	faultsim -list
 //	faultsim -suite mibench -prog mibench/qsort -target l1d -n 100
 //	faultsim -random 2000 -target intadd -type intermittent -n 50
+//	faultsim -corpus corpus/ -target irf -n 100 -resume
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"harpocrates"
 	"harpocrates/internal/baselines/dcdiag"
 	"harpocrates/internal/baselines/mibench"
+	"harpocrates/internal/corpus"
 	"harpocrates/internal/coverage"
 	"harpocrates/internal/inject"
 	"harpocrates/internal/obs"
@@ -46,6 +48,9 @@ func main() {
 		scale  = flag.Int("scale", 1, "workload scale")
 		window = flag.Uint64("window", 100, "intermittent fault window (cycles)")
 		list   = flag.Bool("list", false, "list available programs and exit")
+
+		corpusDir = flag.String("corpus", "", "rank a corpus archive: run the campaign on every archived program of the target structure and record detection metadata")
+		resume    = flag.Bool("resume", false, "with -corpus: skip entries already measured with this campaign configuration (resume an interrupted sweep)")
 
 		tracePath = flag.String("trace", "", "write a JSONL event trace to this file")
 		metrics   = flag.Bool("metrics", false, "print a metrics summary at exit")
@@ -78,6 +83,54 @@ func main() {
 		os.Exit(2)
 	}
 
+	ft := inject.DefaultFaultType(st)
+	switch strings.ToLower(*ftype) {
+	case "transient":
+		ft = inject.Transient
+	case "intermittent":
+		ft = inject.Intermittent
+	case "permanent":
+		ft = inject.Permanent
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown fault type %q\n", *ftype)
+		os.Exit(2)
+	}
+
+	if *corpusDir != "" {
+		// Corpus mode: rank the archive instead of one program. With
+		// -resume, entries already measured under this configuration are
+		// skipped, so an interrupted sweep picks up where it stopped.
+		store, err := corpus.Open(*corpusDir, ob)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("ranking corpus %s: target=%v faults=%v injections=%d\n", *corpusDir, st, ft, *n)
+		ranked, skipped, err := store.Rank(corpus.RankOptions{
+			Structure:       st,
+			Type:            ft,
+			N:               *n,
+			Seed:            *seed,
+			IntermittentLen: *window,
+			Force:           !*resume,
+			Obs:             ob,
+			Progress: func(m *corpus.Meta, s *inject.Stats) {
+				fmt.Printf("  %s  %s\n", m.Hash, s)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("ranked %d programs (%d already measured, skipped)\n", ranked, skipped)
+		if err := obFinish(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var p *prog.Program
 	switch {
 	case *load != "":
@@ -103,20 +156,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "program %q not found in suite %q (try -list)\n", *name, *suite)
 			os.Exit(2)
 		}
-	}
-
-	ft := inject.DefaultFaultType(st)
-	switch strings.ToLower(*ftype) {
-	case "transient":
-		ft = inject.Transient
-	case "intermittent":
-		ft = inject.Intermittent
-	case "permanent":
-		ft = inject.Permanent
-	case "":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown fault type %q\n", *ftype)
-		os.Exit(2)
 	}
 
 	c := &inject.Campaign{

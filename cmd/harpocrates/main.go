@@ -5,37 +5,23 @@
 // Usage:
 //
 //	harpocrates -structure intmul -scale 1 -detect 50 -dump 20
+//	harpocrates -structure irf -corpus corpus/ -resume
+//	harpocrates -load best.hxpg -structure irf -detect 100
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"harpocrates"
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/corpus"
 	"harpocrates/internal/obs"
+	"harpocrates/internal/prog"
 )
-
-func parseStructure(s string) (harpocrates.Structure, error) {
-	switch strings.ToLower(s) {
-	case "irf":
-		return harpocrates.IRF, nil
-	case "l1d":
-		return harpocrates.L1D, nil
-	case "fprf":
-		return harpocrates.FPRF, nil
-	case "intadd", "intadder", "adder":
-		return harpocrates.IntAdder, nil
-	case "intmul", "multiplier":
-		return harpocrates.IntMul, nil
-	case "fpadd":
-		return harpocrates.FPAdd, nil
-	case "fpmul":
-		return harpocrates.FPMul, nil
-	}
-	return 0, fmt.Errorf("unknown structure %q (irf, l1d, fprf, intadd, intmul, fpadd, fpmul)", s)
-}
 
 func main() {
 	var (
@@ -46,13 +32,17 @@ func main() {
 		detect     = flag.Int("detect", 0, "run a final fault-injection campaign with N injections")
 		dump       = flag.Int("dump", 0, "print the first N instructions of the best program")
 		save       = flag.String("save", "", "save the best program to a .hxpg file")
+		load       = flag.String("load", "", "skip evolution: load a saved .hxpg program and re-evaluate it")
+		corpusDir  = flag.String("corpus", "", "persistent corpus directory: seed the run from archived elites and auto-archive each iteration's survivors")
+		corpusMax  = flag.Int("corpus-max", 64, "per-structure corpus archive bound (0 = unbounded)")
+		resume     = flag.Bool("resume", false, "resume an interrupted run from the checkpoint in the corpus directory (requires -corpus)")
 		tracePath  = flag.String("trace", "", "write a JSONL event trace to this file")
 		metrics    = flag.Bool("metrics", false, "print a metrics summary at exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
-	st, err := parseStructure(*structure)
+	st, err := coverage.Parse(*structure)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -62,11 +52,68 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	if *load != "" {
+		// Re-evaluation path: grade a saved program instead of evolving
+		// one (-save output is no longer write-only).
+		p, err := prog.Load(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		reEvaluate(p, st, *detect, *dump, *seed, ob)
+		if err := obFinish(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	o := harpocrates.Preset(st, *scale)
 	o.Seed = *seed
 	o.Obs = ob
 	if *iterations > 0 {
 		o.Iterations = *iterations
+	}
+
+	var store *corpus.Store
+	if *corpusDir != "" {
+		store, err = corpus.Open(*corpusDir, ob)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		store.SetBound(*corpusMax)
+		// Warm-start from archived elites (cold start when the archive is
+		// empty) and auto-archive each iteration's survivor set.
+		seeds, err := store.Elites(st.String(), o.TopK)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		o.Seeds = seeds
+		gcfg := o.Gen
+		o.OnTopK = func(it int, top []*harpocrates.Individual) {
+			for _, ind := range top {
+				_, err := store.Add(ind.Program(&gcfg), ind.G, corpus.Meta{
+					Structure: st.String(),
+					Fitness:   ind.Fitness,
+					Iteration: it,
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "warning: corpus archive: %v\n", err)
+					return
+				}
+			}
+		}
+		o.CheckpointPath = filepath.Join(*corpusDir, "checkpoint-"+strings.ToLower(st.String())+".hxck")
+		o.Resume = *resume
+		if len(seeds) > 0 && !*resume {
+			fmt.Printf("corpus: seeding %d of %d population slots from archived elites\n", len(seeds), o.PopSize)
+		}
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "-resume requires -corpus")
+		os.Exit(2)
 	}
 
 	fmt.Printf("Harpocrates loop: structure=%v programs=%d instructions=%d topK=%d iterations=%d\n",
@@ -88,6 +135,9 @@ func main() {
 		h.Times.Mutation, h.Times.Generation, h.Times.Compilation, h.Times.Evaluation)
 	fmt.Printf("throughput: %d programs, %d instructions generated and evaluated\n",
 		h.EvaluatedPrograms, h.EvaluatedInstructions)
+	if store != nil {
+		fmt.Printf("corpus: %d programs archived in %s\n", store.Len(), store.Dir())
+	}
 
 	best := harpocrates.BestProgram(res, &o)
 	if *dump > 0 {
@@ -104,21 +154,50 @@ func main() {
 		fmt.Printf("saved best program to %s (%d instructions)\n", *save, len(best.Insts))
 	}
 	if *detect > 0 {
-		fmt.Printf("running %v SFI campaign (%d injections, %s faults)...\n",
-			st, *detect, faultName(st))
-		c := harpocrates.NewDetectionCampaign(best, st, *detect, *seed)
-		c.Obs = ob
-		stats, err := c.Run()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("  %v\n", stats)
+		runDetection(best, st, *detect, *seed, ob)
 	}
 	if err := obFinish(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// reEvaluate grades a loaded program: coverage on the core model, an
+// optional disassembly dump and an optional SFI campaign.
+func reEvaluate(p *harpocrates.Program, st harpocrates.Structure, detect, dump int, seed uint64, ob *obs.Observer) {
+	res := harpocrates.Simulate(p, st)
+	if !res.Clean() {
+		fmt.Fprintf(os.Stderr, "warning: program does not run cleanly\n")
+	}
+	ipc := 0.0
+	if res.Cycles > 0 {
+		ipc = float64(res.Instructions) / float64(res.Cycles)
+	}
+	fmt.Printf("program %s: %d instructions, %d cycles, IPC %.2f\n",
+		p.Name, len(p.Insts), res.Cycles, ipc)
+	fmt.Printf("%v coverage: %.2f%%\n", st, 100*res.Snapshot.Value(st))
+	if dump > 0 {
+		lines := strings.Split(p.Disassemble(), "\n")
+		n := min(dump, len(lines))
+		fmt.Printf("program (first %d of %d instructions):\n%s\n",
+			n, len(p.Insts), strings.Join(lines[:n], "\n"))
+	}
+	if detect > 0 {
+		runDetection(p, st, detect, seed, ob)
+	}
+}
+
+func runDetection(p *harpocrates.Program, st harpocrates.Structure, injections int, seed uint64, ob *obs.Observer) {
+	fmt.Printf("running %v SFI campaign (%d injections, %s faults)...\n",
+		st, injections, faultName(st))
+	c := harpocrates.NewDetectionCampaign(p, st, injections, seed)
+	c.Obs = ob
+	stats, err := c.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  %v\n", stats)
 }
 
 func faultName(st harpocrates.Structure) string {

@@ -65,6 +65,9 @@ type (
 	LoopOptions = core.Options
 	// LoopResult is the outcome of a refinement run.
 	LoopResult = core.Result
+	// Individual is one member of the refinement population with its
+	// evaluation (exposed through LoopOptions.OnIteration/OnTopK).
+	Individual = core.Individual
 	// SimResult is one simulated execution with coverage data.
 	SimResult = uarch.Result
 	// CoreConfig parameterizes the microarchitectural model.

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/gen"
+)
+
+// historyEqual compares two trajectories excluding the wall-clock Times
+// (the one field that legitimately differs across a resume).
+func historyEqual(a, b *History) bool {
+	ac, bc := *a, *b
+	ac.Times, bc.Times = StepTimes{}, StepTimes{}
+	return reflect.DeepEqual(ac, bc)
+}
+
+// TestResumeBitIdentical is the checkpoint/resume acceptance gate: an
+// interrupted-then-resumed run must replay the identical trajectory —
+// History (fitness series, evaluation counters, cache hits), the best
+// genotype and the iteration count all bit-identical to the same run
+// left uninterrupted.
+func TestResumeBitIdentical(t *testing.T) {
+	const full = 6
+
+	// Reference: the uninterrupted run.
+	ref := tinyOptions(coverage.IntAdder)
+	ref.Iterations = full
+	want, err := Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: same configuration, cut off mid-way by a smaller
+	// iteration budget, checkpointing every iteration.
+	ck := filepath.Join(t.TempDir(), "run.hxck")
+	part := tinyOptions(coverage.IntAdder)
+	part.Iterations = full / 2
+	part.CheckpointPath = ck
+	if _, err := Run(part); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	// Resume with the full budget restored.
+	res := tinyOptions(coverage.IntAdder)
+	res.Iterations = full
+	res.CheckpointPath = ck
+	res.Resume = true
+	got, err := Run(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !historyEqual(got.History, want.History) {
+		t.Errorf("resumed history diverged:\nresumed:       %+v\nuninterrupted: %+v",
+			got.History, want.History)
+	}
+	if got.Iterations != want.Iterations || got.Converged != want.Converged {
+		t.Errorf("resumed run shape: iterations %d/%v, want %d/%v",
+			got.Iterations, got.Converged, want.Iterations, want.Converged)
+	}
+	if got.Best.Fitness != want.Best.Fitness || got.Best.G.Hash() != want.Best.G.Hash() {
+		t.Errorf("resumed best diverged: fitness %v hash %#x, want %v hash %#x",
+			got.Best.Fitness, got.Best.G.Hash(), want.Best.Fitness, want.Best.G.Hash())
+	}
+	if got.Best.Snapshot != want.Best.Snapshot {
+		t.Errorf("resumed best snapshot diverged")
+	}
+}
+
+// TestResumeWithoutCheckpointIsFreshStart: Resume with no checkpoint on
+// disk must run from scratch, not fail.
+func TestResumeWithoutCheckpointIsFreshStart(t *testing.T) {
+	o := tinyOptions(coverage.IntAdder)
+	o.CheckpointPath = filepath.Join(t.TempDir(), "absent.hxck")
+	o.Resume = true
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History.Best) != o.Iterations {
+		t.Fatalf("fresh start ran %d iterations, want %d", len(res.History.Best), o.Iterations)
+	}
+}
+
+// TestResumeRejectsMismatchedOptions: a snapshot written under one
+// configuration must refuse to resume under another (silently diverging
+// would defeat the bit-identity guarantee).
+func TestResumeRejectsMismatchedOptions(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "run.hxck")
+	o := tinyOptions(coverage.IntAdder)
+	o.Iterations = 3
+	o.CheckpointPath = ck
+	if _, err := Run(o); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := tinyOptions(coverage.IntAdder)
+	bad.Seed++
+	bad.CheckpointPath = ck
+	bad.Resume = true
+	if _, err := Run(bad); err == nil {
+		t.Fatal("resume with a different seed succeeded; want options-mismatch error")
+	}
+
+	// A larger iteration budget and a different seed list are legitimate
+	// resumes, not mismatches: the budget may grow, and a corpus-backed
+	// caller's elite set grows between interruption and resume (seeds
+	// only shape the initial population, which the snapshot captures).
+	more := tinyOptions(coverage.IntAdder)
+	more.Iterations = 5
+	more.CheckpointPath = ck
+	more.Resume = true
+	more.Seeds = []*gen.Genotype{gen.NewRandom(&more.Gen, rand.New(rand.NewPCG(9, 9)))}
+	if _, err := Run(more); err != nil {
+		t.Fatalf("resume with larger budget: %v", err)
+	}
+}
+
+// TestResumeRejectsCorruptCheckpoint: flipped or truncated checkpoint
+// bytes must surface as an error, never as a silent fresh start or a
+// huge allocation.
+func TestResumeRejectsCorruptCheckpoint(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "run.hxck")
+	o := tinyOptions(coverage.IntAdder)
+	o.Iterations = 3
+	o.CheckpointPath = ck
+	if _, err := Run(o); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, mut := range map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"bad-magic": func(b []byte) []byte { c := append([]byte(nil), b...); c[0] ^= 0xff; return c },
+		"huge-length": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			// The RNG-state length field sits right after magic, version,
+			// optsHash and nextIt.
+			off := 4 + 4 + 8 + 4
+			c[off], c[off+1], c[off+2], c[off+3] = 0xff, 0xff, 0xff, 0xff
+			return c
+		},
+	} {
+		if _, err := readSnapshot(bytes.NewReader(mut(raw))); err == nil {
+			t.Errorf("%s checkpoint decoded without error", name)
+		}
+	}
+}
+
+// TestSnapshotRoundTrip: writeSnapshot → readSnapshot is the identity on
+// every persisted field.
+func TestSnapshotRoundTrip(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "run.hxck")
+	o := tinyOptions(coverage.IRF)
+	o.Iterations = 2
+	o.CheckpointPath = ck
+	if _, err := Run(o); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := readSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2 := filepath.Join(t.TempDir(), "copy.hxck")
+	if err := writeSnapshot(ck2, snap); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(ck)
+	b, _ := os.ReadFile(ck2)
+	if !bytes.Equal(a, b) {
+		t.Fatal("snapshot re-serialization is not byte-identical")
+	}
+	if snap.nextIt != 1 {
+		t.Fatalf("nextIt = %d, want 1 (checkpoint after the first full body)", snap.nextIt)
+	}
+	if len(snap.pop) == 0 || len(snap.memo) == 0 || len(snap.rng) == 0 {
+		t.Fatalf("snapshot missing state: pop=%d memo=%d rng=%d",
+			len(snap.pop), len(snap.memo), len(snap.rng))
+	}
+}
+
+// TestSeededPopulation: corpus seeds fill the first population slots, so
+// the first iteration's best fitness is at least the seeded elite's.
+func TestSeededPopulation(t *testing.T) {
+	o := tinyOptions(coverage.IntAdder)
+	base, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elite := base.Best
+
+	seeded := tinyOptions(coverage.IntAdder)
+	seeded.Seed = 777 // different random remainder; the elite still leads
+	seeded.Seeds = []*gen.Genotype{elite.G.Clone()}
+	res, err := Run(seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History.Best[0] < elite.Fitness {
+		t.Fatalf("seeded run starts at %v, below the seeded elite's %v",
+			res.History.Best[0], elite.Fitness)
+	}
+}

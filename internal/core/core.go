@@ -63,6 +63,34 @@ type Options struct {
 	// the experiment harnesses to checkpoint detection measurements).
 	OnIteration func(it int, best *Individual)
 
+	// OnTopK, if set, observes the full survivor set of each iteration
+	// (the corpus layer uses it to auto-archive elites). Like
+	// OnIteration it is purely observational.
+	OnTopK func(it int, top []*Individual)
+
+	// Seeds optionally provides initial genotypes (corpus elites from an
+	// earlier run). The first len(Seeds) population slots are cloned
+	// from the seeds; the rest are generated randomly. Seeds beyond
+	// PopSize are ignored.
+	Seeds []*gen.Genotype
+
+	// CheckpointPath, if set, persists a campaign snapshot (population,
+	// RNG state, iteration counter, history, fitness memo) to this file
+	// after every CheckpointEvery-th iteration, via atomic rename.
+	CheckpointPath string
+	// CheckpointEvery is the snapshot stride in iterations (0 = 1).
+	CheckpointEvery int
+	// Resume restarts from the snapshot at CheckpointPath when one
+	// exists (a fresh run otherwise). The resumed trajectory — History,
+	// best genotype, convergence — is bit-identical to the same run
+	// left uninterrupted (wall-clock Times excepted). The snapshot
+	// records a hash of the run-shaping options; resuming with a
+	// mismatched configuration fails rather than silently diverging.
+	// Iterations and the convergence knobs are intentionally excluded
+	// from the hash so an interrupted run can resume with a larger
+	// iteration budget.
+	Resume bool
+
 	// Mutate overrides the mutation strategy (default: uniform
 	// instruction replacement, mutate.ReplaceAll — the paper's choice,
 	// §V-B1). Used by the mutation-strategy ablation.
@@ -181,6 +209,9 @@ func (o *Options) normalize() error {
 	if o.Mutate == nil {
 		o.Mutate = mutate.ReplaceAll
 	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
+	}
 	if o.TopK > o.PopSize {
 		return fmt.Errorf("core: TopK %d > PopSize %d", o.TopK, o.PopSize)
 	}
@@ -203,15 +234,9 @@ type evalEntry struct {
 	snap    coverage.Snapshot
 }
 
-// hashGenotype keys a genotype by content: the materialization seed and
-// every variant, folded in order.
-func hashGenotype(g *gen.Genotype) uint64 {
-	h := stats.Mix64(stats.HashInit, g.Seed)
-	for _, v := range g.Variants {
-		h = stats.Mix64(h, uint64(v))
-	}
-	return h
-}
+// hashGenotype keys a genotype by content (gen.Genotype.Hash: the
+// materialization seed and every variant, folded in order).
+func hashGenotype(g *gen.Genotype) uint64 { return g.Hash() }
 
 func (ec *evalCache) get(key uint64) (evalEntry, bool) {
 	ec.mu.Lock()
@@ -231,7 +256,10 @@ func Run(o Options) (*Result, error) {
 	if err := o.normalize(); err != nil {
 		return nil, err
 	}
-	rng := stats.Derive(o.Seed, 0)
+	// The RNG source is held explicitly (not just behind *rand.Rand) so
+	// checkpoints can marshal and restore the exact generator state.
+	src := stats.DeriveSource(o.Seed, 0)
+	rng := rand.New(src)
 	hist := &History{}
 	memo := &evalCache{m: make(map[uint64]evalEntry)}
 
@@ -242,20 +270,46 @@ func Run(o Options) (*Result, error) {
 		"num_instrs": o.Gen.NumInstrs, "seed": o.Seed,
 	})
 
-	// Step 0: the Generator bootstraps the initial population.
-	t0 := time.Now()
-	stopGen := o.Obs.Phase("core.phase.generate")
-	pop := make([]*Individual, o.PopSize)
-	for i := range pop {
-		pop[i] = &Individual{G: gen.NewRandom(&o.Gen, rng)}
-	}
-	stopGen()
-	hist.Times.Generation += time.Since(t0)
+	var pop []*Individual
+	startIt := 0
+	if snap, err := maybeResume(&o); err != nil {
+		stopRun()
+		runSpan.End(obs.Fields{"error": err.Error()})
+		return nil, err
+	} else if snap != nil {
+		if err := src.UnmarshalBinary(snap.rng); err != nil {
+			stopRun()
+			runSpan.End(obs.Fields{"error": err.Error()})
+			return nil, fmt.Errorf("core: restore rng state: %w", err)
+		}
+		pop = snap.pop
+		*hist = *snap.hist
+		memo.m = snap.memo
+		startIt = snap.nextIt
+		o.Obs.Counter("core.resumes").Inc()
+		runSpan.Event("resume", obs.Fields{"iteration": startIt, "pop": len(pop)})
+	} else {
+		// Step 0: the Generator bootstraps the initial population. Corpus
+		// seeds (archived elites) fill the first slots; the remainder is
+		// generated randomly as in a cold start.
+		t0 := time.Now()
+		stopGen := o.Obs.Phase("core.phase.generate")
+		pop = make([]*Individual, o.PopSize)
+		for i := range pop {
+			if i < len(o.Seeds) {
+				pop[i] = &Individual{G: o.Seeds[i].Clone()}
+			} else {
+				pop[i] = &Individual{G: gen.NewRandom(&o.Gen, rng)}
+			}
+		}
+		stopGen()
+		hist.Times.Generation += time.Since(t0)
 
-	evaluate(pop, &o, hist, memo)
+		evaluate(pop, &o, hist, memo)
+	}
 
 	converged := false
-	it := 0
+	it := startIt
 	for ; it < o.Iterations; it++ {
 		itSpan := runSpan.Child("iteration", obs.Fields{"it": it})
 
@@ -290,9 +344,14 @@ func Run(o Options) (*Result, error) {
 		}
 		stopSel()
 
-		if o.OnIteration != nil {
+		if o.OnIteration != nil || o.OnTopK != nil {
 			stopCb := o.Obs.Phase("core.phase.callback")
-			o.OnIteration(it, top[0])
+			if o.OnIteration != nil {
+				o.OnIteration(it, top[0])
+			}
+			if o.OnTopK != nil {
+				o.OnTopK(it, top)
+			}
 			stopCb()
 		}
 		if o.ConvergeWindow > 0 && len(hist.Best) > o.ConvergeWindow {
@@ -355,6 +414,29 @@ func Run(o Options) (*Result, error) {
 		next = append(next, top...)
 		next = append(next, offspring...)
 		pop = next
+
+		// The end of a full iteration body is the snapshot point: the next
+		// population is assembled and evaluated, the RNG has consumed this
+		// iteration's mutation draws, and History holds entries 0..it.
+		// A run resumed from here is on the identical trajectory.
+		if o.CheckpointPath != "" && (it+1)%o.CheckpointEvery == 0 {
+			stopCk := o.Obs.Phase("core.phase.checkpoint")
+			err := writeSnapshot(o.CheckpointPath, &snapshot{
+				optsHash: o.resumeHash(),
+				nextIt:   it + 1,
+				rng:      mustMarshalRNG(src),
+				hist:     hist,
+				pop:      pop,
+				memo:     memo.m,
+			})
+			stopCk()
+			if err != nil {
+				stopRun()
+				runSpan.End(obs.Fields{"error": err.Error()})
+				return nil, err
+			}
+			o.Obs.Counter("core.checkpoints").Inc()
+		}
 	}
 
 	sort.SliceStable(pop, func(a, b int) bool { return pop[a].Fitness > pop[b].Fitness })

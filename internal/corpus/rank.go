@@ -1,0 +1,94 @@
+// Corpus ranking: measure every archived program of a structure with a
+// statistical fault-injection campaign and record its detection rate
+// and detected-fault set in the manifest — the measurement distillation
+// minimizes over.
+package corpus
+
+import (
+	"fmt"
+
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/inject"
+	"harpocrates/internal/obs"
+	"harpocrates/internal/uarch"
+)
+
+// RankOptions configures a ranking sweep.
+type RankOptions struct {
+	// Structure selects the archive slice and the campaign target.
+	Structure coverage.Structure
+	// Type is the fault model (zero value: the structure's default).
+	Type inject.FaultType
+	// N is the number of injections per program.
+	N int
+	// Seed is the campaign seed; together with N and Type it defines
+	// the fault universe the detected sets index into.
+	Seed uint64
+	// IntermittentLen is the intermittent fault window (cycles).
+	IntermittentLen uint64
+	// Cfg is the core model configuration (zero value: defaults).
+	Cfg uarch.Config
+	// Force re-ranks entries already measured under the same campaign
+	// configuration (default: they are skipped, which is what lets an
+	// interrupted ranking sweep resume where it stopped).
+	Force bool
+	// Workers bounds per-campaign parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Obs receives campaign metrics; nil disables.
+	Obs *obs.Observer
+	// Progress, if set, observes each ranked entry.
+	Progress func(m *Meta, st *inject.Stats)
+}
+
+// Rank runs the configured campaign on every archived program of the
+// structure, recording detection metadata. Entries already ranked under
+// an identical configuration are skipped unless Force is set, so a
+// ranking sweep is resumable. Returns the number of entries ranked and
+// skipped.
+func (s *Store) Rank(opt RankOptions) (ranked, skipped int, err error) {
+	if opt.N <= 0 {
+		return 0, 0, fmt.Errorf("corpus: rank needs N > 0")
+	}
+	ft := opt.Type
+	if opt.Type == inject.Transient && opt.Structure.IsFunctionalUnit() {
+		ft = inject.DefaultFaultType(opt.Structure)
+	}
+	cfg := opt.Cfg.WithDefaults()
+
+	for _, m := range s.ListStructure(opt.Structure.String()) {
+		if !opt.Force && m.Ranked() &&
+			m.FaultType == ft.String() && m.FaultN == opt.N && m.FaultSeed == opt.Seed {
+			skipped++
+			continue
+		}
+		p, err := s.Get(m.Hash)
+		if err != nil {
+			return ranked, skipped, fmt.Errorf("corpus: load %s: %w", m.Hash, err)
+		}
+		c := &inject.Campaign{
+			Prog:            p.Insts,
+			Init:            p.InitFunc(),
+			Target:          opt.Structure,
+			Type:            ft,
+			N:               opt.N,
+			IntermittentLen: opt.IntermittentLen,
+			Seed:            opt.Seed,
+			Cfg:             cfg,
+			Workers:         opt.Workers,
+			Obs:             opt.Obs,
+		}
+		st, err := c.Run()
+		if err != nil {
+			return ranked, skipped, fmt.Errorf("corpus: rank %s: %w", m.Hash, err)
+		}
+		if err := s.SetDetection(m.Hash, ft.String(), opt.N, opt.Seed, st.Detection(), st.DetectedSet()); err != nil {
+			return ranked, skipped, err
+		}
+		ranked++
+		if opt.Progress != nil {
+			mm, _ := s.Entry(m.Hash)
+			opt.Progress(mm, st)
+		}
+	}
+	return ranked, skipped, nil
+}

@@ -8,6 +8,7 @@ package coverage
 import (
 	"fmt"
 	"math/bits"
+	"strings"
 
 	"harpocrates/internal/isa"
 )
@@ -40,6 +41,30 @@ func (s Structure) String() string {
 		return structNames[s]
 	}
 	return fmt.Sprintf("struct?%d", int(s))
+}
+
+// Parse maps a structure name to its Structure. It accepts the
+// canonical String() form case-insensitively plus the short aliases the
+// command-line tools use (irf, l1d, fprf, intadd, intadder, adder,
+// intmul, multiplier, fpadd, fpmul).
+func Parse(name string) (Structure, error) {
+	switch strings.ToLower(name) {
+	case "irf":
+		return IRF, nil
+	case "l1d":
+		return L1D, nil
+	case "fprf":
+		return FPRF, nil
+	case "intadd", "intadder", "adder":
+		return IntAdder, nil
+	case "intmul", "multiplier":
+		return IntMul, nil
+	case "fpadd", "sse-fpadd":
+		return FPAdd, nil
+	case "fpmul", "sse-fpmul":
+		return FPMul, nil
+	}
+	return 0, fmt.Errorf("unknown structure %q (irf, l1d, fprf, intadd, intmul, fpadd, fpmul)", name)
 }
 
 // IsFunctionalUnit reports whether the structure is a functional unit

@@ -19,6 +19,7 @@ import (
 	"harpocrates/internal/baselines/dcdiag"
 	"harpocrates/internal/baselines/mibench"
 	"harpocrates/internal/baselines/silifuzz"
+	"harpocrates/internal/corpus"
 	"harpocrates/internal/coverage"
 	"harpocrates/internal/inject"
 	"harpocrates/internal/obs"
@@ -49,6 +50,12 @@ type Params struct {
 	// Obs, if set, is threaded into every refinement loop and SFI
 	// campaign a harness runs (purely observational; nil disables).
 	Obs *obs.Observer
+
+	// Corpus, if set, archives the programs the harnesses evolve: Fig10
+	// adds each structure's final best program (with genotype and
+	// detection metadata) to the persistent store, so experiment runs
+	// feed the same corpus the CLI workflow uses.
+	Corpus *corpus.Store
 }
 
 // DefaultParams derives campaign sizes from the scale factor.

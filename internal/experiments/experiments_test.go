@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"harpocrates/internal/baselines/mibench"
+	"harpocrates/internal/corpus"
 	"harpocrates/internal/coverage"
 )
 
@@ -136,11 +137,25 @@ func TestFig10SmallRun(t *testing.T) {
 		t.Skip("short mode")
 	}
 	pp := tinyParams()
+	// Attach a corpus store: the harness must archive the evolved best
+	// program with its genotype and detection measurement.
+	store, err := corpus.Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Corpus = store
 	// Override the preset with a very small run via scale 1; the preset
 	// for IntAdder is already the cheapest.
 	c, err := Fig10(coverage.IntAdder, pp)
 	if err != nil {
 		t.Fatal(err)
+	}
+	archived := store.ListStructure(coverage.IntAdder.String())
+	if len(archived) != 1 {
+		t.Fatalf("corpus holds %d IntAdder entries, want 1", len(archived))
+	}
+	if m := archived[0]; !m.Genotype || m.Fitness != c.FinalCoverage || !m.Ranked() {
+		t.Fatalf("archived entry incomplete: %+v", m)
 	}
 	if len(c.Points) == 0 {
 		t.Fatal("no convergence points")

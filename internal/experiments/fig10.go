@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"harpocrates/internal/core"
+	"harpocrates/internal/corpus"
 	"harpocrates/internal/coverage"
 	"harpocrates/internal/gen"
 	"harpocrates/internal/inject"
@@ -86,6 +87,7 @@ func fig10(st coverage.Structure, pp Params) (*Convergence, error) {
 
 	conv := &Convergence{Structure: st, Iterations: res.Iterations, Result: res, GenCfg: o.Gen}
 	det := make(map[int]float64)
+	detStats := make(map[int]*inject.Stats)
 	for _, c := range checks {
 		p := gen.Materialize(c.g, &o.Gen)
 		camp := &inject.Campaign{
@@ -103,6 +105,7 @@ func fig10(st coverage.Structure, pp Params) (*Convergence, error) {
 			return nil, fmt.Errorf("fig10 %v checkpoint %d: %w", st, c.it, err)
 		}
 		det[c.it] = s.Detection()
+		detStats[c.it] = s
 	}
 	for it, cov := range res.History.Best {
 		p := ConvergencePoint{Iteration: it, Coverage: cov, Detection: -1}
@@ -114,6 +117,27 @@ func fig10(st coverage.Structure, pp Params) (*Convergence, error) {
 	conv.FinalCoverage = res.Best.Fitness
 	if len(checks) > 0 {
 		conv.FinalDetection = det[checks[len(checks)-1].it]
+	}
+
+	// Feed the persistent corpus: the evolved best program (with its
+	// genotype, so it can seed later runs) plus the final checkpoint's
+	// detection measurement when it belongs to the same genotype.
+	if pp.Corpus != nil {
+		add, err := pp.Corpus.Add(gen.Materialize(res.Best.G, &o.Gen), res.Best.G, corpus.Meta{
+			Structure: st.String(),
+			Fitness:   res.Best.Fitness,
+			Iteration: res.Iterations - 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %v: archive: %w", st, err)
+		}
+		if last := checks[len(checks)-1]; len(checks) > 0 && add.Added && last.g.Hash() == res.Best.G.Hash() {
+			s := detStats[last.it]
+			if err := pp.Corpus.SetDetection(add.Hash, inject.DefaultFaultType(st).String(),
+				s.N, pp.Seed, s.Detection(), s.DetectedSet()); err != nil {
+				return nil, fmt.Errorf("fig10 %v: archive detection: %w", st, err)
+			}
+		}
 	}
 	return conv, nil
 }

@@ -53,7 +53,7 @@ func CampaignSpeed(pp Params) (*CampaignSpeedResult, error) {
 		return nil, err
 	}
 	t2 := time.Now()
-	if *slow != *fast {
+	if !slow.Equal(fast) {
 		return nil, fmt.Errorf("experiments: fast-forward changed campaign statistics: %+v vs %+v", slow, fast)
 	}
 

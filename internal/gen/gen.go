@@ -31,6 +31,7 @@ import (
 
 	"harpocrates/internal/isa"
 	"harpocrates/internal/prog"
+	"harpocrates/internal/stats"
 )
 
 // BaseReg is the reserved memory base register.
@@ -153,6 +154,19 @@ func PoolUsage(cfg *Config, gs []*Genotype) float64 {
 type Genotype struct {
 	Variants []isa.VariantID
 	Seed     uint64
+}
+
+// Hash returns the genotype's content hash: the materialization seed and
+// every variant folded in a fixed order. Because materialization is a
+// pure function of (genotype, config), the hash identifies the phenotype
+// too — it keys the evaluator's fitness memo and the corpus store's
+// content-addressed filenames.
+func (g *Genotype) Hash() uint64 {
+	h := stats.Mix64(stats.HashInit, g.Seed)
+	for _, v := range g.Variants {
+		h = stats.Mix64(h, uint64(v))
+	}
+	return h
 }
 
 // Clone deep-copies the genotype.

@@ -49,7 +49,7 @@ func TestFastForwardBitIdenticalStats(t *testing.T) {
 				return st
 			}
 			slow, fast := run(true), run(false)
-			if *slow != *fast {
+			if !slow.Equal(fast) {
 				t.Fatalf("fast-forward changed campaign statistics:\nfrom cycle 0:  %+v\nfast-forward: %+v", slow, fast)
 			}
 		})
@@ -79,7 +79,7 @@ func TestValidateAllSoundness(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if *st != *st2 {
+		if !st.Equal(st2) {
 			t.Fatalf("%v: ValidateAll changed statistics: %+v vs %+v", target, st, st2)
 		}
 	}
@@ -197,7 +197,7 @@ func TestHangOutcome(t *testing.T) {
 	if st.Hang == 0 {
 		t.Fatalf("no hang among %d counter-loop flips: %+v", st.N, st)
 	}
-	if slow := run(true); *slow != *st {
+	if slow := run(true); !slow.Equal(st) {
 		t.Fatalf("hang statistics diverge: from cycle 0 %+v, fast-forward %+v", slow, st)
 	}
 	t.Log(st)
@@ -219,7 +219,7 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 		return st
 	}
 	a, b, c := run(1), run(4), run(16)
-	if *a != *b || *b != *c {
+	if !a.Equal(b) || !b.Equal(c) {
 		t.Fatalf("worker count changed statistics: %+v / %+v / %+v", a, b, c)
 	}
 }

@@ -18,6 +18,7 @@ package inject
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
@@ -137,10 +138,38 @@ type Stats struct {
 	Skipped int // golden run failed; campaign aborted
 
 	GoldenCycles uint64
+
+	// Outcomes is the per-injection outcome, indexed by injection
+	// number. Injection i's fault parameters are a pure function of
+	// (Seed, i), so for a fixed campaign configuration the index
+	// identifies a concrete fault — the detected-fault sets of different
+	// programs under the same configuration are directly comparable,
+	// which is what corpus distillation minimizes over.
+	Outcomes []Outcome
 }
 
 // Detected returns the number of detected faults (SDC + crash + hang).
 func (s *Stats) Detected() int { return s.SDC + s.Crash + s.Hang }
+
+// Equal reports whether two campaigns produced identical statistics,
+// including the per-injection outcome vector.
+func (s *Stats) Equal(o *Stats) bool {
+	return s.N == o.N && s.Masked == o.Masked && s.SDC == o.SDC &&
+		s.Crash == o.Crash && s.Hang == o.Hang && s.Skipped == o.Skipped &&
+		s.GoldenCycles == o.GoldenCycles && slices.Equal(s.Outcomes, o.Outcomes)
+}
+
+// DetectedSet returns the sorted injection indices whose faults were
+// detected (outcome SDC, crash or hang).
+func (s *Stats) DetectedSet() []int {
+	var out []int
+	for i, o := range s.Outcomes {
+		if o != Masked {
+			out = append(out, i)
+		}
+	}
+	return out
+}
 
 // Detection returns the detection capability n/N (§II-C).
 func (s *Stats) Detection() float64 {
@@ -590,6 +619,7 @@ func (c *Campaign) Run() (*Stats, error) {
 		return nil, valErr
 	}
 
+	st.Outcomes = outcomes
 	for _, o := range outcomes {
 		switch o {
 		case Masked:

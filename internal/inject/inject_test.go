@@ -135,7 +135,7 @@ func TestCampaignDeterministic(t *testing.T) {
 		return st
 	}
 	a, b := run(), run()
-	if *a != *b {
+	if !a.Equal(b) {
 		t.Fatalf("campaigns with identical seeds diverged: %+v vs %+v", a, b)
 	}
 }
@@ -241,7 +241,7 @@ func TestCampaignObservability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *pst != *st {
+	if !pst.Equal(st) {
 		t.Fatalf("observation changed campaign statistics: %+v vs %+v", pst, st)
 	}
 }

@@ -75,17 +75,30 @@ func (p *Program) WriteTo(w io.Writer) (int64, error) {
 func ReadProgram(r io.Reader) (*Program, error) {
 	le := binary.LittleEndian
 	get := func(v any) error { return binary.Read(r, le, v) }
+	// readN reads exactly n bytes. The length fields of the container are
+	// untrusted: the count is bounded before any allocation, and the copy
+	// grows incrementally (io.CopyN buffers) so a hostile length claim
+	// backed by a short stream costs only the bytes actually present, not
+	// an up-front make([]byte, n).
+	readN := func(n uint32, what string) ([]byte, error) {
+		if n > 1<<30 {
+			return nil, fmt.Errorf("prog: unreasonable %s size %d", what, n)
+		}
+		var bb bytes.Buffer
+		if _, err := io.CopyN(&bb, r, int64(n)); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		return bb.Bytes(), nil
+	}
 	getBytes := func() ([]byte, error) {
 		var n uint32
 		if err := get(&n); err != nil {
 			return nil, err
 		}
-		if n > 1<<30 {
-			return nil, fmt.Errorf("prog: unreasonable field size %d", n)
-		}
-		b := make([]byte, n)
-		_, err := io.ReadFull(r, b)
-		return b, err
+		return readN(n, "field")
 	}
 
 	var magic, version uint32
@@ -148,16 +161,23 @@ func ReadProgram(r io.Reader) (*Program, error) {
 		if err := get(&size); err != nil {
 			return nil, err
 		}
+		// The region size is as untrusted as every other length field:
+		// unchecked, a corrupt file could demand up to 64 × 4 GiB of
+		// allocations (one per region) before any read failed.
+		if size > 1<<30 {
+			return nil, fmt.Errorf("prog: unreasonable region size %d", size)
+		}
 		var flags uint8
 		if err := get(&flags); err != nil {
 			return nil, err
 		}
 		spec.Writable = flags&1 != 0
 		if flags&2 != 0 {
-			spec.Data = make([]byte, size)
-			if _, err := io.ReadFull(r, spec.Data); err != nil {
+			data, err := readN(size, "region")
+			if err != nil {
 				return nil, err
 			}
+			spec.Data = data
 		} else {
 			spec.Size = int(size)
 		}

@@ -1,0 +1,84 @@
+package prog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"harpocrates/internal/isa"
+)
+
+// TestReadRejectsHugeRegionSize is the regression test for the
+// unbounded-allocation fix: a handcrafted container whose region claims
+// a ~4 GiB size must be rejected by the length check, not answered with
+// an allocation.
+func TestReadRejectsHugeRegionSize(t *testing.T) {
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	put := func(v any) { _ = binary.Write(&buf, le, v) }
+
+	put(uint32(serialMagic))
+	put(uint32(serialVersion))
+	put(uint32(0)) // empty name
+	for i := 0; i < isa.NumGPR; i++ {
+		put(uint64(0))
+	}
+	for i := 0; i < 2*isa.NumXMM; i++ {
+		put(uint64(0))
+	}
+	put(uint8(0)) // flags
+
+	put(uint32(1)) // one region
+	put(uint32(0)) // empty region name
+	put(uint64(0x10000))
+	put(uint32(0xffffffff)) // hostile size claim
+	put(uint8(2))           // data present
+
+	_, err := ReadProgram(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("4 GiB region size accepted")
+	}
+	t.Log(err)
+}
+
+// FuzzReadProgram exercises the decoder with arbitrary bytes: it must
+// never panic or over-allocate, and anything it accepts must re-encode
+// and re-decode to the same program (the decoder's round-trip
+// property).
+func FuzzReadProgram(f *testing.F) {
+	// Seed with well-formed containers so the fuzzer starts from valid
+	// structure and mutates length fields, region flags and opcodes.
+	for seed := uint64(1); seed < 4; seed++ {
+		p := randomSerialProgram(f, seed)
+		var buf bytes.Buffer
+		if _, err := p.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte("HXPG"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadProgram(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input: serialization must be stable.
+		var out bytes.Buffer
+		if _, err := p.WriteTo(&out); err != nil {
+			t.Fatalf("accepted program fails to serialize: %v", err)
+		}
+		q, err := ReadProgram(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded program fails to decode: %v", err)
+		}
+		var out2 bytes.Buffer
+		if _, err := q.WriteTo(&out2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatal("decode/encode is not a fixpoint")
+		}
+	})
+}

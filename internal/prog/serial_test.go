@@ -9,7 +9,7 @@ import (
 	"harpocrates/internal/isa"
 )
 
-func randomSerialProgram(t *testing.T, seed uint64) *Program {
+func randomSerialProgram(t testing.TB, seed uint64) *Program {
 	t.Helper()
 	rng := rand.New(rand.NewPCG(seed, seed+1))
 	det := isa.Deterministic()

@@ -70,7 +70,16 @@ func Min(xs []float64) float64 {
 // Derive returns a deterministic RNG for subtask i of a seeded job, so
 // parallel campaigns are reproducible regardless of scheduling.
 func Derive(seed uint64, i int) *rand.Rand {
-	return rand.New(rand.NewPCG(seed, splitmix(seed^uint64(i)*0x9e3779b97f4a7c15)))
+	return rand.New(DeriveSource(seed, i))
+}
+
+// DeriveSource returns the PCG source behind Derive. Callers that need
+// to persist and restore the generator state (campaign checkpointing)
+// hold on to the source — *rand.PCG implements encoding.BinaryMarshaler
+// — and wrap it in rand.New themselves; the stream is bit-identical to
+// Derive(seed, i).
+func DeriveSource(seed uint64, i int) *rand.PCG {
+	return rand.NewPCG(seed, splitmix(seed^uint64(i)*0x9e3779b97f4a7c15))
 }
 
 func splitmix(z uint64) uint64 {
