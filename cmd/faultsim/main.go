@@ -21,6 +21,7 @@ import (
 	"harpocrates/internal/baselines/mibench"
 	"harpocrates/internal/corpus"
 	"harpocrates/internal/coverage"
+	"harpocrates/internal/dist"
 	"harpocrates/internal/inject"
 	"harpocrates/internal/obs"
 	"harpocrates/internal/prog"
@@ -51,6 +52,8 @@ func main() {
 
 		corpusDir = flag.String("corpus", "", "rank a corpus archive: run the campaign on every archived program of the target structure and record detection metadata")
 		resume    = flag.Bool("resume", false, "with -corpus: skip entries already measured with this campaign configuration (resume an interrupted sweep)")
+
+		workers = flag.String("workers", "", "comma-separated harpod worker URLs to shard the campaign across (e.g. http://host1:9090,http://host2:9090)")
 
 		tracePath = flag.String("trace", "", "write a JSONL event trace to this file")
 		metrics   = flag.Bool("metrics", false, "print a metrics summary at exit")
@@ -84,17 +87,12 @@ func main() {
 	}
 
 	ft := inject.DefaultFaultType(st)
-	switch strings.ToLower(*ftype) {
-	case "transient":
-		ft = inject.Transient
-	case "intermittent":
-		ft = inject.Intermittent
-	case "permanent":
-		ft = inject.Permanent
-	case "":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown fault type %q\n", *ftype)
-		os.Exit(2)
+	if *ftype != "" {
+		var err error
+		if ft, err = inject.ParseFaultType(strings.ToLower(*ftype)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	if *corpusDir != "" {
@@ -174,7 +172,14 @@ func main() {
 		p.Name, golden.Instructions, golden.Cycles,
 		float64(golden.Instructions)/float64(golden.Cycles))
 	fmt.Printf("campaign: target=%v faults=%v injections=%d\n", st, ft, *n)
-	stats, err := c.Run()
+	var stats *inject.Stats
+	if *workers != "" {
+		pool := dist.New(strings.Split(*workers, ","), dist.Options{Obs: ob})
+		fmt.Printf("fleet: %d/%d workers healthy\n", pool.Probe(), pool.Size())
+		stats, err = pool.RunCampaign(c, p)
+	} else {
+		stats, err = c.Run()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -17,8 +17,9 @@ import (
 	"strings"
 
 	"harpocrates"
-	"harpocrates/internal/coverage"
 	"harpocrates/internal/corpus"
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/dist"
 	"harpocrates/internal/obs"
 	"harpocrates/internal/prog"
 )
@@ -36,6 +37,7 @@ func main() {
 		corpusDir  = flag.String("corpus", "", "persistent corpus directory: seed the run from archived elites and auto-archive each iteration's survivors")
 		corpusMax  = flag.Int("corpus-max", 64, "per-structure corpus archive bound (0 = unbounded)")
 		resume     = flag.Bool("resume", false, "resume an interrupted run from the checkpoint in the corpus directory (requires -corpus)")
+		workers    = flag.String("workers", "", "comma-separated harpod worker URLs to shard evaluation across (e.g. http://host1:9090,http://host2:9090)")
 		tracePath  = flag.String("trace", "", "write a JSONL event trace to this file")
 		metrics    = flag.Bool("metrics", false, "print a metrics summary at exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -74,6 +76,11 @@ func main() {
 	o.Obs = ob
 	if *iterations > 0 {
 		o.Iterations = *iterations
+	}
+	if *workers != "" {
+		pool := dist.New(strings.Split(*workers, ","), dist.Options{Obs: ob})
+		fmt.Printf("fleet: %d/%d workers healthy\n", pool.Probe(), pool.Size())
+		o.Evaluator = pool.Evaluator()
 	}
 
 	var store *corpus.Store

@@ -1,0 +1,79 @@
+// Command harpod is the Harpocrates fleet worker: a small HTTP server
+// that grades evaluation batches and runs fault-injection shards on
+// behalf of a coordinator (faultsim -workers / harpocrates -workers).
+//
+// Usage:
+//
+//	harpod -addr 0.0.0.0:9090
+//
+// The worker is stateless — every request carries the full campaign or
+// evaluation configuration — so workers can join, die and be replaced
+// at any point without coordination.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"harpocrates/internal/dist"
+	"harpocrates/internal/obs"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:9090", "address to listen on")
+		tracePath = flag.String("trace", "", "write a JSONL event trace to this file")
+		metrics   = flag.Bool("metrics", false, "print a metrics summary at exit")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	)
+	flag.Parse()
+
+	ob, obFinish, err := obs.SetupCLI(*tracePath, *metrics, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	hs := &http.Server{
+		Handler:           dist.NewServer(ob).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("harpod worker listening on http://%s\n", ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "harpod: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+		}
+		cancel()
+		<-done
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := obFinish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

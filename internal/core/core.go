@@ -13,7 +13,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"math/rand/v2"
 	"runtime"
 	"sort"
@@ -95,6 +94,14 @@ type Options struct {
 	// instruction replacement, mutate.ReplaceAll — the paper's choice,
 	// §V-B1). Used by the mutation-strategy ablation.
 	Mutate func(parent *gen.Genotype, cfg *gen.Config, rng *rand.Rand) *gen.Genotype
+
+	// Evaluator, if set, replaces in-process grading of uncached
+	// individuals with a pluggable backend (the internal/dist worker
+	// pool fans batches out over HTTP). The fitness memo stays local;
+	// only genotypes without a memoized grade are batched out. Any
+	// backend honoring the GradeGenotype contract keeps the trajectory
+	// bit-identical to a local run. Nil (the default) grades in process.
+	Evaluator Evaluator
 
 	// Obs, if set, receives the run's metrics (per-phase wall-clock
 	// timings, simulator counters, population diversity, mutation
@@ -256,6 +263,11 @@ func Run(o Options) (*Result, error) {
 	if err := o.normalize(); err != nil {
 		return nil, err
 	}
+	if o.Evaluator != nil {
+		if err := o.Evaluator.Configure(o.Structure, o.Gen, o.Core); err != nil {
+			return nil, fmt.Errorf("core: configure evaluator: %w", err)
+		}
+	}
 	// The RNG source is held explicitly (not just behind *rand.Rand) so
 	// checkpoints can marshal and restore the exact generator state.
 	src := stats.DeriveSource(o.Seed, 0)
@@ -305,7 +317,11 @@ func Run(o Options) (*Result, error) {
 		stopGen()
 		hist.Times.Generation += time.Since(t0)
 
-		evaluate(pop, &o, hist, memo)
+		if err := evaluate(pop, &o, hist, memo); err != nil {
+			stopRun()
+			runSpan.End(obs.Fields{"error": err.Error()})
+			return nil, err
+		}
 	}
 
 	converged := false
@@ -383,7 +399,12 @@ func Run(o Options) (*Result, error) {
 
 		// Step 1 (next cycle): evaluate the offspring; elites keep their
 		// cached fitness.
-		evaluate(offspring, &o, hist, memo)
+		if err := evaluate(offspring, &o, hist, memo); err != nil {
+			itSpan.End(obs.Fields{"error": err.Error()})
+			stopRun()
+			runSpan.End(obs.Fields{"error": err.Error()})
+			return nil, err
+		}
 
 		if o.Obs.Enabled() {
 			// Mutation effectiveness: how offspring fitness moved against
@@ -472,8 +493,12 @@ func diversity(pop []*Individual) float64 {
 // evaluate materializes and grades a set of individuals in parallel,
 // accounting generation/compilation/evaluation time (Table I). Fitness
 // is memoized by genotype hash: duplicates are served from memo without
-// touching the simulator.
-func evaluate(inds []*Individual, o *Options, hist *History, memo *evalCache) {
+// touching the simulator. When Options.Evaluator is set, uncached
+// genotypes are batched to it instead of being graded in process.
+func evaluate(inds []*Individual, o *Options, hist *History, memo *evalCache) error {
+	if o.Evaluator != nil {
+		return evaluateRemote(inds, o, hist, memo)
+	}
 	stopEval := o.Obs.Phase("core.phase.evaluate")
 	defer stopEval()
 
@@ -497,36 +522,17 @@ func evaluate(inds []*Individual, o *Options, hist *History, memo *evalCache) {
 					h++
 					continue
 				}
-				t0 := time.Now()
-				p := gen.Materialize(ind.G, &o.Gen)
-				t1 := time.Now()
-				// "Compilation": lower to the byte encoding, as the C
-				// wrapper + compiler step does in the paper's toolchain.
-				_ = p.Encode()
-				t2 := time.Now()
-				r := uarch.Run(p.Insts, p.NewState(), o.Core)
-				t3 := time.Now()
-
-				ind.Snapshot = r.Snapshot
-				if r.Clean() {
-					ind.Fitness = o.Metric.Score(&r.Snapshot)
-				} else {
-					ind.Fitness = 0 // crashing candidates are discarded
-				}
-				if math.IsNaN(ind.Fitness) {
-					// A pathological metric value must not poison the sort
-					// (NaN compares false to everything, corrupting
-					// selection); discard like a crash.
-					ind.Fitness = 0
-				}
+				res, r, tm := gradeTimed(ind.G, &o.Gen, o.Core, o.Metric)
+				ind.Fitness = res.Fitness
+				ind.Snapshot = res.Snapshot
 				memo.put(key, evalEntry{fitness: ind.Fitness, snap: ind.Snapshot})
-				g += t1.Sub(t0).Nanoseconds()
-				c += t2.Sub(t1).Nanoseconds()
-				e += t3.Sub(t2).Nanoseconds()
-				n += int64(len(p.Insts))
+				g += tm.genNS
+				c += tm.compNS
+				e += tm.evalNS
+				n += tm.insts
 				st.add(r)
 				if o.Obs.Enabled() {
-					o.Obs.Histogram("core.eval.ns").Observe(t3.Sub(t2).Nanoseconds())
+					o.Obs.Histogram("core.eval.ns").Observe(tm.evalNS)
 				}
 			}
 			mu.Lock()
@@ -564,6 +570,7 @@ func evaluate(inds []*Individual, o *Options, hist *History, memo *evalCache) {
 			o.Obs.Gauge("core.sim.ipc").Set(float64(sim.instructions) / float64(sim.cycles))
 		}
 	}
+	return nil
 }
 
 // simTotals aggregates simulator counters across one evaluate batch.

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"harpocrates/internal/gen"
 	"harpocrates/internal/isa"
 	"harpocrates/internal/obs"
+	"harpocrates/internal/uarch"
 )
 
 func tinyOptions(st coverage.Structure) Options {
@@ -470,5 +472,91 @@ func TestMemoizationPreservesTrajectory(t *testing.T) {
 	}
 	if a.History.CacheHits != b.History.CacheHits {
 		t.Fatalf("cache hits diverged: %d vs %d", a.History.CacheHits, b.History.CacheHits)
+	}
+}
+
+// stubEvaluator implements Evaluator with the same in-process grading
+// the local path uses, plus call accounting. A run through it must be
+// bit-identical to a run without it.
+type stubEvaluator struct {
+	st      coverage.Structure
+	gen     gen.Config
+	core    uarch.Config
+	batches int
+	graded  int
+}
+
+func (e *stubEvaluator) Configure(st coverage.Structure, gcfg gen.Config, ccfg uarch.Config) error {
+	e.st, e.gen, e.core = st, gcfg, ccfg
+	return nil
+}
+
+func (e *stubEvaluator) EvaluateBatch(gs []*gen.Genotype) ([]EvalResult, error) {
+	e.batches++
+	e.graded += len(gs)
+	out := make([]EvalResult, len(gs))
+	metric := coverage.MetricFor(e.st)
+	for i, g := range gs {
+		out[i] = GradeGenotype(g, &e.gen, e.core, metric)
+	}
+	return out, nil
+}
+
+func TestEvaluatorPathBitIdentical(t *testing.T) {
+	local, err := Run(tinyOptions(coverage.IntAdder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &stubEvaluator{}
+	o := tinyOptions(coverage.IntAdder)
+	o.Evaluator = ev
+	remote, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.batches == 0 || ev.graded == 0 {
+		t.Fatal("evaluator was never used")
+	}
+	if remote.Best.Fitness != local.Best.Fitness {
+		t.Fatalf("best fitness %v != %v", remote.Best.Fitness, local.Best.Fitness)
+	}
+	if remote.Best.G.Hash() != local.Best.G.Hash() {
+		t.Fatalf("best genotype %016x != %016x", remote.Best.G.Hash(), local.Best.G.Hash())
+	}
+	if !slicesEqualFloat(remote.History.Best, local.History.Best) {
+		t.Fatalf("best trajectory diverged:\n evaluator %v\n local     %v",
+			remote.History.Best, local.History.Best)
+	}
+	if remote.History.EvaluatedPrograms != local.History.EvaluatedPrograms {
+		t.Fatalf("evaluated %d programs, local %d",
+			remote.History.EvaluatedPrograms, local.History.EvaluatedPrograms)
+	}
+}
+
+func slicesEqualFloat(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// failingEvaluator errors on the first batch; Run must surface it.
+type failingEvaluator struct{}
+
+func (failingEvaluator) Configure(coverage.Structure, gen.Config, uarch.Config) error { return nil }
+func (failingEvaluator) EvaluateBatch([]*gen.Genotype) ([]EvalResult, error) {
+	return nil, fmt.Errorf("fleet on fire")
+}
+
+func TestEvaluatorErrorPropagates(t *testing.T) {
+	o := tinyOptions(coverage.IntAdder)
+	o.Evaluator = failingEvaluator{}
+	if _, err := Run(o); err == nil {
+		t.Fatal("evaluator failure swallowed")
 	}
 }

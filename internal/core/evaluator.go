@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/gen"
+	"harpocrates/internal/uarch"
+)
+
+// EvalResult is one genotype's grade: the fitness the selection step
+// sorts on plus the coverage snapshot it was derived from. The struct is
+// JSON-serializable so batches of grades can travel over the
+// internal/dist wire protocol.
+type EvalResult struct {
+	Fitness  float64           `json:"fitness"`
+	Snapshot coverage.Snapshot `json:"snapshot"`
+}
+
+// Evaluator is a pluggable grading backend for the refinement loop.
+// When Options.Evaluator is set, every batch of not-yet-memoized
+// genotypes is handed to EvaluateBatch instead of the in-process
+// materialize-encode-simulate pipeline; results must be positionally
+// aligned with the input. Grading is a pure function of (genotype,
+// configuration), so any backend that implements the contract of
+// GradeGenotype — the distributed worker pool in internal/dist does by
+// construction — keeps the GA trajectory bit-identical to a local run.
+//
+// Configure is called once per Run, after option normalization, with
+// the exact generator and core configurations the local path would use.
+// Remote backends grade with the structure's default coverage metric
+// (coverage.MetricFor); a custom Options.Metric cannot be shipped over
+// the wire and must be graded in process.
+type Evaluator interface {
+	Configure(st coverage.Structure, gcfg gen.Config, ccfg uarch.Config) error
+	EvaluateBatch(gs []*gen.Genotype) ([]EvalResult, error)
+}
+
+// gradeTiming is the per-stage cost of one grading (Table I accounting).
+type gradeTiming struct {
+	genNS, compNS, evalNS int64
+	insts                 int64
+}
+
+// gradeTimed materializes, encodes ("compiles") and simulates one
+// genotype, returning its grade, the raw simulator result and the
+// per-stage wall-clock split. This is THE grading function: the local
+// evaluate loop and the distributed worker both call it, so the two
+// paths cannot disagree about fitness semantics (crashing candidates
+// and NaN metric values are clamped to fitness 0 here, in one place).
+func gradeTimed(g *gen.Genotype, gcfg *gen.Config, ccfg uarch.Config, metric coverage.Metric) (EvalResult, *uarch.Result, gradeTiming) {
+	t0 := time.Now()
+	p := gen.Materialize(g, gcfg)
+	t1 := time.Now()
+	// "Compilation": lower to the byte encoding, as the C wrapper +
+	// compiler step does in the paper's toolchain.
+	_ = p.Encode()
+	t2 := time.Now()
+	r := uarch.Run(p.Insts, p.NewState(), ccfg)
+	t3 := time.Now()
+
+	res := EvalResult{Snapshot: r.Snapshot}
+	if r.Clean() {
+		res.Fitness = metric.Score(&r.Snapshot)
+	}
+	if math.IsNaN(res.Fitness) {
+		// A pathological metric value must not poison the sort (NaN
+		// compares false to everything, corrupting selection); discard
+		// like a crash.
+		res.Fitness = 0
+	}
+	return res, r, gradeTiming{
+		genNS:  t1.Sub(t0).Nanoseconds(),
+		compNS: t2.Sub(t1).Nanoseconds(),
+		evalNS: t3.Sub(t2).Nanoseconds(),
+		insts:  int64(len(p.Insts)),
+	}
+}
+
+// GradeGenotype grades one genotype under an explicit evaluation
+// configuration, with exactly the semantics of the in-process loop
+// (crash/NaN clamping included). Remote workers and local fallbacks use
+// it to stay bit-compatible with Run.
+func GradeGenotype(g *gen.Genotype, gcfg *gen.Config, ccfg uarch.Config, metric coverage.Metric) EvalResult {
+	res, _, _ := gradeTimed(g, gcfg, ccfg, metric)
+	return res
+}
+
+// evaluateRemote grades a set of individuals through Options.Evaluator:
+// individuals already memoized are served locally, the remainder is
+// deduplicated by genotype hash and shipped as one batch. The whole
+// remote round-trip is accounted as evaluation time.
+func evaluateRemote(inds []*Individual, o *Options, hist *History, memo *evalCache) error {
+	stopEval := o.Obs.Phase("core.phase.evaluate")
+	defer stopEval()
+	t0 := time.Now()
+
+	seen := make(map[uint64]struct{}, len(inds))
+	var batch []*gen.Genotype
+	for _, ind := range inds {
+		key := hashGenotype(ind.G)
+		if _, ok := memo.get(key); ok {
+			continue
+		}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		batch = append(batch, ind.G)
+	}
+
+	if len(batch) > 0 {
+		results, err := o.Evaluator.EvaluateBatch(batch)
+		if err != nil {
+			return fmt.Errorf("core: remote evaluation: %w", err)
+		}
+		if len(results) != len(batch) {
+			return fmt.Errorf("core: remote evaluation returned %d results for %d genotypes",
+				len(results), len(batch))
+		}
+		var cycles, instrs int64
+		for i, g := range batch {
+			r := results[i]
+			if math.IsNaN(r.Fitness) {
+				r.Fitness = 0 // defense in depth; workers already clamp
+			}
+			memo.put(hashGenotype(g), evalEntry{fitness: r.Fitness, snap: r.Snapshot})
+			hist.EvaluatedInstructions += uint64(len(g.Variants))
+			cycles += int64(r.Snapshot.Cycles)
+			instrs += int64(r.Snapshot.Instructions)
+		}
+		if o.Obs.Enabled() {
+			o.Obs.Counter("core.eval.remote.batches").Inc()
+			o.Obs.Counter("core.eval.remote.genotypes").Add(int64(len(batch)))
+			o.Obs.Counter("core.sim.cycles").Add(cycles)
+			o.Obs.Counter("core.sim.instructions").Add(instrs)
+		}
+	}
+
+	for _, ind := range inds {
+		e, ok := memo.get(hashGenotype(ind.G))
+		if !ok {
+			return fmt.Errorf("core: remote evaluation left genotype %016x ungraded", hashGenotype(ind.G))
+		}
+		ind.Fitness = e.fitness
+		ind.Snapshot = e.snap
+	}
+	hist.EvaluatedPrograms += len(inds)
+	hist.CacheHits += len(inds) - len(batch)
+	hist.Times.Evaluation += time.Since(t0)
+	return nil
+}

@@ -218,7 +218,7 @@ func (s *Store) Add(p *prog.Program, g *gen.Genotype, meta Meta) (AddResult, err
 		return res, err
 	}
 	if g != nil {
-		if err := atomicWrite(filepath.Join(s.dir, genotypeDir, key+".gt"), encodeGenotype(g)); err != nil {
+		if err := atomicWrite(filepath.Join(s.dir, genotypeDir, key+".gt"), EncodeGenotype(g)); err != nil {
 			return res, err
 		}
 		meta.Seed = g.Seed
@@ -316,7 +316,7 @@ func (s *Store) Genotype(hash string) (*gen.Genotype, error) {
 	if err != nil {
 		return nil, err
 	}
-	return decodeGenotype(data)
+	return DecodeGenotype(data)
 }
 
 // Entry returns a copy of one entry's metadata.
@@ -473,8 +473,10 @@ func atomicWrite(path string, data []byte) error {
 	return nil
 }
 
-// encodeGenotype serializes a genotype sidecar.
-func encodeGenotype(g *gen.Genotype) []byte {
+// EncodeGenotype serializes a genotype into the HXGT sidecar container
+// (magic, version, materialization seed, variant sequence). It is also
+// the genotype wire format of the internal/dist protocol.
+func EncodeGenotype(g *gen.Genotype) []byte {
 	var buf bytes.Buffer
 	le := binary.LittleEndian
 	put := func(v any) { _ = binary.Write(&buf, le, v) }
@@ -488,8 +490,9 @@ func encodeGenotype(g *gen.Genotype) []byte {
 	return buf.Bytes()
 }
 
-// decodeGenotype deserializes a genotype sidecar.
-func decodeGenotype(data []byte) (*gen.Genotype, error) {
+// DecodeGenotype deserializes an HXGT genotype container written by
+// EncodeGenotype, rejecting truncated and over-long payloads.
+func DecodeGenotype(data []byte) (*gen.Genotype, error) {
 	r := bytes.NewReader(data)
 	le := binary.LittleEndian
 	get := func(v any) error { return binary.Read(r, le, v) }

@@ -309,14 +309,14 @@ func TestStoreDistillRejectsMixedConfigs(t *testing.T) {
 // sidecar must error out of decode.
 func TestGenotypeSidecarRejectsCorrupt(t *testing.T) {
 	g, _ := testProgram(50)
-	data := encodeGenotype(g)
-	if _, err := decodeGenotype(data[:len(data)-1]); err == nil {
+	data := EncodeGenotype(g)
+	if _, err := DecodeGenotype(data[:len(data)-1]); err == nil {
 		t.Error("truncated sidecar decoded")
 	}
-	if _, err := decodeGenotype(append(data, 0)); err == nil {
+	if _, err := DecodeGenotype(append(data, 0)); err == nil {
 		t.Error("sidecar with trailing bytes decoded")
 	}
-	rt, err := decodeGenotype(data)
+	rt, err := DecodeGenotype(data)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"harpocrates/internal/core"
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/inject"
+	"harpocrates/internal/obs"
+)
+
+// maxRequestBytes bounds a request body read. Programs are at most a
+// few MB (the HXPG decoder itself enforces per-field bounds); genotype
+// batches of a full population stay well under this.
+const maxRequestBytes = 256 << 20
+
+// Server is the worker side of the protocol: it grades evaluation
+// batches and runs fault-injection shards on behalf of a coordinator.
+// One Server is safe for concurrent requests; each inject shard and
+// each eval batch already parallelizes across the worker's cores.
+type Server struct {
+	ob *obs.Observer
+}
+
+// NewServer returns a worker server. The observer may be nil.
+func NewServer(ob *obs.Observer) *Server { return &Server{ob: ob} }
+
+// Handler returns the worker's HTTP handler serving PathHealthz,
+// PathEval and PathInject.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathHealthz, s.handleHealthz)
+	mux.HandleFunc(PathEval, s.handleEval)
+	mux.HandleFunc(PathInject, s.handleInject)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.ob.Counter("dist.worker.healthz").Inc()
+	writeJSON(w, HealthzResponse{OK: true})
+}
+
+// readJSON decodes a bounded POST body; a false return means the
+// response is already written.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		http.Error(w, "parse request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	stop := s.ob.Phase("dist.worker.phase.eval")
+	defer stop()
+	var req EvalRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	st, err := coverage.Parse(req.Structure)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	gs, err := DecodeGenotypes(req.Genotypes)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	metric := coverage.MetricFor(st)
+	resp := EvalResponse{Results: make([]WireEvalResult, len(gs))}
+	for i, g := range gs {
+		res := core.GradeGenotype(g, &req.Gen, req.Core, metric)
+		resp.Results[i] = WireEvalResult{Fitness: res.Fitness, Snapshot: res.Snapshot}
+	}
+	s.ob.Counter("dist.worker.eval.batches").Inc()
+	s.ob.Counter("dist.worker.eval.genotypes").Add(int64(len(gs)))
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
+	stop := s.ob.Phase("dist.worker.phase.inject")
+	defer stop()
+	var req InjectRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c, err := s.campaignFor(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := c.RunRange(req.Lo, req.Hi)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.ob.Counter("dist.worker.inject.shards").Inc()
+	s.ob.Counter("dist.worker.inject.specs").Add(int64(st.N))
+	writeJSON(w, InjectResponse{Stats: *st})
+}
+
+// campaignFor reconstructs the coordinator's campaign from a shard
+// request. The hook-free scalar config arrives on the wire; structure-
+// specific hooks are rebuilt by the campaign itself, so the worker's
+// faulty runs are bit-identical to the coordinator's.
+func (s *Server) campaignFor(req *InjectRequest) (*inject.Campaign, error) {
+	p, err := DecodeProgram(req.Program)
+	if err != nil {
+		return nil, err
+	}
+	target, err := coverage.Parse(req.Target)
+	if err != nil {
+		return nil, err
+	}
+	ftype, err := inject.ParseFaultType(req.Type)
+	if err != nil {
+		return nil, err
+	}
+	if req.N <= 0 {
+		return nil, fmt.Errorf("dist: campaign needs N > 0")
+	}
+	return &inject.Campaign{
+		Prog:               p.Insts,
+		Init:               p.InitFunc(),
+		Target:             target,
+		Type:               ftype,
+		N:                  req.N,
+		IntermittentLen:    req.IntermittentLen,
+		Seed:               req.Seed,
+		Cfg:                req.Cfg,
+		CheckpointInterval: req.CheckpointInterval,
+		NoFastForward:      req.NoFastForward,
+		Obs:                s.ob,
+	}, nil
+}

@@ -54,6 +54,21 @@ func (t FaultType) String() string {
 	return fmt.Sprintf("fault?%d", int(t))
 }
 
+// ParseFaultType maps a fault-type name (the String() form) back to its
+// FaultType. It is the inverse the command-line tools and the wire
+// protocol use.
+func ParseFaultType(name string) (FaultType, error) {
+	switch name {
+	case "transient":
+		return Transient, nil
+	case "intermittent":
+		return Intermittent, nil
+	case "permanent":
+		return Permanent, nil
+	}
+	return 0, fmt.Errorf("inject: unknown fault type %q (transient, intermittent, permanent)", name)
+}
+
 // DefaultFaultType returns the paper's fault model for each structure:
 // transients for bit arrays, gate-level permanents for functional units.
 func DefaultFaultType(st coverage.Structure) FaultType {
@@ -169,6 +184,38 @@ func (s *Stats) DetectedSet() []int {
 		}
 	}
 	return out
+}
+
+// MergeStats combines shard partials produced by RunRange back into the
+// whole-campaign statistics. Parts must be supplied in ascending shard
+// order covering contiguous spec ranges; the merge concatenates outcome
+// vectors and sums counts, so for a fixed (seed, config) the result is
+// bit-identical to a single Run — merge order is fixed by shard index,
+// never by arrival order. Shards of one campaign replay the same
+// deterministic golden run; diverging GoldenCycles means the partials
+// do not belong to one campaign and the merge refuses.
+func MergeStats(parts []*Stats) (*Stats, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("inject: merge: no shard results")
+	}
+	out := &Stats{GoldenCycles: parts[0].GoldenCycles}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("inject: merge: missing shard %d", i)
+		}
+		if p.GoldenCycles != out.GoldenCycles {
+			return nil, fmt.Errorf("inject: merge: shard %d golden run diverges (%d cycles vs %d)",
+				i, p.GoldenCycles, out.GoldenCycles)
+		}
+		out.N += p.N
+		out.Masked += p.Masked
+		out.SDC += p.SDC
+		out.Crash += p.Crash
+		out.Hang += p.Hang
+		out.Skipped += p.Skipped
+		out.Outcomes = append(out.Outcomes, p.Outcomes...)
+	}
+	return out, nil
 }
 
 // Detection returns the detection capability n/N (§II-C).
@@ -504,14 +551,30 @@ func classify(res, golden *uarch.Result) Outcome {
 // NoFastForward path for a fixed seed (asserted by tests across all
 // structures and by ValidateAll).
 func (c *Campaign) Run() (*Stats, error) {
+	return c.RunRange(0, c.N)
+}
+
+// RunRange executes the contiguous shard [lo, hi) of the campaign's N
+// injection specs and returns the shard's partial statistics: Stats.N is
+// hi-lo and Outcomes[i] is the outcome of injection lo+i. Injection i's
+// fault parameters are a pure function of (Seed, i) and the golden run
+// is deterministic, so disjoint shards — run in any process, on any
+// machine — merge back (MergeStats, in shard order) into statistics
+// bit-identical to a single Run. This is the unit of work the
+// distributed coordinator (internal/dist) hands to workers.
+func (c *Campaign) RunRange(lo, hi int) (*Stats, error) {
 	if c.N <= 0 {
 		return nil, fmt.Errorf("inject: campaign needs N > 0")
 	}
+	if lo < 0 || hi > c.N || lo >= hi {
+		return nil, fmt.Errorf("inject: bad spec range [%d, %d) of %d", lo, hi, c.N)
+	}
+	n := hi - lo
 	stopRun := c.Obs.Phase("inject.run")
 	defer stopRun()
 	span := c.Obs.Span("campaign", obs.Fields{
 		"target": c.Target.String(), "type": c.Type.String(),
-		"n": c.N, "seed": c.Seed,
+		"n": c.N, "lo": lo, "hi": hi, "seed": c.Seed,
 	})
 
 	stopGolden := c.Obs.Phase("inject.phase.golden")
@@ -521,7 +584,7 @@ func (c *Campaign) Run() (*Stats, error) {
 		span.End(obs.Fields{"error": "golden run timed out"})
 		return nil, fmt.Errorf("inject: golden run timed out")
 	}
-	st := &Stats{N: c.N, GoldenCycles: golden.Cycles}
+	st := &Stats{N: n, GoldenCycles: golden.Cycles}
 	if c.Obs.Enabled() {
 		ipc := 0.0
 		if golden.Cycles > 0 {
@@ -537,19 +600,19 @@ func (c *Campaign) Run() (*Stats, error) {
 	if c.Target.IsFunctionalUnit() {
 		nl = targetNetlist(c.Target)
 	}
-	specs := make([]faultSpec, c.N)
-	for i := range specs {
-		specs[i] = c.deriveSpec(i, golden.Cycles, nl)
+	specs := make([]faultSpec, 0, n)
+	for i := lo; i < hi; i++ {
+		specs = append(specs, c.deriveSpec(i, golden.Cycles, nl))
 	}
 
-	outcomes := make([]Outcome, c.N)
-	pre := make([]bool, c.N)
-	toRun := make([]faultSpec, 0, c.N)
+	outcomes := make([]Outcome, n)
+	pre := make([]bool, n)
+	toRun := make([]faultSpec, 0, n)
 	for _, sp := range specs {
 		if rec := c.recorderFor(golden); rec != nil && c.Type == Transient &&
 			golden.Clean() && c.preMasked(sp, rec, golden.Cycles) {
-			outcomes[sp.idx] = Masked
-			pre[sp.idx] = true
+			outcomes[sp.idx-lo] = Masked
+			pre[sp.idx-lo] = true
 			if !c.ValidateAll {
 				continue
 			}
@@ -559,7 +622,7 @@ func (c *Campaign) Run() (*Stats, error) {
 	sort.SliceStable(toRun, func(a, b int) bool { return toRun[a].start < toRun[b].start })
 	stopClassify()
 	if c.Obs.Enabled() {
-		premasked := c.N - len(toRun)
+		premasked := n - len(toRun)
 		if c.ValidateAll {
 			premasked = 0
 			for _, p := range pre {
@@ -570,7 +633,7 @@ func (c *Campaign) Run() (*Stats, error) {
 		}
 		c.Obs.Counter("inject.premasked").Add(int64(premasked))
 		c.Obs.Counter("inject.simulated").Add(int64(len(toRun)))
-		c.Obs.Gauge("inject.premask.rate").Set(float64(premasked) / float64(c.N))
+		c.Obs.Gauge("inject.premask.rate").Set(float64(premasked) / float64(n))
 	}
 
 	stopSim := c.Obs.Phase("inject.phase.simulate")
@@ -592,7 +655,7 @@ func (c *Campaign) Run() (*Stats, error) {
 			for i := range next {
 				sp := toRun[i]
 				out := c.runSpec(sp, golden, cks)
-				if pre[sp.idx] {
+				if pre[sp.idx-lo] {
 					if out != Masked {
 						mu.Lock()
 						if valErr == nil {
@@ -604,7 +667,7 @@ func (c *Campaign) Run() (*Stats, error) {
 					}
 					continue
 				}
-				outcomes[sp.idx] = out
+				outcomes[sp.idx-lo] = out
 			}
 		}()
 	}

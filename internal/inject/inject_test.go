@@ -245,3 +245,77 @@ func TestCampaignObservability(t *testing.T) {
 		t.Fatalf("observation changed campaign statistics: %+v vs %+v", pst, st)
 	}
 }
+
+func TestRunRangeMergeBitIdentical(t *testing.T) {
+	c := testProgram(t, 400, nil)
+	c.Target = coverage.IRF
+	c.Type = Transient
+	c.N = 48
+	whole, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any contiguous partition of [0, N) merged in shard order must be
+	// bit-identical to the single-process run — this is the property the
+	// distributed coordinator relies on.
+	for _, cuts := range [][]int{{0, 48}, {0, 17, 48}, {0, 1, 2, 48}, {0, 16, 32, 48}} {
+		var parts []*Stats
+		for i := 0; i+1 < len(cuts); i++ {
+			st, err := c.RunRange(cuts[i], cuts[i+1])
+			if err != nil {
+				t.Fatalf("RunRange(%d, %d): %v", cuts[i], cuts[i+1], err)
+			}
+			if st.N != cuts[i+1]-cuts[i] {
+				t.Fatalf("shard N = %d, want %d", st.N, cuts[i+1]-cuts[i])
+			}
+			parts = append(parts, st)
+		}
+		merged, err := MergeStats(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !merged.Equal(whole) {
+			t.Fatalf("cuts %v: merged %+v != whole %+v", cuts, merged, whole)
+		}
+	}
+}
+
+func TestRunRangeBounds(t *testing.T) {
+	c := testProgram(t, 100, nil)
+	c.Target = coverage.IRF
+	c.Type = Transient
+	c.N = 8
+	for _, bad := range [][2]int{{-1, 4}, {0, 9}, {4, 4}, {5, 3}} {
+		if _, err := c.RunRange(bad[0], bad[1]); err == nil {
+			t.Fatalf("RunRange(%d, %d) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestMergeStatsRejectsDivergence(t *testing.T) {
+	if _, err := MergeStats(nil); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	if _, err := MergeStats([]*Stats{{N: 1}, nil}); err == nil {
+		t.Fatal("nil part accepted")
+	}
+	a := &Stats{N: 1, Masked: 1, GoldenCycles: 10, Outcomes: []Outcome{Masked}}
+	b := &Stats{N: 1, Masked: 1, GoldenCycles: 11, Outcomes: []Outcome{Masked}}
+	if _, err := MergeStats([]*Stats{a, b}); err == nil {
+		t.Fatal("diverging golden runs accepted")
+	}
+}
+
+func TestParseFaultType(t *testing.T) {
+	for name, want := range map[string]FaultType{
+		"transient": Transient, "intermittent": Intermittent, "permanent": Permanent,
+	} {
+		got, err := ParseFaultType(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseFaultType(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseFaultType("cosmic"); err == nil {
+		t.Fatal("bad fault type accepted")
+	}
+}

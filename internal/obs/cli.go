@@ -15,9 +15,10 @@ import (
 // error, and renders the metrics summary to w.
 func SetupCLI(tracePath string, withMetrics bool, pprofAddr string) (*Observer, func(w io.Writer) error, error) {
 	var (
-		reg *Registry
-		tr  *Tracer
-		f   *os.File
+		reg      *Registry
+		tr       *Tracer
+		f        *os.File
+		stopProf func() error
 	)
 	if withMetrics {
 		reg = NewRegistry()
@@ -31,19 +32,25 @@ func SetupCLI(tracePath string, withMetrics bool, pprofAddr string) (*Observer, 
 		tr = NewTracer(f)
 	}
 	if pprofAddr != "" {
-		addr, err := StartPprof(pprofAddr)
+		addr, shutdown, err := StartPprof(pprofAddr)
 		if err != nil {
 			if f != nil {
 				f.Close()
 			}
 			return nil, nil, fmt.Errorf("obs: start pprof: %w", err)
 		}
+		stopProf = shutdown
 		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
 	}
 	finish := func(w io.Writer) error {
 		var firstErr error
+		if stopProf != nil {
+			if err := stopProf(); err != nil {
+				firstErr = fmt.Errorf("obs: stop pprof: %w", err)
+			}
+		}
 		if tr != nil {
-			if err := tr.Err(); err != nil {
+			if err := tr.Err(); err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("obs: trace write: %w", err)
 			}
 		}

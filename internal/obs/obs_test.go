@@ -164,7 +164,7 @@ func TestPhaseTimersAndSummary(t *testing.T) {
 }
 
 func TestStartPprof(t *testing.T) {
-	addr, err := StartPprof("127.0.0.1:0")
+	addr, shutdown, err := StartPprof("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,8 +172,26 @@ func TestStartPprof(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The listener must actually be released: a second server can bind
+	// the same address, and requests to the old one fail.
+	if _, err := http.Get("http://" + addr + "/debug/pprof/"); err == nil {
+		t.Fatal("pprof server still serving after shutdown")
+	}
+	addr2, shutdown2, err := StartPprof(addr)
+	if err != nil {
+		t.Fatalf("rebind after shutdown: %v", err)
+	}
+	if addr2 != addr {
+		t.Fatalf("rebound to %s, want %s", addr2, addr)
+	}
+	if err := shutdown2(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,20 +1,24 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // StartPprof serves the standard net/http/pprof endpoints on addr
 // (e.g. "localhost:6060") from a background goroutine and returns the
-// bound address, so callers can pass ":0" to pick a free port. The
-// server lives until process exit — it exists for interactive profiling
-// of long runs, not for production serving.
-func StartPprof(addr string) (string, error) {
+// bound address — callers can pass ":0" to pick a free port — plus a
+// shutdown function that stops the server and releases the listener.
+// The server carries a ReadHeaderTimeout so an idle client cannot pin a
+// connection open forever (the slowloris class); it exists for
+// interactive profiling of long runs, not for production serving.
+func StartPprof(addr string) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -22,7 +26,18 @@ func StartPprof(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return srv.Close()
+		}
+		return nil
+	}
+	return ln.Addr().String(), shutdown, nil
 }

@@ -113,8 +113,12 @@ type Config struct {
 	// a zero window means always active. FUOutside, if set, applies
 	// outside the window (e.g. the fault-free netlist, so golden and
 	// faulty runs share arithmetic semantics).
-	FU        *arch.FUHooks
-	FUOutside *arch.FUHooks
+	//
+	// The hook and writer fields are excluded from JSON so the scalar
+	// configuration can travel over the internal/dist wire protocol;
+	// workers rebuild hooks locally from the campaign parameters.
+	FU        *arch.FUHooks `json:"-"`
+	FUOutside *arch.FUHooks `json:"-"`
 	FUWindow  [2]uint64
 
 	// DebugScrub poisons the scratch execution state before each µop so
@@ -127,11 +131,11 @@ type Config struct {
 
 	// OnCycle, if set, is invoked at the start of every cycle; fault
 	// injectors use it to corrupt PRF or cache state mid-run.
-	OnCycle func(c *Core, cycle uint64)
+	OnCycle func(c *Core, cycle uint64) `json:"-"`
 
 	// Trace, if set, receives one line per committed instruction
 	// (cycle, sequence number, PC, disassembly) — a debugging aid, slow.
-	Trace io.Writer
+	Trace io.Writer `json:"-"`
 }
 
 // WithDefaults returns c with every unset (zero) width, capacity and
