@@ -29,7 +29,10 @@ func main() {
 		interplay = flag.Bool("interplay", false, "fault-type interplay sweep (§II-D, Fig. 2)")
 		speed     = flag.Bool("speed", false, "§VI-C detection-speed comparison")
 		sfi       = flag.Bool("sfi", false, "SFI campaign fast-forward timing (checkpointed resume vs from-cycle-0)")
+		micro     = flag.Bool("micro", false, "run-loop microbenchmarks (naive vs event-driven cycle skipping)")
 		all       = flag.Bool("all", false, "run everything")
+
+		jsonPath = flag.String("json", "", "write machine-readable benchmark results (name, ns/op, speedup) to this file")
 
 		tracePath = flag.String("trace", "", "write a JSONL event trace to this file")
 		metrics   = flag.Bool("metrics", false, "print a metrics summary at exit")
@@ -119,11 +122,31 @@ func main() {
 		experiments.FprintSpeed(os.Stdout, r)
 		fmt.Println()
 	}
+	var jsonResults []experiments.BenchResult
 	if *all || *sfi {
 		r, err := experiments.CampaignSpeed(pp)
 		die(err)
 		experiments.FprintCampaignSpeed(os.Stdout, r)
 		fmt.Println()
+		jsonResults = append(jsonResults,
+			experiments.BenchResult{Name: "sfi.campaign.fastforward.off", Iterations: 1,
+				NsPerOp: float64(r.FromZero.Nanoseconds())},
+			experiments.BenchResult{Name: "sfi.campaign.fastforward.on", Iterations: 1,
+				NsPerOp: float64(r.FastForward.Nanoseconds()), SpeedupVsNaive: r.SpeedupX})
+	}
+	if *all || *micro {
+		rs, err := experiments.Microbench(pp)
+		die(err)
+		experiments.FprintMicrobench(os.Stdout, rs)
+		fmt.Println()
+		jsonResults = append(jsonResults, rs...)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		die(err)
+		die(experiments.WriteBenchJSON(f, jsonResults))
+		die(f.Close())
+		fmt.Printf("wrote %d benchmark results to %s\n", len(jsonResults), *jsonPath)
 	}
 	die(obFinish(os.Stdout))
 }

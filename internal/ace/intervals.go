@@ -1,6 +1,9 @@
 package ace
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // IntervalRecorder records, per storage cell, the cycle intervals during
 // which the cell's stored value can still reach architectural state — the
@@ -70,6 +73,35 @@ func (r *IntervalRecorder) Read(cell int, cycle uint64) {
 	r.spans[cell] = append(s, ivalSpan{start: w, end: cycle})
 }
 
+// WriteRange records a write of n consecutive cells starting at cell —
+// equivalent to n Write calls but without the per-call bounds checks and
+// function-call overhead on the simulator's hot register/cache paths.
+func (r *IntervalRecorder) WriteRange(cell, n int, cycle uint64) {
+	lw := r.lastWrite[cell : cell+n]
+	for i := range lw {
+		lw[i] = cycle
+	}
+}
+
+// ReadRange records a consumption of n consecutive cells starting at
+// cell, the bulk counterpart of Read.
+func (r *IntervalRecorder) ReadRange(cell, n int, cycle uint64) {
+	for i := cell; i < cell+n; i++ {
+		w := r.lastWrite[i]
+		if cycle <= w {
+			continue
+		}
+		s := r.spans[i]
+		if ln := len(s); ln > 0 && w <= s[ln-1].end {
+			if cycle > s[ln-1].end {
+				s[ln-1].end = cycle
+			}
+			continue
+		}
+		r.spans[i] = append(s, ivalSpan{start: w, end: cycle})
+	}
+}
+
 // Consumed reports whether a corruption of cell applied at the start of
 // cycle can reach architectural state, i.e. whether cycle falls in a
 // consumed interval. A false return is a proof of masking.
@@ -77,4 +109,75 @@ func (r *IntervalRecorder) Consumed(cell int, cycle uint64) bool {
 	s := r.spans[cell]
 	i := sort.Search(len(s), func(i int) bool { return s[i].end >= cycle })
 	return i < len(s) && s[i].start < cycle
+}
+
+// Equal reports whether two recorders captured identical interval logs —
+// the bit-identity oracle the naive-vs-skipping differential tests use.
+// Nil recorders compare equal to nil and to empty.
+func (r *IntervalRecorder) Equal(o *IntervalRecorder) bool {
+	if r == nil || o == nil {
+		return (r == nil || r.NumCells() == 0) && (o == nil || o.NumCells() == 0)
+	}
+	if len(r.lastWrite) != len(o.lastWrite) {
+		return false
+	}
+	for i := range r.lastWrite {
+		if r.lastWrite[i] != o.lastWrite[i] {
+			return false
+		}
+		a, b := r.spans[i], o.spans[i]
+		if len(a) != len(b) {
+			return false
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Reset returns the recorder to its initial state for cells storage
+// cells, reusing the backing arrays when they are large enough. Per-cell
+// span slices keep their capacity, so a reused recorder stops allocating
+// once it has seen a workload of similar shape.
+func (r *IntervalRecorder) Reset(cells int) {
+	if cap(r.lastWrite) < cells {
+		r.lastWrite = make([]uint64, cells)
+		r.spans = make([][]ivalSpan, cells)
+		return
+	}
+	r.lastWrite = r.lastWrite[:cells]
+	r.spans = r.spans[:cells]
+	for i := range r.lastWrite {
+		r.lastWrite[i] = 0
+		r.spans[i] = r.spans[i][:0]
+	}
+}
+
+// recorderPool recycles IntervalRecorders across simulator runs. A
+// recorder for the L1D data array alone carries a quarter-million cells;
+// reallocating those per pooled-core run dominated campaign allocation
+// profiles.
+var recorderPool sync.Pool
+
+// GetIntervalRecorder returns a reset recorder for cells storage cells,
+// reusing pooled backing storage when available.
+func GetIntervalRecorder(cells int) *IntervalRecorder {
+	v := recorderPool.Get()
+	if v == nil {
+		return NewIntervalRecorder(cells)
+	}
+	r := v.(*IntervalRecorder)
+	r.Reset(cells)
+	return r
+}
+
+// ReleaseIntervalRecorder returns a recorder to the pool. The caller must
+// not retain references to it afterwards.
+func ReleaseIntervalRecorder(r *IntervalRecorder) {
+	if r != nil {
+		recorderPool.Put(r)
+	}
 }

@@ -66,6 +66,106 @@ func TestIntervalRecorderMergesAdjacentReads(t *testing.T) {
 	}
 }
 
+// TestIntervalRecorderRangeMatchesScalar: the bulk ReadRange/WriteRange
+// fast paths must record exactly what the equivalent per-cell calls do.
+func TestIntervalRecorderRangeMatchesScalar(t *testing.T) {
+	a := NewIntervalRecorder(256)
+	b := NewIntervalRecorder(256)
+	type op struct {
+		write bool
+		cell  int
+		n     int
+		cycle uint64
+	}
+	ops := []op{
+		{true, 0, 64, 3}, {false, 0, 64, 7}, {false, 16, 32, 9},
+		{true, 8, 8, 9}, {false, 0, 64, 9}, {true, 64, 128, 12},
+		{false, 100, 28, 20}, {false, 100, 28, 20}, {true, 100, 1, 25},
+		{false, 64, 128, 30},
+	}
+	for _, o := range ops {
+		if o.write {
+			a.WriteRange(o.cell, o.n, o.cycle)
+			for i := 0; i < o.n; i++ {
+				b.Write(o.cell+i, o.cycle)
+			}
+		} else {
+			a.ReadRange(o.cell, o.n, o.cycle)
+			for i := 0; i < o.n; i++ {
+				b.Read(o.cell+i, o.cycle)
+			}
+		}
+	}
+	if !a.Equal(b) {
+		t.Fatal("range ops diverge from per-cell ops")
+	}
+}
+
+func TestIntervalRecorderEqual(t *testing.T) {
+	a := NewIntervalRecorder(8)
+	b := NewIntervalRecorder(8)
+	a.Read(2, 5)
+	if a.Equal(b) {
+		t.Fatal("recorders with different spans compare equal")
+	}
+	b.Read(2, 5)
+	if !a.Equal(b) {
+		t.Fatal("identical recorders compare unequal")
+	}
+	b.Write(3, 7)
+	if a.Equal(b) {
+		t.Fatal("different lastWrite state compares equal")
+	}
+	var n *IntervalRecorder
+	if !n.Equal(nil) || n.Equal(a) {
+		t.Fatal("nil comparison wrong")
+	}
+	if !n.Equal(NewIntervalRecorder(0)) {
+		t.Fatal("nil vs empty should compare equal")
+	}
+}
+
+// TestIntervalRecorderPoolReuse: a pooled recorder must come back fully
+// reset — stale spans or lastWrite state would corrupt the next
+// campaign's masking proofs.
+func TestIntervalRecorderPoolReuse(t *testing.T) {
+	r := GetIntervalRecorder(64)
+	r.Read(5, 10)
+	r.Write(6, 3)
+	ReleaseIntervalRecorder(r)
+
+	r2 := GetIntervalRecorder(64)
+	if !r2.Equal(NewIntervalRecorder(64)) {
+		t.Fatal("pooled recorder not reset")
+	}
+	if r2.Consumed(5, 7) {
+		t.Fatal("pooled recorder retained consumed intervals")
+	}
+	// A pooled recorder must also resize when reused for another shape.
+	ReleaseIntervalRecorder(r2)
+	r3 := GetIntervalRecorder(128)
+	if r3.NumCells() != 128 {
+		t.Fatalf("pooled recorder kept old size: %d cells", r3.NumCells())
+	}
+	ReleaseIntervalRecorder(r3)
+}
+
+// BenchmarkIntervalRecorderReuse is the allocation-count regression gate
+// for recorder pooling: after warmup, a Get/use/Release cycle must not
+// allocate backing storage (0 allocs/op steady state).
+func BenchmarkIntervalRecorderReuse(b *testing.B) {
+	const cells = 32 * 1024 // one L1D worth of byte cells
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := GetIntervalRecorder(cells)
+		for c := 0; c < cells; c += 64 {
+			r.WriteRange(c, 64, 2)
+			r.ReadRange(c, 64, 5)
+		}
+		ReleaseIntervalRecorder(r)
+	}
+}
+
 func TestTrackerReset(t *testing.T) {
 	rt := NewRegFileTracker(4)
 	rt.OnWrite(1, 2)

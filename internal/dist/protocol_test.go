@@ -112,6 +112,7 @@ func TestInjectRequestJSONRoundTrip(t *testing.T) {
 func TestConfigHooksExcludedFromWire(t *testing.T) {
 	cfg := uarch.DefaultConfig()
 	cfg.OnCycle = func(*uarch.Core, uint64) {}
+	cfg.Events = []uarch.CycleEvent{{Start: 1, Fire: func(*uarch.Core, uint64) {}}}
 	data, err := json.Marshal(cfg)
 	if err != nil {
 		t.Fatalf("config with hooks does not marshal: %v", err)
@@ -120,7 +121,7 @@ func TestConfigHooksExcludedFromWire(t *testing.T) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		t.Fatal(err)
 	}
-	for _, field := range []string{"FU", "FUOutside", "OnCycle", "Trace"} {
+	for _, field := range []string{"FU", "FUOutside", "OnCycle", "Events", "Trace"} {
 		if _, ok := m[field]; ok {
 			t.Fatalf("hook field %s leaked onto the wire", field)
 		}

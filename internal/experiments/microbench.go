@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"harpocrates/internal/arch"
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/gen"
+	"harpocrates/internal/inject"
+	"harpocrates/internal/isa"
+	"harpocrates/internal/stats"
+	"harpocrates/internal/uarch"
+)
+
+// BenchResult is one machine-readable microbenchmark measurement, the
+// row format of cmd/bench -json (and the checked-in BENCH_5.json).
+type BenchResult struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// SpeedupVsNaive is set on event-driven ("skip") variants: the ns/op
+	// ratio against the naive cycle-by-cycle loop of the same workload.
+	SpeedupVsNaive float64 `json:"speedup_vs_naive,omitempty"`
+}
+
+// timeOp measures op's wall clock: one calibration run sizes the
+// iteration count to a ~300 ms budget, then the timed loop reports the
+// mean. Coarse by design — the point is the naive-vs-skip ratio, which
+// is far larger than scheduler noise on the workloads measured here.
+func timeOp(name string, op func() error) (BenchResult, error) {
+	t0 := time.Now()
+	if err := op(); err != nil {
+		return BenchResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	once := time.Since(t0)
+	iters := 1
+	if once > 0 {
+		iters = int(300 * time.Millisecond / once)
+	}
+	iters = min(max(iters, 3), 2000)
+	t0 = time.Now()
+	for i := 0; i < iters; i++ {
+		if err := op(); err != nil {
+			return BenchResult{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	total := time.Since(t0)
+	return BenchResult{
+		Name:       name,
+		Iterations: iters,
+		NsPerOp:    float64(total.Nanoseconds()) / float64(iters),
+	}, nil
+}
+
+const (
+	mbDataBase  = 0x10000
+	mbDataSize  = 32 * 1024
+	mbStackBase = 0x60000
+	mbStackSize = 8 * 1024
+)
+
+// missChainProgram builds the stall-dominated workload the event-driven
+// loop targets: n copies of add rax, [rsi+disp], every one dependent on
+// the previous through RAX and striding whole cache lines, so execution
+// serializes into a chain of load-use latencies.
+func missChainProgram(n int) ([]isa.Inst, error) {
+	var id isa.VariantID
+	for _, cand := range isa.ByOp(isa.OpADD) {
+		v := isa.Lookup(cand)
+		if v.Width == isa.W64 && len(v.Ops) == 2 &&
+			v.Ops[0].Kind == isa.KReg && v.Ops[1].Kind == isa.KMem {
+			id = cand
+			break
+		}
+	}
+	if id == 0 {
+		return nil, fmt.Errorf("experiments: no add r64, m64 variant")
+	}
+	prog := make([]isa.Inst, 0, n)
+	for i := 0; i < n; i++ {
+		disp := int32((i * 64 * 7) % (mbDataSize - 64))
+		disp &^= 15
+		in := isa.Inst{V: id, NOps: 2}
+		in.Ops[0] = isa.RegOp(isa.RAX)
+		in.Ops[1] = isa.MemOp(isa.RSI, disp)
+		prog = append(prog, in)
+	}
+	return prog, nil
+}
+
+// missChainState builds a deterministic initial state for the miss
+// chain (fresh memory each call; the simulator mutates it).
+func missChainState(seed uint64) (*arch.State, error) {
+	rng := stats.Derive(seed, 77)
+	data := make([]byte, mbDataSize)
+	for i := range data {
+		data[i] = byte(rng.Uint32())
+	}
+	mem := arch.NewMemory()
+	if err := mem.AddRegion(&arch.Region{Name: "data", Base: mbDataBase, Data: data, Writable: true}); err != nil {
+		return nil, err
+	}
+	if err := mem.AddRegion(&arch.Region{Name: "stack", Base: mbStackBase, Data: make([]byte, mbStackSize), Writable: true}); err != nil {
+		return nil, err
+	}
+	s := arch.NewState(mem)
+	s.GPR[isa.RSP] = mbStackBase + mbStackSize/2
+	s.GPR[isa.RSI] = mbDataBase
+	s.GPR[isa.RDI] = mbDataBase + mbDataSize/2
+	return s, nil
+}
+
+// missChainConfig shrinks the L1D to 1 KB (L2 off) so the 32 KB data
+// footprint thrashes it and nearly every chain link pays MissLatency.
+func missChainConfig() uarch.Config {
+	cfg := uarch.DefaultConfig()
+	cfg.L1D.SizeBytes = 1024
+	cfg.L1D.Ways = 2
+	cfg.L2 = uarch.CacheConfig{}
+	cfg.EnablePrefetch = false
+	return cfg
+}
+
+// benchPair times one workload under the naive reference loop and the
+// event-driven skipping loop and annotates the skip row with the
+// speedup.
+func benchPair(name string, run func(noSkip bool) error) ([]BenchResult, error) {
+	naive, err := timeOp(name+".naive", func() error { return run(true) })
+	if err != nil {
+		return nil, err
+	}
+	skip, err := timeOp(name+".skip", func() error { return run(false) })
+	if err != nil {
+		return nil, err
+	}
+	if skip.NsPerOp > 0 {
+		skip.SpeedupVsNaive = naive.NsPerOp / skip.NsPerOp
+	}
+	return []BenchResult{naive, skip}, nil
+}
+
+// Microbench measures the event-driven run loop against the naive
+// reference on three workload classes:
+//
+//   - core.run.miss-chain: a serialized load-miss chain, almost all
+//     stall cycles — the case skipping collapses;
+//   - core.run.dense: a generated random program with high ILP, almost
+//     no idle cycles — the no-regression guard;
+//   - sfi.campaign.irf-transient: a whole SFI campaign, where faulty
+//     runs ride the sparse event schedule.
+//
+// Each *.skip row carries its speedup over the matching *.naive row.
+func Microbench(pp Params) ([]BenchResult, error) {
+	var out []BenchResult
+
+	chain, err := missChainProgram(500)
+	if err != nil {
+		return nil, err
+	}
+	chainCfg := missChainConfig()
+	rs, err := benchPair("core.run.miss-chain", func(noSkip bool) error {
+		cfg := chainCfg
+		cfg.NoCycleSkip = noSkip
+		st, err := missChainState(pp.Seed)
+		if err != nil {
+			return err
+		}
+		if r := uarch.Run(chain, st, cfg); !r.Clean() {
+			return fmt.Errorf("miss chain run not clean: %v %v", r.Crash, r.TimedOut)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, rs...)
+
+	gcfg := gen.DefaultConfig()
+	gcfg.NumInstrs = 500 * pp.Scale
+	dense := gen.Materialize(gen.NewRandom(&gcfg, stats.Derive(pp.Seed, 5)), &gcfg)
+	rs, err = benchPair("core.run.dense", func(noSkip bool) error {
+		cfg := uarch.DefaultConfig()
+		cfg.NoCycleSkip = noSkip
+		uarch.Run(dense.Insts, dense.NewState(), cfg)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, rs...)
+
+	camp := gen.Materialize(gen.NewRandom(&gcfg, stats.Derive(pp.Seed, 6)), &gcfg)
+	rs, err = benchPair("sfi.campaign.irf-transient", func(noSkip bool) error {
+		cfg := uarch.DefaultConfig()
+		cfg.NoCycleSkip = noSkip
+		c := &inject.Campaign{
+			Prog: camp.Insts, Init: camp.InitFunc(),
+			Target: coverage.IRF, Type: inject.Transient,
+			N: min(pp.InjBitArray, 96), Seed: pp.Seed, Cfg: cfg,
+			Obs: pp.Obs,
+		}
+		_, err := c.Run()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, rs...)
+	return out, nil
+}
+
+// FprintMicrobench renders microbenchmark rows for humans.
+func FprintMicrobench(w io.Writer, rs []BenchResult) {
+	fmt.Fprintln(w, "Run-loop microbenchmarks (naive cycle-by-cycle vs event-driven skipping)")
+	for _, r := range rs {
+		line := fmt.Sprintf("  %-36s %12.0f ns/op  (%d iters)", r.Name, r.NsPerOp, r.Iterations)
+		if r.SpeedupVsNaive > 0 {
+			line += fmt.Sprintf("  %.2fx vs naive", r.SpeedupVsNaive)
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// WriteBenchJSON writes rows in the machine-readable cmd/bench -json
+// format: a JSON array of BenchResult, indented for diff-friendliness.
+func WriteBenchJSON(w io.Writer, rs []BenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}

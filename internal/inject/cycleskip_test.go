@@ -1,0 +1,83 @@
+package inject
+
+import (
+	"testing"
+
+	"harpocrates/internal/coverage"
+)
+
+// TestCycleSkipBitIdenticalStats is the acceptance gate of the
+// event-driven run loop at campaign level: for every structure and fault
+// type, a campaign whose faulty runs use cycle skipping (the default —
+// bit-array faults ride the sparse event schedule) must produce
+// per-injection outcomes bit-identical to the same campaign forced onto
+// the naive cycle-by-cycle loop.
+func TestCycleSkipBitIdenticalStats(t *testing.T) {
+	cases := []struct {
+		target coverage.Structure
+		typ    FaultType
+		n      int
+	}{
+		{coverage.IRF, Transient, 48},
+		{coverage.FPRF, Transient, 48},
+		{coverage.L1D, Transient, 48},
+		{coverage.IRF, Intermittent, 16},
+		{coverage.FPRF, Intermittent, 12},
+		{coverage.L1D, Intermittent, 12},
+		{coverage.IntAdder, Permanent, 12},
+		{coverage.IntMul, Permanent, 8},
+		{coverage.IntAdder, Intermittent, 8},
+		{coverage.FPAdd, Permanent, 8},
+		{coverage.FPMul, Permanent, 8},
+		{coverage.FPAdd, Intermittent, 6},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.target.String()+"/"+tc.typ.String(), func(t *testing.T) {
+			t.Parallel()
+			run := func(noSkip bool) *Stats {
+				c := testProgram(t, 350, nil)
+				c.Target = tc.target
+				c.Type = tc.typ
+				c.IntermittentLen = 80
+				c.N = tc.n
+				c.Seed = 11
+				c.Cfg.NoCycleSkip = noSkip
+				st, err := c.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			}
+			naive, skip := run(true), run(false)
+			if !naive.Equal(skip) {
+				t.Fatalf("cycle skipping changed campaign statistics:\nnaive: %+v\nskip:  %+v", naive, skip)
+			}
+		})
+	}
+}
+
+// TestCycleSkipHangOutcome: the watchdog fast path (a wedged run jumps
+// straight to MaxCycles) must classify hangs identically to spinning the
+// naive loop to the limit — the single most expensive case skipping
+// collapses.
+func TestCycleSkipHangOutcome(t *testing.T) {
+	run := func(noSkip bool) *Stats {
+		c := loopCampaign(t, 300)
+		c.N = 40
+		c.Seed = 3
+		c.Cfg.NoCycleSkip = noSkip
+		st, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	skip := run(false)
+	if skip.Hang == 0 {
+		t.Fatalf("no hang among %d counter-loop flips: %+v", skip.N, skip)
+	}
+	if naive := run(true); !naive.Equal(skip) {
+		t.Fatalf("hang statistics diverge: naive %+v, skip %+v", naive, skip)
+	}
+}

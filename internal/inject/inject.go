@@ -361,50 +361,36 @@ func (c *Campaign) cfgFor(sp faultSpec, golden *uarch.Result) uarch.Config {
 	cfg.MaxCycles = golden.Cycles*4 + 100_000
 
 	if !c.Target.IsFunctionalUnit() {
-		start, end, reg, bit, val := sp.start, sp.end, sp.reg, sp.bit, sp.val
+		// Bit-array faults go on the sparse event schedule rather than an
+		// opaque OnCycle hook: a transient flip is a one-shot event at its
+		// cycle, an intermittent stuck-at is one window forced every cycle
+		// inside. The schedule tells the run loop exactly which cycles
+		// matter, so it can fast-forward stalls everywhere else — where the
+		// old per-cycle hook forced naive cycle-by-cycle simulation of the
+		// entire faulty run.
+		reg, bit, val := sp.reg, sp.bit, sp.val
+		var fire func(core *uarch.Core, cyc uint64)
 		if c.Type == Transient {
 			switch c.Target {
 			case coverage.IRF:
-				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
-					if cyc == start {
-						core.FlipIntPRFBit(reg, bit)
-					}
-				}
+				fire = func(core *uarch.Core, _ uint64) { core.FlipIntPRFBit(reg, bit) }
 			case coverage.FPRF:
-				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
-					if cyc == start {
-						core.FlipFPPRFBit(reg, bit)
-					}
-				}
+				fire = func(core *uarch.Core, _ uint64) { core.FlipFPPRFBit(reg, bit) }
 			default:
-				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
-					if cyc == start {
-						core.FlipCacheBit(bit)
-					}
-				}
+				fire = func(core *uarch.Core, _ uint64) { core.FlipCacheBit(bit) }
 			}
-		} else { // intermittent stuck-at window
-			switch c.Target {
-			case coverage.IRF:
-				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
-					if cyc >= start && cyc < end {
-						core.ForceIntPRFBit(reg, bit, val)
-					}
-				}
-			case coverage.FPRF:
-				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
-					if cyc >= start && cyc < end {
-						core.ForceFPPRFBit(reg, bit, val)
-					}
-				}
-			default:
-				cfg.OnCycle = func(core *uarch.Core, cyc uint64) {
-					if cyc >= start && cyc < end {
-						core.ForceCacheBit(bit, val)
-					}
-				}
-			}
+			cfg.Events = []uarch.CycleEvent{{Start: sp.start, Fire: fire}}
+			return cfg
 		}
+		switch c.Target { // intermittent stuck-at window
+		case coverage.IRF:
+			fire = func(core *uarch.Core, _ uint64) { core.ForceIntPRFBit(reg, bit, val) }
+		case coverage.FPRF:
+			fire = func(core *uarch.Core, _ uint64) { core.ForceFPPRFBit(reg, bit, val) }
+		default:
+			fire = func(core *uarch.Core, _ uint64) { core.ForceCacheBit(bit, val) }
+		}
+		cfg.Events = []uarch.CycleEvent{{Start: sp.start, End: sp.end, Fire: fire}}
 		return cfg
 	}
 
@@ -580,6 +566,14 @@ func (c *Campaign) RunRange(lo, hi int) (*Stats, error) {
 	stopGolden := c.Obs.Phase("inject.phase.golden")
 	golden, cks := c.goldenInstrumented()
 	stopGolden()
+	// The golden interval logs never escape RunRange (only outcome counts
+	// do), so their large backing arrays go back to the recorder pool for
+	// the next campaign instead of churning the garbage collector.
+	defer func() {
+		ace.ReleaseIntervalRecorder(golden.IRFIntervals)
+		ace.ReleaseIntervalRecorder(golden.FPRFIntervals)
+		ace.ReleaseIntervalRecorder(golden.L1DIntervals)
+	}()
 	if golden.TimedOut {
 		span.End(obs.Fields{"error": "golden run timed out"})
 		return nil, fmt.Errorf("inject: golden run timed out")

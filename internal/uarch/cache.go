@@ -153,10 +153,7 @@ func (d *dcache) fill(addr uint64, cycle uint64) (int, *arch.CrashError) {
 		d.tracker.OnFill(d.byteIndex(victim, 0), d.cfg.LineBytes, cycle)
 	}
 	if d.rec != nil {
-		base := d.byteIndex(victim, 0)
-		for i := 0; i < d.cfg.LineBytes; i++ {
-			d.rec.Write(base+i, cycle)
-		}
+		d.rec.WriteRange(d.byteIndex(victim, 0), d.cfg.LineBytes, cycle)
 	}
 	return victim, nil
 }
@@ -173,10 +170,7 @@ func (d *dcache) evict(lineIdx int, cycle uint64) *arch.CrashError {
 	if d.rec != nil && l.dirty {
 		// A writeback consumes every byte of the line, including bytes
 		// never stored to since the fill: their values reach memory.
-		base := d.byteIndex(lineIdx, 0)
-		for i := 0; i < d.cfg.LineBytes; i++ {
-			d.rec.Read(base+i, cycle)
-		}
+		d.rec.ReadRange(d.byteIndex(lineIdx, 0), d.cfg.LineBytes, cycle)
 	}
 	if l.dirty {
 		d.writebacks++
@@ -242,10 +236,7 @@ func (d *dcache) access(addr uint64, size int, write bool, buf []byte, cycle uin
 				d.tracker.OnWrite(d.byteIndex(li, lineOff), n, cycle)
 			}
 			if d.rec != nil {
-				base := d.byteIndex(li, lineOff)
-				for i := 0; i < n; i++ {
-					d.rec.Write(base+i, cycle)
-				}
+				d.rec.WriteRange(d.byteIndex(li, lineOff), n, cycle)
 			}
 		} else {
 			copy(buf[off:off+n], l.data[lineOff:lineOff+n])
@@ -253,10 +244,7 @@ func (d *dcache) access(addr uint64, size int, write bool, buf []byte, cycle uin
 				visit(d.byteIndex(li, lineOff), n)
 			}
 			if d.rec != nil {
-				base := d.byteIndex(li, lineOff)
-				for i := 0; i < n; i++ {
-					d.rec.Read(base+i, cycle)
-				}
+				d.rec.ReadRange(d.byteIndex(li, lineOff), n, cycle)
 			}
 		}
 		addr += uint64(n)
@@ -279,10 +267,7 @@ func (d *dcache) flush(cycle uint64) *arch.CrashError {
 		if l.valid && l.dirty {
 			d.writebacks++
 			if d.rec != nil {
-				base := d.byteIndex(i, 0)
-				for j := 0; j < d.cfg.LineBytes; j++ {
-					d.rec.Read(base+j, cycle)
-				}
+				d.rec.ReadRange(d.byteIndex(i, 0), d.cfg.LineBytes, cycle)
 			}
 			if err := d.backing.WriteBytes(d.lineAddr(i), l.data); err != nil {
 				return err

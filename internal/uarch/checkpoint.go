@@ -39,12 +39,15 @@ func (c *Core) Checkpoint() *Checkpoint {
 
 // RestoreFrom loads ck's state into c (another deep copy, leaving the
 // checkpoint reusable) and applies the run-specific config overrides:
-// the OnCycle injection hook, the functional-unit hooks and window, the
-// watchdog limit (when non-zero) and the trace sink. Structural
-// parameters always come from the checkpoint.
+// the OnCycle injection hook, the sparse event schedule and skip knob,
+// the functional-unit hooks and window, the watchdog limit (when
+// non-zero) and the trace sink. Structural parameters always come from
+// the checkpoint.
 func (c *Core) RestoreFrom(ck *Checkpoint, cfg Config) {
 	c.copyFrom(ck.core)
 	c.cfg.OnCycle = cfg.OnCycle
+	c.cfg.Events = cfg.Events
+	c.cfg.NoCycleSkip = cfg.NoCycleSkip
 	c.cfg.FU = cfg.FU
 	c.cfg.FUOutside = cfg.FUOutside
 	c.cfg.FUWindow = cfg.FUWindow
@@ -134,6 +137,13 @@ func (c *Core) copyFrom(src *Core) {
 	c.fetchStallUntil = src.fetchStallUntil
 
 	c.cycle = src.cycle
+	// Run-loop scratch: wbReadyAt is only a lower bound on the next
+	// writeback, so resetting it to 0 is always safe (first writeback scan
+	// re-derives it); carrying a stale-high value from a previous pooled
+	// run would wrongly suppress writeback. skipped is per-run telemetry.
+	c.progressed = false
+	c.wbReadyAt = 0
+	c.skipped = 0
 	c.seq = src.seq
 	c.instret = src.instret
 	c.nLoads, c.nStores = src.nLoads, src.nStores

@@ -29,6 +29,26 @@ import (
 	"harpocrates/internal/arch"
 )
 
+// CycleEvent is one scheduled state mutation of the sparse fault-event
+// schedule (Config.Events). Fire is invoked at the start of every cycle
+// in [Start, End); End == 0 is shorthand for Start+1 (a one-shot event,
+// e.g. a transient bit flip). While a multi-cycle window is active the
+// run loop ticks cycle by cycle so the forcing semantics match the old
+// per-cycle OnCycle hooks exactly; outside every window the loop is free
+// to skip stalled cycles.
+type CycleEvent struct {
+	Start, End uint64
+	Fire       func(c *Core, cycle uint64)
+}
+
+// last returns the first cycle past the event's active window.
+func (e *CycleEvent) last() uint64 {
+	if e.End == 0 {
+		return e.Start + 1
+	}
+	return e.End
+}
+
 // CacheConfig describes the L1 data cache.
 type CacheConfig struct {
 	SizeBytes   int
@@ -83,7 +103,10 @@ type Config struct {
 	// EnablePrefetch turns on the L2 next-line prefetcher.
 	EnablePrefetch bool
 
-	// MaxCycles is the watchdog limit; 0 means a generous default.
+	// MaxCycles is the watchdog limit: a run simulates at most MaxCycles
+	// cycles (cycle numbers 0..MaxCycles-1) and reports TimedOut with
+	// Result.Cycles == MaxCycles when it reaches the limit unfinished.
+	// 0 means a generous default.
 	MaxCycles uint64
 
 	// TrackIRF / TrackL1D / TrackFPRF / TrackIBR enable coverage
@@ -130,8 +153,30 @@ type Config struct {
 	NondetSalt uint64
 
 	// OnCycle, if set, is invoked at the start of every cycle; fault
-	// injectors use it to corrupt PRF or cache state mid-run.
+	// injectors use it to corrupt PRF or cache state mid-run. Because the
+	// hook is opaque — the core cannot know which cycles it cares about —
+	// setting it forces the naive cycle-by-cycle run loop. New code
+	// should prefer Events, whose sparse schedule keeps event-driven
+	// cycle skipping available; OnCycle remains as the skip-disabling
+	// fallback so checkpoint capture and existing callers are untouched.
 	OnCycle func(c *Core, cycle uint64) `json:"-"`
+
+	// Events is a sparse schedule of state mutations: each event's Fire
+	// hook runs at the start of every cycle in [Start, End) (End == 0
+	// means Start+1, a one-shot). Unlike OnCycle the schedule tells the
+	// run loop exactly which cycles need forcing, so the loop may jump
+	// over stalled cycles outside every window: a transient flip is one
+	// event at its cycle, an intermittent stuck-at window is one event
+	// spanning it (forced every cycle inside, skip-free), and everything
+	// between events can fast-forward. Excluded from JSON like the other
+	// hook fields (workers rebuild events from campaign parameters).
+	Events []CycleEvent `json:"-"`
+
+	// NoCycleSkip forces the naive cycle-by-cycle loop even when no
+	// OnCycle hook is set — the ablation/debug knob the differential
+	// tests and benchmarks use to compare the event-driven loop against
+	// the reference loop.
+	NoCycleSkip bool
 
 	// Trace, if set, receives one line per committed instruction
 	// (cycle, sequence number, PC, disassembly) — a debugging aid, slow.

@@ -123,6 +123,17 @@ type Core struct {
 
 	oldestUnexecStore uint64 // seq of oldest unexecuted store (or ^0)
 
+	// progressed is set by any stage that does work in the current cycle;
+	// the event-driven loop skips ahead only after a fully idle cycle.
+	progressed bool
+	// wbReadyAt is a lower bound on the earliest doneAt among in-flight
+	// µops: writeback skips its scan entirely while wbReadyAt > cycle.
+	// Stale-low values (after a squash) only cost a wasted scan.
+	wbReadyAt uint64
+	// skipped counts cycles the event-driven loop jumped over (perf
+	// telemetry for tests/benchmarks; no architectural effect).
+	skipped uint64
+
 	execState arch.State
 	bus       execBus
 
@@ -216,6 +227,9 @@ func (c *Core) init(prog []isa.Inst, init *arch.State, cfg Config) {
 	c.unitUsed = [isa.NumUnits]int{}
 	c.divBusyUntil = [2]uint64{}
 	c.oldestUnexecStore = 0
+	c.progressed = false
+	c.wbReadyAt = 0
+	c.skipped = 0
 	c.execState = arch.State{NondetSalt: cfg.NondetSalt}
 	c.bus = execBus{c: c}
 	c.branches, c.mispredicts, c.flushes = 0, 0, 0
@@ -234,10 +248,12 @@ func (c *Core) init(prog []isa.Inst, init *arch.State, cfg Config) {
 		}
 	}
 	// Interval recorders escape through Result, so a pooled core must
-	// never reuse them: fresh per run, nil unless requested.
+	// never reuse them: one per run from the recorder pool (callers that
+	// finish with a Result hand them back via ace.ReleaseIntervalRecorder;
+	// callers that keep the Result simply never release).
 	var recL1D *ace.IntervalRecorder
 	if cfg.RecordL1DIntervals {
-		recL1D = ace.NewIntervalRecorder(cfg.L1D.SizeBytes)
+		recL1D = ace.GetIntervalRecorder(cfg.L1D.SizeBytes)
 	}
 	c.cache = initDCache(c.cache, cfg, mem, l1dTracker, recL1D)
 	if cfg.TrackIRF {
@@ -261,10 +277,10 @@ func (c *Core) init(prog []isa.Inst, init *arch.State, cfg Config) {
 	}
 	c.recIRF, c.recFPRF = nil, nil
 	if cfg.RecordIRFIntervals {
-		c.recIRF = ace.NewIntervalRecorder(cfg.IntPRF * 64)
+		c.recIRF = ace.GetIntervalRecorder(cfg.IntPRF * 64)
 	}
 	if cfg.RecordFPRFIntervals {
-		c.recFPRF = ace.NewIntervalRecorder(2 * cfg.FPPRF * 64)
+		c.recFPRF = ace.GetIntervalRecorder(2 * cfg.FPPRF * 64)
 	}
 
 	// Initial rename map: arch register r -> physical r.
@@ -301,6 +317,12 @@ func (c *Core) init(prog []isa.Inst, init *arch.State, cfg Config) {
 
 // Cycle returns the current cycle (for injection hooks).
 func (c *Core) Cycle() uint64 { return c.cycle }
+
+// SkippedCycles returns how many cycles the event-driven run loop jumped
+// over instead of simulating (0 under the naive loop). Telemetry only —
+// deliberately not part of Result, so naive and skipping results stay
+// comparable field-for-field.
+func (c *Core) SkippedCycles() uint64 { return c.skipped }
 
 // NumIntPRF returns the physical integer register file size.
 func (c *Core) NumIntPRF() int { return c.cfg.IntPRF }
@@ -354,28 +376,15 @@ func (c *Core) ForceCacheBit(bit int, val bool) {
 	}
 }
 
-// Run simulates to completion and returns the result.
+// Run simulates to completion and returns the result. With no opaque
+// OnCycle hook (and NoCycleSkip unset) the event-driven loop is used:
+// fully stalled cycles are jumped over instead of ticked, with results
+// bit-identical to the naive loop (see run.go).
 func (c *Core) Run() *Result {
-	for {
-		if c.finished || (c.robCnt == 0 && len(c.fq) == 0 && c.fetchPC == len(c.prog)) {
-			break
-		}
-		if c.cycle > c.cfg.MaxCycles {
-			c.timedOut = true
-			break
-		}
-		if c.cfg.OnCycle != nil {
-			c.cfg.OnCycle(c, c.cycle)
-		}
-		c.commit()
-		if c.crash != nil {
-			break
-		}
-		c.writeback()
-		c.issue()
-		c.rename()
-		c.fetch()
-		c.cycle++
+	if c.cfg.OnCycle != nil || c.cfg.NoCycleSkip {
+		c.runNaive()
+	} else {
+		c.runSkipping()
 	}
 	return c.buildResult()
 }
@@ -394,18 +403,12 @@ func (c *Core) buildResult() *Result {
 			if isa.Reg(r) == isa.RSP {
 				continue
 			}
-			base := int(c.rat.intRAT[r]) * 64
-			for b := 0; b < 64; b++ {
-				c.recIRF.Read(base+b, c.cycle)
-			}
+			c.recIRF.ReadRange(int(c.rat.intRAT[r])*64, 64, c.cycle)
 		}
 	}
 	if c.recFPRF != nil {
 		for x := 0; x < isa.NumXMM; x++ {
-			base := 2 * int(c.rat.fpRAT[x]) * 64
-			for b := 0; b < 128; b++ {
-				c.recFPRF.Read(base+b, c.cycle)
-			}
+			c.recFPRF.ReadRange(2*int(c.rat.fpRAT[x])*64, 128, c.cycle)
 		}
 	}
 	fs := arch.State{Mem: c.mem}
@@ -472,6 +475,7 @@ func (c *Core) commit() {
 		if u.st != uDone || u.doneAt > c.cycle {
 			return
 		}
+		c.progressed = true
 		if u.err != nil {
 			err := *u.err
 			err.PC = u.pc
@@ -566,6 +570,10 @@ func (c *Core) commit() {
 // --- writeback --------------------------------------------------------
 
 func (c *Core) writeback() {
+	if c.wbReadyAt > c.cycle {
+		return // nothing in flight can complete yet: skip the scan
+	}
+	minDone := ^uint64(0)
 	kept := c.inflight[:0]
 	for _, idx := range c.inflight {
 		u := &c.rob[idx]
@@ -573,9 +581,13 @@ func (c *Core) writeback() {
 			continue // squashed entries drop out of the in-flight set
 		}
 		if u.doneAt > c.cycle {
+			if u.doneAt < minDone {
+				minDone = u.doneAt
+			}
 			kept = append(kept, idx)
 			continue
 		}
+		c.progressed = true
 		u.st = uDone
 		for _, d := range u.dsts {
 			switch d.cls {
@@ -595,6 +607,10 @@ func (c *Core) writeback() {
 		}
 	}
 	c.inflight = kept
+	// minDone covers entries kept before any squash this cycle; a squash
+	// can only leave it stale-low (a wasted future scan), never stale-
+	// high, so the early-out above stays conservative.
+	c.wbReadyAt = minDone
 }
 
 // squashAfter removes every µop younger than the branch at rob index

@@ -32,21 +32,27 @@ func (c *Core) unitCapacity(u isa.Unit) int {
 	return 1
 }
 
+// srcsReady reports whether all of u's renamed sources are ready. A
+// source's readiness is monotonic for the lifetime of a waiting µop (a
+// physical register it reads cannot be reallocated before the µop issues
+// or is squashed), so the index of the first not-ready source is
+// memoized in u.waitSrc: the common retry re-checks one register instead
+// of rescanning the whole list.
 func (c *Core) srcsReady(u *uop) bool {
-	for _, s := range u.srcs {
+	for i := int(u.waitSrc); i < len(u.srcs); i++ {
+		s := &u.srcs[i]
+		ready := false
 		switch s.cls {
 		case clsInt:
-			if !c.intReady[s.phys] {
-				return false
-			}
+			ready = c.intReady[s.phys]
 		case clsFP:
-			if !c.fpReady[s.phys] {
-				return false
-			}
+			ready = c.fpReady[s.phys]
 		case clsFlag:
-			if !c.flagRdy[s.phys] {
-				return false
-			}
+			ready = c.flagRdy[s.phys]
+		}
+		if !ready {
+			u.waitSrc = uint8(i)
+			return false
 		}
 	}
 	return true
@@ -133,15 +139,16 @@ func (c *Core) execUop(idx int) {
 		switch s.cls {
 		case clsInt:
 			ms.GPR[s.arch] = c.intPRF[s.phys]
-			u.events = append(u.events, aceEvent{kind: evPRFRead, a: int32(s.phys), n: int32(s.bits), cycle: c.cycle})
+			if c.irf != nil {
+				// Only buffer the commit-time ACE event when a tracker
+				// will consume it (commit drops it otherwise anyway).
+				u.events = append(u.events, aceEvent{kind: evPRFRead, a: int32(s.phys), n: int32(s.bits), cycle: c.cycle})
+			}
 			if c.recIRF != nil {
 				// Width-limited is sound: the executor masks operands to
 				// the declared read width, so higher bits cannot reach
 				// architectural state through this read.
-				base := int(s.phys) * 64
-				for b := 0; b < min(int(s.bits), 64); b++ {
-					c.recIRF.Read(base+b, c.cycle)
-				}
+				c.recIRF.ReadRange(int(s.phys)*64, min(int(s.bits), 64), c.cycle)
 			}
 		case clsFP:
 			ms.XMM[s.arch] = c.fpPRF[s.phys]
@@ -152,10 +159,7 @@ func (c *Core) execUop(idx int) {
 				}
 			}
 			if c.recFPRF != nil {
-				base := 2 * int(s.phys) * 64
-				for b := 0; b < min(int(s.bits), 128); b++ {
-					c.recFPRF.Read(base+b, c.cycle)
-				}
+				c.recFPRF.ReadRange(2*int(s.phys)*64, min(int(s.bits), 128), c.cycle)
 			}
 		case clsFlag:
 			ms.Flags = c.flagPRF[s.phys]
@@ -182,12 +186,11 @@ func (c *Core) execUop(idx int) {
 			switch d.cls {
 			case clsInt:
 				c.intPRF[d.phys] = ms.GPR[d.arch]
-				u.events = append(u.events, aceEvent{kind: evPRFWrite, a: int32(d.phys), cycle: c.cycle})
+				if c.irf != nil {
+					u.events = append(u.events, aceEvent{kind: evPRFWrite, a: int32(d.phys), cycle: c.cycle})
+				}
 				if c.recIRF != nil {
-					base := int(d.phys) * 64
-					for b := 0; b < 64; b++ {
-						c.recIRF.Write(base+b, c.cycle)
-					}
+					c.recIRF.WriteRange(int(d.phys)*64, 64, c.cycle)
 				}
 			case clsFP:
 				c.fpPRF[d.phys] = ms.XMM[d.arch]
@@ -197,10 +200,7 @@ func (c *Core) execUop(idx int) {
 						aceEvent{kind: evFPRFWrite, a: int32(2*d.phys + 1), cycle: c.cycle})
 				}
 				if c.recFPRF != nil {
-					base := 2 * int(d.phys) * 64
-					for b := 0; b < 128; b++ {
-						c.recFPRF.Write(base+b, c.cycle)
-					}
+					c.recFPRF.WriteRange(2*int(d.phys)*64, 128, c.cycle)
 				}
 			case clsFlag:
 				c.flagPRF[d.phys] = ms.Flags
@@ -219,6 +219,10 @@ func (c *Core) execUop(idx int) {
 	if u.v.Unit == isa.UFPDiv {
 		c.divBusyUntil[1] = u.doneAt
 	}
+	if u.doneAt < c.wbReadyAt {
+		c.wbReadyAt = u.doneAt
+	}
+	c.progressed = true
 	c.inflight = append(c.inflight, idx)
 }
 
@@ -294,6 +298,7 @@ func (c *Core) rename() {
 		if !c.renameOne(c.fq[0]) {
 			return
 		}
+		c.progressed = true
 		c.fq = c.fq[1:]
 	}
 }
@@ -420,6 +425,7 @@ func (c *Core) fetch() {
 			// at commit if it turns out to be on the correct path.
 			c.fq = append(c.fq, fqEntry{pc: pc, predNext: len(c.prog), poison: true})
 			c.fetchPC = len(c.prog)
+			c.progressed = true
 			return
 		}
 		in := &c.prog[pc]
@@ -432,10 +438,12 @@ func (c *Core) fetch() {
 			}
 			c.fq = append(c.fq, fqEntry{pc: pc, predNext: next})
 			c.fetchPC = next
+			c.progressed = true
 			return // at most one branch fetched per cycle
 		}
 		c.fq = append(c.fq, fqEntry{pc: pc, predNext: next})
 		c.fetchPC = next
+		c.progressed = true
 	}
 }
 
@@ -454,9 +462,16 @@ var _ arch.MemBus = (*execBus)(nil)
 func (b *execBus) Read(addr, size uint64) (uint64, *arch.CrashError) {
 	c := b.c
 	var buf [8]byte
-	lat, err := c.cache.access(addr, int(size), false, buf[:size], c.cycle, func(bi, n int) {
-		b.u.events = append(b.u.events, aceEvent{kind: evCacheRead, a: int32(bi), n: int32(n), cycle: c.cycle})
-	})
+	// Only materialize the visit closure when an L1D tracker will consume
+	// the commit-time events it buffers (the closure escapes, so building
+	// it unconditionally allocates on every load).
+	var visit func(bi, n int)
+	if c.cache.tracker != nil {
+		visit = func(bi, n int) {
+			b.u.events = append(b.u.events, aceEvent{kind: evCacheRead, a: int32(bi), n: int32(n), cycle: c.cycle})
+		}
+	}
+	lat, err := c.cache.access(addr, int(size), false, buf[:size], c.cycle, visit)
 	if err != nil {
 		return 0, err
 	}

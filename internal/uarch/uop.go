@@ -93,6 +93,7 @@ type uop struct {
 	st      uopState
 	doneAt  uint64
 	memLat  int
+	waitSrc uint8 // first source not yet ready (srcsReady memo)
 	isLoad  bool
 	isStore bool
 	poison  bool // fetched from an invalid PC: crashes if committed
@@ -119,6 +120,7 @@ func (u *uop) reset() {
 	u.st = uWaiting
 	u.doneAt = 0
 	u.memLat = 0
+	u.waitSrc = 0
 	u.isLoad = false
 	u.isStore = false
 	u.poison = false
