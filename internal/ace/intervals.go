@@ -3,6 +3,7 @@ package ace
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // IntervalRecorder records, per storage cell, the cycle intervals during
@@ -162,9 +163,14 @@ func (r *IntervalRecorder) Reset(cells int) {
 // profiles.
 var recorderPool sync.Pool
 
+// liveRecorders counts Get minus Release — the pool-hygiene leak
+// detector used by tests.
+var liveRecorders atomic.Int64
+
 // GetIntervalRecorder returns a reset recorder for cells storage cells,
 // reusing pooled backing storage when available.
 func GetIntervalRecorder(cells int) *IntervalRecorder {
+	liveRecorders.Add(1)
 	v := recorderPool.Get()
 	if v == nil {
 		return NewIntervalRecorder(cells)
@@ -175,9 +181,14 @@ func GetIntervalRecorder(cells int) *IntervalRecorder {
 }
 
 // ReleaseIntervalRecorder returns a recorder to the pool. The caller must
-// not retain references to it afterwards.
+// not retain references to it afterwards. Nil is a no-op.
 func ReleaseIntervalRecorder(r *IntervalRecorder) {
 	if r != nil {
+		liveRecorders.Add(-1)
 		recorderPool.Put(r)
 	}
 }
+
+// LiveIntervalRecorders returns the number of recorders handed out and
+// not yet released (leak-test hook).
+func LiveIntervalRecorders() int64 { return liveRecorders.Load() }

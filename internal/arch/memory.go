@@ -11,6 +11,7 @@
 package arch
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 )
@@ -48,8 +49,21 @@ type MemBus interface {
 // Memory is a sparse, region-based guest memory. Accesses outside every
 // region fault, which is the main source of crashes for random byte
 // programs (the SiliFuzz baseline) and for fault-corrupted pointers.
+//
+// Memory maintains an optional incremental content digest (see Digest):
+// once initialized, every Write/WriteBytes keeps it current, so
+// consumers that repeatedly digest the image — the output signature and
+// delta resimulation's state hash — pay O(bytes written) instead of
+// rescanning megabytes of region data.
 type Memory struct {
 	regions []*Region // sorted by Base
+	// digest is the XOR over all writable-region words of
+	// wordDigest(addr, word) — an order-independent multiset hash, which
+	// is what makes it incrementally updatable: a write XORs out the old
+	// words and XORs in the new ones. Valid only when digestOK; computed
+	// lazily by Digest.
+	digest   uint64
+	digestOK bool
 }
 
 var _ MemBus = (*Memory)(nil)
@@ -67,6 +81,7 @@ func (m *Memory) AddRegion(r *Region) error {
 	}
 	m.regions = append(m.regions, r)
 	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Base < m.regions[j].Base })
+	m.digestOK = false
 	return nil
 }
 
@@ -116,8 +131,14 @@ func (m *Memory) Write(addr, size, val uint64) *CrashError {
 		return &CrashError{Kind: CrashBadAddress, Addr: addr}
 	}
 	off := addr - r.Base
+	if m.digestOK {
+		m.digest ^= r.spanDigest(off, size)
+	}
 	for i := uint64(0); i < size; i++ {
 		r.Data[off+i] = byte(val >> (8 * i))
+	}
+	if m.digestOK {
+		m.digest ^= r.spanDigest(off, size)
 	}
 	return nil
 }
@@ -171,8 +192,74 @@ func (m *Memory) WriteBytes(addr uint64, src []byte) *CrashError {
 	if r == nil {
 		return &CrashError{Kind: CrashBadAddress, Addr: addr}
 	}
-	copy(r.Data[addr-r.Base:], src)
+	off := addr - r.Base
+	if m.digestOK && r.Writable {
+		m.digest ^= r.spanDigest(off, uint64(len(src)))
+	}
+	copy(r.Data[off:], src)
+	if m.digestOK && r.Writable {
+		m.digest ^= r.spanDigest(off, uint64(len(src)))
+	}
 	return nil
+}
+
+// wordDigest maps one aligned (address, 64-bit word) pair to a
+// pseudo-random 64-bit value (a splitmix64-style finalizer). The memory
+// digest is the XOR of these over all writable words, so each word's
+// contribution must look independent of its neighbours'.
+func wordDigest(addr, w uint64) uint64 {
+	z := addr*0x9e3779b97f4a7c15 ^ w*0x94d049bb133111eb
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// spanDigest digests the aligned 8-byte words overlapping the byte span
+// [off, off+size) of the region. A write updates the memory digest by
+// XORing the affected span out before mutating and back in after; the
+// full scan in Digest uses the same walk so both agree on how a
+// region's unaligned tail is folded (zero-padded final word).
+func (r *Region) spanDigest(off, size uint64) uint64 {
+	start := off &^ 7
+	end := min((off+size+7)&^7, uint64(len(r.Data)))
+	var d uint64
+	i := start
+	for ; i+8 <= end; i += 8 {
+		d ^= wordDigest(r.Base+i, binary.LittleEndian.Uint64(r.Data[i:]))
+	}
+	if i < end {
+		var tail uint64
+		for j := uint64(0); i+j < end; j++ {
+			tail |= uint64(r.Data[i+j]) << (8 * j)
+		}
+		d ^= wordDigest(r.Base+i, tail)
+	}
+	return d
+}
+
+// Digest returns a 64-bit digest of the content of all writable regions
+// (read-only regions cannot change and are excluded). The first call
+// scans the image; afterwards every Write/WriteBytes maintains the
+// digest incrementally, making repeated calls O(1). The digest is a
+// deterministic function of the memory content alone — two memories with
+// identical region layouts and bytes digest equal no matter how they got
+// there — and it survives Clone/CloneInto.
+//
+// Callers that mutate Region.Data directly (bypassing Write/WriteBytes)
+// must do so before the first Digest call; later direct mutation would
+// silently desynchronize the digest.
+func (m *Memory) Digest() uint64 {
+	if !m.digestOK {
+		var d uint64
+		for _, r := range m.regions {
+			if r.Writable {
+				d ^= r.spanDigest(0, uint64(len(r.Data)))
+			}
+		}
+		m.digest = d
+		m.digestOK = true
+	}
+	return m.digest
 }
 
 // Clone deep-copies the memory (used to snapshot initial state for
@@ -189,6 +276,8 @@ func (m *Memory) CloneInto(dst *Memory) *Memory {
 	if dst == nil || dst == m {
 		dst = &Memory{}
 	}
+	// The copy's bytes are the source's bytes, so its digest is too.
+	dst.digest, dst.digestOK = m.digest, m.digestOK
 	if len(dst.regions) == len(m.regions) {
 		same := true
 		for i, r := range m.regions {

@@ -1,8 +1,8 @@
 package arch
 
 import (
+	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 
 	"harpocrates/internal/isa"
 )
@@ -108,20 +108,24 @@ func (s *State) Clone() *State {
 	return &c
 }
 
-// Signature computes a 64-bit FNV-1a digest of the architectural output:
-// all GPRs (except RSP, which is an implementation address), all XMM
-// registers, the flags, and the bytes of every writable memory region.
+// Signature computes a 64-bit digest of the architectural output: all
+// GPRs (except RSP, which is an implementation address), all XMM
+// registers, the flags, and the content of every writable memory region.
 // This is the "final state of architectural registers and a signature
 // over accessed memory regions" the paper's wrapper computes (§V-D).
+// The memory part comes from Memory.Digest, which is maintained
+// incrementally across writes — campaigns signature megabytes of region
+// data per faulty run, and rescanning it was the single largest line
+// item in their CPU profile. The digest is only ever compared against
+// digests computed in the same process; its exact value carries no
+// meaning.
 func (s *State) Signature() uint64 {
-	h := fnv.New64a()
-	var b [8]byte
-	put := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			b[i] = byte(v >> (8 * i))
-		}
-		h.Write(b[:])
-	}
+	const (
+		offset uint64 = 14695981039346656037
+		prime  uint64 = 1099511628211
+	)
+	h := offset
+	put := func(v uint64) { h = (h ^ v) * prime }
 	for r, v := range s.GPR {
 		if isa.Reg(r) == isa.RSP {
 			continue
@@ -133,13 +137,39 @@ func (s *State) Signature() uint64 {
 		put(x[1])
 	}
 	put(uint64(s.Flags))
+	if m, ok := s.Mem.(*Memory); ok {
+		put(m.Digest())
+		return h
+	}
+	// Other MemBus bindings (none in-tree digest today): fold the raw
+	// bytes word-at-a-time.
 	for _, r := range s.Mem.Regions() {
-		if r.Writable {
-			h.Write(r.Data)
+		if !r.Writable {
+			continue
+		}
+		b := r.Data
+		for len(b) >= 8 {
+			put(binary.LittleEndian.Uint64(b))
+			b = b[8:]
+		}
+		var tail uint64
+		for i, c := range b {
+			tail |= uint64(c) << (8 * uint(i))
+		}
+		if len(b) > 0 {
+			put(tail)
 		}
 	}
-	return h.Sum64()
+	return h
 }
+
+// NondetCounter returns the number of nondeterministic values drawn so
+// far. The counter determines every future nondet value (given the
+// salt), so state-equivalence checks — delta resimulation's reconvergence
+// hash in particular — must include it: two states that agree everywhere
+// else but have drawn a different number of nondet values diverge again
+// at the next RDTSC/RDRAND.
+func (s *State) NondetCounter() uint64 { return s.nondetCtr }
 
 // nondet produces the next value of the nondeterministic stream
 // (splitmix64 over salt+counter).

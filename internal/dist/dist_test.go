@@ -367,3 +367,55 @@ func TestWorkerRejectsBadRequests(t *testing.T) {
 		t.Fatalf("empty eval: status %d, want 400", resp.StatusCode)
 	}
 }
+
+// Delta-termination knob plumbing: the wire protocol must carry
+// NoDeltaTermination and DeltaInterval to workers, the distributed
+// outcome must be bit-identical with the knob in either position and for
+// any worker count, and the worker-side delta counters must prove the
+// optimization actually ran (or was actually disabled).
+func TestDistributedDeltaTermination(t *testing.T) {
+	c, p := testCampaign(t, 40)
+	c.DeltaInterval = 64
+	local, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		noDelta bool
+	}{{"delta-on", false}, {"delta-off", true}} {
+		c.NoDeltaTermination = tc.noDelta
+		for _, workers := range []int{1, 3} {
+			regs := make([]*obs.Registry, workers)
+			urls := make([]string, workers)
+			for i := range urls {
+				regs[i] = obs.NewRegistry()
+				srv := httptest.NewServer(NewServer(obs.New(regs[i], nil)).Handler())
+				t.Cleanup(srv.Close)
+				urls[i] = srv.URL
+			}
+			pool := New(urls, fastOptions())
+			st, err := pool.RunCampaign(c, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.Equal(local) {
+				t.Fatalf("%s/%d workers: distributed %+v != local %+v", tc.name, workers, st, local)
+			}
+			var conv, div int64
+			for _, reg := range regs {
+				conv += reg.Counter("inject.delta.converged").Load()
+				div += reg.Counter("inject.delta.diverged").Load()
+			}
+			if tc.noDelta && conv+div != 0 {
+				t.Fatalf("%d workers: NoDeltaTermination=true but workers compared trajectories (converged=%d diverged=%d)",
+					workers, conv, div)
+			}
+			if !tc.noDelta && conv == 0 {
+				t.Fatalf("%d workers: delta on but no worker run reconverged (diverged=%d)", workers, div)
+			}
+		}
+	}
+	c.NoDeltaTermination = false
+}

@@ -48,6 +48,8 @@ type InjectRequest struct {
 	Cfg                uarch.Config `json:"cfg"`
 	CheckpointInterval uint64       `json:"checkpoint_interval,omitempty"`
 	NoFastForward      bool         `json:"no_fast_forward,omitempty"`
+	NoDeltaTermination bool         `json:"no_delta_termination,omitempty"`
+	DeltaInterval      uint64       `json:"delta_interval,omitempty"`
 }
 
 // InjectResponse carries one shard's partial statistics (Stats.N is
@@ -142,5 +144,7 @@ func campaignRequest(c *inject.Campaign, progBytes []byte) InjectRequest {
 		Cfg:                c.Cfg,
 		CheckpointInterval: c.CheckpointInterval,
 		NoFastForward:      c.NoFastForward,
+		NoDeltaTermination: c.NoDeltaTermination,
+		DeltaInterval:      c.DeltaInterval,
 	}
 }

@@ -76,12 +76,14 @@ func TestInjectRequestJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := &inject.Campaign{
-		Target:          coverage.IRF,
-		Type:            inject.Transient,
-		N:               17,
-		Seed:            99,
-		IntermittentLen: 250,
-		Cfg:             uarch.DefaultConfig(),
+		Target:             coverage.IRF,
+		Type:               inject.Transient,
+		N:                  17,
+		Seed:               99,
+		IntermittentLen:    250,
+		Cfg:                uarch.DefaultConfig(),
+		NoDeltaTermination: true,
+		DeltaInterval:      768,
 	}
 	req := campaignRequest(c, progBytes)
 	req.Lo, req.Hi = 3, 11
@@ -95,6 +97,9 @@ func TestInjectRequestJSONRoundTrip(t *testing.T) {
 	}
 	if back.N != 17 || back.Lo != 3 || back.Hi != 11 || back.Seed != 99 || back.IntermittentLen != 250 {
 		t.Fatalf("scalars mangled: %+v", back)
+	}
+	if !back.NoDeltaTermination || back.DeltaInterval != 768 {
+		t.Fatalf("delta knobs mangled: %+v", back)
 	}
 	if !reflect.DeepEqual(back.Cfg, req.Cfg) {
 		t.Fatalf("core config mangled:\n got %+v\nwant %+v", back.Cfg, req.Cfg)
@@ -121,7 +126,8 @@ func TestConfigHooksExcludedFromWire(t *testing.T) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		t.Fatal(err)
 	}
-	for _, field := range []string{"FU", "FUOutside", "OnCycle", "Events", "Trace"} {
+	for _, field := range []string{"FU", "FUOutside", "OnCycle", "Events", "Trace",
+		"DeltaRecord", "DeltaCompare", "DeltaQuiesce"} {
 		if _, ok := m[field]; ok {
 			t.Fatalf("hook field %s leaked onto the wire", field)
 		}

@@ -148,6 +148,8 @@ func (s *Server) campaignFor(req *InjectRequest) (*inject.Campaign, error) {
 		Cfg:                req.Cfg,
 		CheckpointInterval: req.CheckpointInterval,
 		NoFastForward:      req.NoFastForward,
+		NoDeltaTermination: req.NoDeltaTermination,
+		DeltaInterval:      req.DeltaInterval,
 		Obs:                s.ob,
 	}, nil
 }

@@ -24,6 +24,10 @@ type BenchResult struct {
 	// SpeedupVsNaive is set on event-driven ("skip") variants: the ns/op
 	// ratio against the naive cycle-by-cycle loop of the same workload.
 	SpeedupVsNaive float64 `json:"speedup_vs_naive,omitempty"`
+	// SpeedupVsOff is set on the delta-termination ablation's "on" row:
+	// the ns/op ratio against the same campaign with NoDeltaTermination
+	// set (every faulty run simulated to completion).
+	SpeedupVsOff float64 `json:"speedup_vs_off,omitempty"`
 }
 
 // timeOp measures op's wall clock: one calibration run sizes the
@@ -142,17 +146,20 @@ func benchPair(name string, run func(noSkip bool) error) ([]BenchResult, error) 
 	return []BenchResult{naive, skip}, nil
 }
 
-// Microbench measures the event-driven run loop against the naive
-// reference on three workload classes:
+// Microbench measures the run-loop and campaign optimizations on four
+// workload classes:
 //
 //   - core.run.miss-chain: a serialized load-miss chain, almost all
-//     stall cycles — the case skipping collapses;
+//     stall cycles — the case cycle skipping collapses;
 //   - core.run.dense: a generated random program with high ILP, almost
 //     no idle cycles — the no-regression guard;
 //   - sfi.campaign.irf-transient: a whole SFI campaign, where faulty
-//     runs ride the sparse event schedule.
+//     runs ride the sparse event schedule;
+//   - sfi.campaign.delta: the delta-resimulation ablation — the same
+//     campaign with reconvergence-based early termination off vs on.
 //
-// Each *.skip row carries its speedup over the matching *.naive row.
+// Each *.skip row carries its speedup over the matching *.naive row;
+// the delta *.on row carries its speedup over the *.off row.
 func Microbench(pp Params) ([]BenchResult, error) {
 	var out []BenchResult
 
@@ -209,7 +216,71 @@ func Microbench(pp Params) ([]BenchResult, error) {
 		return nil, err
 	}
 	out = append(out, rs...)
+
+	rs, err = benchDeltaPair(pp)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, rs...)
 	return out, nil
+}
+
+// benchDeltaPair measures the delta-resimulation ablation: one SFI
+// campaign with NoDeltaTermination (every faulty run simulated to
+// completion) against the identical campaign with reconvergence-based
+// early termination — both on the event-driven loop, so the ratio
+// isolates delta termination itself. An untimed pass first proves the
+// two produce bit-identical outcome vectors (the soundness claim the
+// speedup rides on); the timed "on" row then carries the ratio. The
+// workload is longer and denser in injections than the other campaign
+// rows: delta's win is the simulated tail after a masked fault's last
+// architectural trace, which grows with golden-run length, and it only
+// shows once enough injections survive ACE pre-classification for
+// faulty-run simulation to dominate the campaign.
+func benchDeltaPair(pp Params) ([]BenchResult, error) {
+	gcfg := gen.DefaultConfig()
+	gcfg.NumInstrs = 4000 * pp.Scale
+	p := gen.Materialize(gen.NewRandom(&gcfg, stats.Derive(pp.Seed, 7)), &gcfg)
+	campaign := func(noDelta bool) *inject.Campaign {
+		return &inject.Campaign{
+			Prog: p.Insts, Init: p.InitFunc(),
+			Target: coverage.IRF, Type: inject.Transient,
+			N: 256, Seed: pp.Seed,
+			Cfg:                uarch.DefaultConfig(),
+			NoDeltaTermination: noDelta,
+			Obs:                pp.Obs,
+		}
+	}
+	stOff, err := campaign(true).Run()
+	if err != nil {
+		return nil, err
+	}
+	stOn, err := campaign(false).Run()
+	if err != nil {
+		return nil, err
+	}
+	if !stOff.Equal(stOn) {
+		return nil, fmt.Errorf(
+			"experiments: delta termination changed campaign statistics: off %+v vs on %+v", stOff, stOn)
+	}
+	off, err := timeOp("sfi.campaign.delta.off", func() error {
+		_, err := campaign(true).Run()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	on, err := timeOp("sfi.campaign.delta.on", func() error {
+		_, err := campaign(false).Run()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if on.NsPerOp > 0 {
+		on.SpeedupVsOff = off.NsPerOp / on.NsPerOp
+	}
+	return []BenchResult{off, on}, nil
 }
 
 // FprintMicrobench renders microbenchmark rows for humans.
@@ -219,6 +290,9 @@ func FprintMicrobench(w io.Writer, rs []BenchResult) {
 		line := fmt.Sprintf("  %-36s %12.0f ns/op  (%d iters)", r.Name, r.NsPerOp, r.Iterations)
 		if r.SpeedupVsNaive > 0 {
 			line += fmt.Sprintf("  %.2fx vs naive", r.SpeedupVsNaive)
+		}
+		if r.SpeedupVsOff > 0 {
+			line += fmt.Sprintf("  %.2fx vs no-delta", r.SpeedupVsOff)
 		}
 		fmt.Fprintln(w, line)
 	}

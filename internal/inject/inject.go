@@ -133,8 +133,20 @@ type Campaign struct {
 	NoFastForward bool
 	// ValidateAll simulates even provably-masked injections and fails
 	// the campaign if the simulated outcome disagrees with the
-	// pre-classifier (a soundness self-check; slow).
+	// pre-classifier (a soundness self-check; slow). It also re-simulates
+	// every delta-terminated run to completion and fails the campaign if
+	// the full run is not Masked.
 	ValidateAll bool
+	// NoDeltaTermination disables delta resimulation (the ablation /
+	// soundness knob): every simulated injection runs to program
+	// completion instead of stopping at the first compare point where its
+	// state reconverges with the golden trajectory. Outcome vectors are
+	// bit-identical either way (asserted by differential tests); the knob
+	// exists to prove it and to measure the speedup.
+	NoDeltaTermination bool
+	// DeltaInterval is the spacing (in cycles) of the golden-trajectory
+	// compare points; 0 means uarch.DefaultDeltaInterval.
+	DeltaInterval uint64
 
 	// Obs, if set, receives campaign metrics (per-phase wall-clock
 	// timings, outcome counts, pre-classification and checkpoint-reuse
@@ -287,6 +299,17 @@ func (c *Campaign) goldenConfig() uarch.Config {
 	cfg.FU = nil
 	cfg.FUOutside = nil
 	cfg.FUWindow = [2]uint64{}
+	cfg.DeltaRecord = nil
+	cfg.DeltaCompare = nil
+	cfg.DeltaQuiesce = 0
+	// A caller-set Record* flag would make every faulty run draw an
+	// interval recorder from the pool and never release it (recorders
+	// escape through Result, which faulty runs discard): the campaign owns
+	// all instrumentation, so clear the flags here and re-enable exactly
+	// the golden run's target recorder in goldenInstrumented.
+	cfg.RecordIRFIntervals = false
+	cfg.RecordFPRFIntervals = false
+	cfg.RecordL1DIntervals = false
 	if c.Target == coverage.FPAdd || c.Target == coverage.FPMul {
 		cfg.FU = FUHooksFor(c.Target, nil)
 	}
@@ -407,14 +430,44 @@ func (c *Campaign) cfgFor(sp faultSpec, golden *uarch.Result) uarch.Config {
 	return cfg
 }
 
+// deltaEligible reports whether delta resimulation applies to this
+// campaign at all: every fault the campaign injects must quiesce — stop
+// mutating state — at a known cycle, after which reconvergence with the
+// golden trajectory proves the rest of the run identical. Transient and
+// windowed faults quiesce; a permanent functional-unit fault never does
+// (cfgFor arms the faulty netlist for the whole run when Type is not
+// Intermittent), so those campaigns run every injection to completion.
+func (c *Campaign) deltaEligible() bool {
+	if c.NoDeltaTermination || c.NoFastForward {
+		return false
+	}
+	if c.Target.IsFunctionalUnit() {
+		return c.Type == Intermittent
+	}
+	return true
+}
+
+// deltaQuiesce returns the first cycle at which spec sp's fault can no
+// longer mutate state: one past a transient flip, the first cycle after
+// a stuck-at window. Compare points before it are ignored (a match
+// before the fault finished manifesting proves nothing — for a pending
+// one-shot flip it would even skip the fault entirely).
+func (c *Campaign) deltaQuiesce(sp faultSpec) uint64 {
+	if c.Type == Transient && !c.Target.IsFunctionalUnit() {
+		return sp.start + 1
+	}
+	return sp.end
+}
+
 // goldenInstrumented runs the fault-free reference once, collecting
-// fast-forward checkpoints and (for transient bit-array campaigns) the
-// consumed-interval log of the target structure. The instrumentation is
-// purely observational: the result is bit-identical to Golden().
-func (c *Campaign) goldenInstrumented() (*uarch.Result, []*uarch.Checkpoint) {
+// fast-forward checkpoints, (for transient bit-array campaigns) the
+// consumed-interval log of the target structure, and (for delta-eligible
+// campaigns) the reconvergence trajectory. The instrumentation is purely
+// observational: the result is bit-identical to Golden().
+func (c *Campaign) goldenInstrumented() (*uarch.Result, []*uarch.Checkpoint, *uarch.DeltaTrajectory) {
 	cfg := c.goldenConfig()
 	if c.NoFastForward {
-		return uarch.Run(c.Prog, c.Init(), cfg), nil
+		return uarch.Run(c.Prog, c.Init(), cfg), nil, nil
 	}
 	if c.Type == Transient && !c.Target.IsFunctionalUnit() {
 		switch c.Target {
@@ -425,6 +478,11 @@ func (c *Campaign) goldenInstrumented() (*uarch.Result, []*uarch.Checkpoint) {
 		default:
 			cfg.RecordL1DIntervals = true
 		}
+	}
+	var traj *uarch.DeltaTrajectory
+	if c.deltaEligible() {
+		traj = uarch.GetDeltaTrajectory(c.DeltaInterval)
+		cfg.DeltaRecord = traj
 	}
 	var cks []*uarch.Checkpoint
 	interval := c.CheckpointInterval
@@ -439,7 +497,11 @@ func (c *Campaign) goldenInstrumented() (*uarch.Result, []*uarch.Checkpoint) {
 		if len(cks) >= maxCheckpoints {
 			kept := cks[:0]
 			for j := 1; j < len(cks); j += 2 {
+				cks[j-1].Release()
 				kept = append(kept, cks[j])
+			}
+			if len(cks)%2 == 1 {
+				cks[len(cks)-1].Release()
 			}
 			cks = kept
 			interval *= 2
@@ -448,7 +510,7 @@ func (c *Campaign) goldenInstrumented() (*uarch.Result, []*uarch.Checkpoint) {
 		next = cyc + interval
 	}
 	golden := uarch.Run(c.Prog, c.Init(), cfg)
-	return golden, cks
+	return golden, cks, traj
 }
 
 // recorderFor returns the golden run's interval log for the campaign's
@@ -497,26 +559,70 @@ func nearestCheckpoint(cks []*uarch.Checkpoint, cycle uint64) *uarch.Checkpoint 
 	return cks[i-1]
 }
 
-// runSpec simulates one injection, resuming from the nearest checkpoint
-// preceding the fault's first active cycle when one exists. The prefix
-// before that cycle is bit-identical to the golden run (the fault has
-// not manifested yet), so resuming cannot change the outcome.
-func (c *Campaign) runSpec(sp faultSpec, golden *uarch.Result, cks []*uarch.Checkpoint) Outcome {
-	cfg := c.cfgFor(sp, golden)
-	var res *uarch.Result
+// simulate runs one injection configuration, resuming from the nearest
+// checkpoint preceding the fault's first active cycle when one exists.
+// The prefix before that cycle is bit-identical to the golden run (the
+// fault has not manifested yet), so resuming cannot change the outcome.
+func (c *Campaign) simulate(cfg uarch.Config, sp faultSpec, cks []*uarch.Checkpoint) *uarch.Result {
 	if ck := nearestCheckpoint(cks, sp.start); ck != nil && sp.start > 0 {
 		c.Obs.Counter("inject.resume.checkpoint").Inc()
-		res = uarch.RunFromCheckpoint(ck, cfg)
-	} else {
-		c.Obs.Counter("inject.resume.reset").Inc()
-		res = uarch.Run(c.Prog, c.Init(), cfg)
+		return uarch.RunFromCheckpoint(ck, cfg)
 	}
-	return classify(res, golden)
+	c.Obs.Counter("inject.resume.reset").Inc()
+	return uarch.Run(c.Prog, c.Init(), cfg)
 }
 
-// classify grades a faulty run against the golden run (§II-E).
+// runSpec simulates one injection. When the campaign carries a golden
+// delta trajectory (traj non-nil), the faulty run compares itself
+// against it from the fault's quiesce cycle on and stops at the first
+// full state match — Masked by construction, without simulating the
+// tail. Under ValidateAll every such early termination is re-simulated
+// to completion and the campaign fails if the full run is not Masked.
+func (c *Campaign) runSpec(sp faultSpec, golden *uarch.Result, cks []*uarch.Checkpoint,
+	traj *uarch.DeltaTrajectory) (Outcome, error) {
+	cfg := c.cfgFor(sp, golden)
+	if traj != nil {
+		cfg.DeltaCompare = traj
+		cfg.DeltaQuiesce = c.deltaQuiesce(sp)
+	}
+	res := c.simulate(cfg, sp, cks)
+	out := classify(res, golden)
+	if traj != nil {
+		if res.Reconverged {
+			c.Obs.Counter("inject.delta.converged").Inc()
+			var saved uint64
+			if golden.Cycles > res.Cycles {
+				saved = golden.Cycles - res.Cycles
+			}
+			c.Obs.Counter("inject.delta.cycles_saved").Add(int64(saved))
+			c.Obs.Histogram("inject.delta.saved_cycles").Observe(int64(saved))
+			if c.ValidateAll {
+				full := cfg
+				full.DeltaCompare = nil
+				full.DeltaQuiesce = 0
+				if fullOut := classify(c.simulate(full, sp, cks), golden); fullOut != Masked {
+					return out, fmt.Errorf(
+						"inject: delta termination unsound: injection %d (cycle %d) reconverged at cycle %d but simulates as %v",
+						sp.idx, sp.start, res.Cycles, fullOut)
+				}
+			}
+		} else {
+			c.Obs.Counter("inject.delta.diverged").Inc()
+		}
+	}
+	return out, nil
+}
+
+// classify grades a faulty run against the golden run (§II-E). A
+// reconverged run is checked first: it stopped mid-program with its
+// machine state equal to the golden run's at the same cycle, so it would
+// have finished exactly as the golden run did — Masked by construction
+// (requires a clean golden run, which RunRange guarantees before arming
+// delta comparison).
 func classify(res, golden *uarch.Result) Outcome {
 	switch {
+	case res.Reconverged:
+		return Masked
 	case res.TimedOut:
 		return Hang
 	case res.Crash != nil:
@@ -564,19 +670,35 @@ func (c *Campaign) RunRange(lo, hi int) (*Stats, error) {
 	})
 
 	stopGolden := c.Obs.Phase("inject.phase.golden")
-	golden, cks := c.goldenInstrumented()
+	golden, cks, traj := c.goldenInstrumented()
 	stopGolden()
-	// The golden interval logs never escape RunRange (only outcome counts
-	// do), so their large backing arrays go back to the recorder pool for
-	// the next campaign instead of churning the garbage collector.
+	// None of the golden instrumentation escapes RunRange (only outcome
+	// counts do), so the interval logs' backing arrays, every checkpoint's
+	// core snapshot and the delta trajectory all go back to their pools for
+	// the next campaign instead of churning the garbage collector. This
+	// defer runs on every exit path, including the golden-timeout and
+	// validation-failure errors, after wg.Wait has quiesced the workers.
 	defer func() {
 		ace.ReleaseIntervalRecorder(golden.IRFIntervals)
 		ace.ReleaseIntervalRecorder(golden.FPRFIntervals)
 		ace.ReleaseIntervalRecorder(golden.L1DIntervals)
+		for _, ck := range cks {
+			ck.Release()
+		}
+		uarch.ReleaseDeltaTrajectory(traj)
 	}()
 	if golden.TimedOut {
 		span.End(obs.Fields{"error": "golden run timed out"})
 		return nil, fmt.Errorf("inject: golden run timed out")
+	}
+	if !golden.Clean() {
+		// Reconverged→Masked is only sound against a golden run that ends
+		// well: a faulty run matching a crashing/trapping golden trajectory
+		// would crash too, but classify() maps Reconverged to Masked, so
+		// never arm comparison here. Release now — the deferred release sees
+		// the nil and no-ops.
+		uarch.ReleaseDeltaTrajectory(traj)
+		traj = nil
 	}
 	st := &Stats{N: n, GoldenCycles: golden.Cycles}
 	if c.Obs.Enabled() {
@@ -648,7 +770,15 @@ func (c *Campaign) RunRange(lo, hi int) (*Stats, error) {
 			defer wg.Done()
 			for i := range next {
 				sp := toRun[i]
-				out := c.runSpec(sp, golden, cks)
+				out, err := c.runSpec(sp, golden, cks, traj)
+				if err != nil {
+					mu.Lock()
+					if valErr == nil {
+						valErr = err
+					}
+					mu.Unlock()
+					continue
+				}
 				if pre[sp.idx-lo] {
 					if out != Masked {
 						mu.Lock()

@@ -1,6 +1,8 @@
 package uarch
 
 import (
+	"sync/atomic"
+
 	"harpocrates/internal/ace"
 	"harpocrates/internal/arch"
 )
@@ -28,14 +30,45 @@ type Checkpoint struct {
 // for it again).
 func (ck *Checkpoint) Cycle() uint64 { return ck.cycle }
 
+// liveCheckpoints counts Checkpoint minus Release — the pool-hygiene
+// leak detector used by tests.
+var liveCheckpoints atomic.Int64
+
 // Checkpoint snapshots the core's current state. It is safe to call from
 // an OnCycle hook, which is invoked before the cycle's pipeline stages —
-// the snapshot then captures start-of-cycle state for that cycle.
+// the snapshot then captures start-of-cycle state for that cycle. The
+// snapshot's storage comes from the core pool; hand it back with Release
+// when the checkpoint is no longer needed.
 func (c *Core) Checkpoint() *Checkpoint {
-	cp := &Core{}
+	liveCheckpoints.Add(1)
+	// Force the memory digest live before copying: the snapshot inherits
+	// it, so every run resumed from this checkpoint computes its output
+	// signature (and delta state hash) incrementally instead of scanning
+	// the whole image — the scan happens once per checkpointed golden
+	// run, not once per faulty run.
+	c.mem.Digest()
+	cp := getPooledCore()
 	cp.copyFrom(c)
 	return &Checkpoint{cycle: c.cycle, core: cp}
 }
+
+// Release returns the checkpoint's storage (a deep core copy holding
+// megabytes of PRF, ROB, cache and memory state) to the core pool. The
+// checkpoint must not be restored from afterwards; Release is idempotent
+// and nil-safe. Callers must ensure no concurrent RestoreFrom is still
+// reading the snapshot.
+func (ck *Checkpoint) Release() {
+	if ck == nil || ck.core == nil {
+		return
+	}
+	liveCheckpoints.Add(-1)
+	putPooledCore(ck.core)
+	ck.core = nil
+}
+
+// LiveCheckpoints returns the number of checkpoints taken and not yet
+// released (leak-test hook).
+func LiveCheckpoints() int64 { return liveCheckpoints.Load() }
 
 // RestoreFrom loads ck's state into c (another deep copy, leaving the
 // checkpoint reusable) and applies the run-specific config overrides:
@@ -55,6 +88,15 @@ func (c *Core) RestoreFrom(ck *Checkpoint, cfg Config) {
 		c.cfg.MaxCycles = cfg.MaxCycles
 	}
 	c.cfg.Trace = cfg.Trace
+	// Delta resimulation: a restored run never extends the golden
+	// trajectory (the checkpoint's config may still point at it), but it
+	// may compare against one. The stream digest travels with the
+	// checkpoint, so a resumed run's digest matches what the golden run's
+	// was at this cycle.
+	c.cfg.DeltaRecord = nil
+	c.cfg.DeltaCompare = cfg.DeltaCompare
+	c.cfg.DeltaQuiesce = cfg.DeltaQuiesce
+	c.armDelta()
 }
 
 // RunFromCheckpoint resumes simulation from ck under the run-specific
@@ -144,6 +186,15 @@ func (c *Core) copyFrom(src *Core) {
 	c.progressed = false
 	c.wbReadyAt = 0
 	c.skipped = 0
+	// The committed-stream digest is real state and travels with the
+	// copy; the arming fields are re-derived (RestoreFrom calls armDelta
+	// after applying its overrides — a bare copy never records/compares).
+	c.streamDigest = src.streamDigest
+	c.deltaHashOn = false
+	c.deltaNextRec = 0
+	c.deltaCmpIdx = 0
+	c.deltaCmpFrom = 0
+	c.reconverged = false
 	c.seq = src.seq
 	c.instret = src.instret
 	c.nLoads, c.nStores = src.nLoads, src.nStores

@@ -172,6 +172,27 @@ type Config struct {
 	// hook fields (workers rebuild events from campaign parameters).
 	Events []CycleEvent `json:"-"`
 
+	// DeltaRecord, if set, makes the run record a golden-trajectory point
+	// (cycle, retire count, committed-stream digest, machine-state hash)
+	// every DeltaRecord.Interval cycles — the reference side of delta
+	// resimulation (see delta.go). Purely observational. Excluded from
+	// JSON like the other instrumentation fields.
+	DeltaRecord *DeltaTrajectory `json:"-"`
+
+	// DeltaCompare, if set, makes the run compare itself against the
+	// given golden trajectory at every point cycle at or after
+	// DeltaQuiesce: a full match means every subsequent cycle would be
+	// identical to the golden run's, so the run stops immediately with
+	// Result.Reconverged set (outcome Masked by construction).
+	DeltaCompare *DeltaTrajectory `json:"-"`
+
+	// DeltaQuiesce is the first cycle at which the run's fault can no
+	// longer mutate state (one past a transient flip, the end of an
+	// intermittent window); compare points before it are ignored —
+	// matching the golden hash before the fault has finished manifesting
+	// proves nothing.
+	DeltaQuiesce uint64 `json:"-"`
+
 	// NoCycleSkip forces the naive cycle-by-cycle loop even when no
 	// OnCycle hook is set — the ablation/debug knob the differential
 	// tests and benchmarks use to compare the event-driven loop against

@@ -19,7 +19,17 @@ type Result struct {
 	TimedOut bool
 
 	// Signature is the architectural output digest (registers + memory).
+	// Undefined (zero) when Reconverged is set: a reconverged run stopped
+	// mid-program, and its final state is by construction the golden
+	// run's.
 	Signature uint64
+
+	// Reconverged reports that the run was cut short by delta
+	// resimulation (Config.DeltaCompare): at cycle Cycles its entire
+	// machine state matched the golden trajectory, so every cycle that
+	// would have followed is identical to the golden run's and the
+	// outcome is Masked by construction.
+	Reconverged bool
 
 	Branches    uint64
 	Mispredicts uint64
@@ -55,8 +65,13 @@ func (r *Result) IPC() float64 {
 }
 
 // Detected compares a faulty run against a golden run: any deviation
-// (different signature, crash, or hang) counts as detection (§II-C).
+// (different signature, crash, or hang) counts as detection (§II-C). A
+// reconverged run finishes exactly like the golden run and is never
+// detected.
 func (r *Result) Detected(golden *Result) bool {
+	if r.Reconverged {
+		return false
+	}
 	if r.Crash != nil || r.TimedOut {
 		return true
 	}
@@ -133,6 +148,24 @@ type Core struct {
 	// skipped counts cycles the event-driven loop jumped over (perf
 	// telemetry for tests/benchmarks; no architectural effect).
 	skipped uint64
+
+	// streamDigest folds every committed instruction (PC, next PC,
+	// destination values, store writes) since the last trajectory point;
+	// maintained only while delta trajectory recording or comparison is
+	// active (deltaHashOn).
+	streamDigest uint64
+	deltaHashOn  bool
+	// deltaNextRec is the next trajectory-record cycle (0 = not
+	// recording); deltaCmpIdx indexes the next trajectory point (window
+	// boundary); deltaCmpFrom is the first cycle comparison applies at.
+	deltaNextRec uint64
+	deltaCmpIdx  int
+	deltaCmpFrom uint64
+	// reconverged is set when a compare point fully matched: the run
+	// stops and reports Masked-by-construction (see delta.go).
+	reconverged bool
+	// deltaScratch is free-list membership scratch for stateHash.
+	deltaScratch []bool
 
 	execState arch.State
 	bus       execBus
@@ -230,6 +263,8 @@ func (c *Core) init(prog []isa.Inst, init *arch.State, cfg Config) {
 	c.progressed = false
 	c.wbReadyAt = 0
 	c.skipped = 0
+	c.streamDigest = deltaOffset
+	c.armDelta()
 	c.execState = arch.State{NondetSalt: cfg.NondetSalt}
 	c.bus = execBus{c: c}
 	c.branches, c.mispredicts, c.flushes = 0, 0, 0
@@ -390,40 +425,48 @@ func (c *Core) Run() *Result {
 }
 
 func (c *Core) buildResult() *Result {
-	if err := c.cache.flush(c.cycle); err != nil && c.crash == nil {
-		c.crash = err
-	}
-	// The final architectural state is itself a consumer: physical
-	// registers still mapped at the end of the run feed the output
-	// signature, so their last values must be logged as read or the
-	// pre-classifier would wrongly prove end-of-run flips masked. RSP is
-	// excluded from the signature, so it is soundly skipped.
-	if c.recIRF != nil {
-		for r := 0; r < isa.NumGPR; r++ {
-			if isa.Reg(r) == isa.RSP {
-				continue
+	var sig uint64
+	// A reconverged run stopped mid-program: its cache stays unflushed
+	// and its signature undefined — the final state is by construction
+	// the golden run's (delta.go).
+	if !c.reconverged {
+		if err := c.cache.flush(c.cycle); err != nil && c.crash == nil {
+			c.crash = err
+		}
+		// The final architectural state is itself a consumer: physical
+		// registers still mapped at the end of the run feed the output
+		// signature, so their last values must be logged as read or the
+		// pre-classifier would wrongly prove end-of-run flips masked. RSP
+		// is excluded from the signature, so it is soundly skipped.
+		if c.recIRF != nil {
+			for r := 0; r < isa.NumGPR; r++ {
+				if isa.Reg(r) == isa.RSP {
+					continue
+				}
+				c.recIRF.ReadRange(int(c.rat.intRAT[r])*64, 64, c.cycle)
 			}
-			c.recIRF.ReadRange(int(c.rat.intRAT[r])*64, 64, c.cycle)
 		}
-	}
-	if c.recFPRF != nil {
+		if c.recFPRF != nil {
+			for x := 0; x < isa.NumXMM; x++ {
+				c.recFPRF.ReadRange(2*int(c.rat.fpRAT[x])*64, 128, c.cycle)
+			}
+		}
+		fs := arch.State{Mem: c.mem}
+		for r := 0; r < isa.NumGPR; r++ {
+			fs.GPR[r] = c.intPRF[c.rat.intRAT[r]]
+		}
 		for x := 0; x < isa.NumXMM; x++ {
-			c.recFPRF.ReadRange(2*int(c.rat.fpRAT[x])*64, 128, c.cycle)
+			fs.XMM[x] = c.fpPRF[c.rat.fpRAT[x]]
 		}
+		fs.Flags = c.flagPRF[c.rat.flagRAT]
+		sig = fs.Signature()
 	}
-	fs := arch.State{Mem: c.mem}
-	for r := 0; r < isa.NumGPR; r++ {
-		fs.GPR[r] = c.intPRF[c.rat.intRAT[r]]
-	}
-	for x := 0; x < isa.NumXMM; x++ {
-		fs.XMM[x] = c.fpPRF[c.rat.fpRAT[x]]
-	}
-	fs.Flags = c.flagPRF[c.rat.flagRAT]
 
 	r := &Result{
 		Crash:       c.crash,
 		TimedOut:    c.timedOut,
-		Signature:   fs.Signature(),
+		Signature:   sig,
+		Reconverged: c.reconverged,
 		Branches:    c.branches,
 		Mispredicts: c.mispredicts,
 		Flushes:     c.flushes,
@@ -507,6 +550,9 @@ func (c *Core) commit() {
 		if u.v != nil && u.v.IsBranch {
 			c.bp.update(u.pc, u.actualNext != u.pc+1)
 			c.branches++
+		}
+		if c.deltaHashOn {
+			c.foldCommit(u)
 		}
 		for _, d := range u.dsts {
 			switch d.cls {

@@ -66,6 +66,9 @@ func (c *Core) runNaive() {
 			c.timedOut = true
 			return
 		}
+		if c.deltaHashOn && c.deltaTick() {
+			return // reconverged with the golden trajectory
+		}
 		if c.cfg.OnCycle != nil {
 			c.cfg.OnCycle(c, c.cycle)
 		}
@@ -90,6 +93,9 @@ func (c *Core) runSkipping() {
 		if c.cycle >= c.cfg.MaxCycles {
 			c.timedOut = true
 			return
+		}
+		if c.deltaHashOn && c.deltaTick() {
+			return // reconverged with the golden trajectory
 		}
 		c.fireEvents()
 		c.progressed = false
@@ -159,6 +165,15 @@ func (c *Core) nextWake() uint64 {
 	consider(c.divBusyUntil[0])
 	consider(c.divBusyUntil[1])
 	consider(c.fetchStallUntil)
+	// Delta trajectory cycles are wake points: a recording run must
+	// sample at every interval multiple, a comparing run must visit each
+	// armed compare point at its exact cycle (delta.go).
+	if c.deltaNextRec != 0 {
+		consider(c.deltaNextRec)
+	}
+	if cmp := c.cfg.DeltaCompare; cmp != nil && c.deltaCmpIdx < len(cmp.Points) {
+		consider(cmp.Points[c.deltaCmpIdx].Cycle)
+	}
 	for i := range c.cfg.Events {
 		e := &c.cfg.Events[i]
 		if e.Start > c.cycle {
