@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,26 +29,20 @@ import (
 	"harpocrates/internal/uarch"
 )
 
-func structures() map[string]coverage.Structure {
-	return map[string]coverage.Structure{
-		"irf": coverage.IRF, "l1d": coverage.L1D, "fprf": coverage.FPRF,
-		"intadd": coverage.IntAdder, "intmul": coverage.IntMul,
-		"fpadd": coverage.FPAdd, "fpmul": coverage.FPMul,
-	}
-}
-
 func main() {
 	var (
 		suite  = flag.String("suite", "mibench", "program source: mibench, dcdiag")
 		name   = flag.String("prog", "", "program name within the suite")
 		random = flag.Int("random", 0, "use a freshly generated random program of N instructions instead")
 		load   = flag.String("load", "", "load a saved .hxpg program file instead")
-		target = flag.String("target", "irf", "target structure: irf, l1d, intadd, intmul, fpadd, fpmul")
+		target = flag.String("target", "irf", "target structure (see coverage names: irf, l1d, fprf, intadd, intmul, fpadd, fpmul, decoder, gshare, lsq, rob, l2tags)")
 		ftype  = flag.String("type", "", "fault type: transient, intermittent, permanent (default per structure)")
 		n      = flag.Int("n", 50, "number of injections")
 		seed   = flag.Uint64("seed", 1, "random seed")
 		scale  = flag.Int("scale", 1, "workload scale")
 		window = flag.Uint64("window", 100, "intermittent fault window (cycles)")
+		burst  = flag.Int("burst", 1, "multi-bit upset width for bit-array targets (adjacent bits per injection)")
+		asJSON = flag.Bool("json", false, "print the campaign result as one JSON object on stdout")
 		list   = flag.Bool("list", false, "list available programs and exit")
 
 		corpusDir = flag.String("corpus", "", "rank a corpus archive: run the campaign on every archived program of the target structure and record detection metadata")
@@ -80,16 +75,16 @@ func main() {
 		return
 	}
 
-	st, ok := structures()[strings.ToLower(*target)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown target %q\n", *target)
+	st, err := coverage.Parse(*target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
 	ft := inject.DefaultFaultType(st)
 	if *ftype != "" {
 		var err error
-		if ft, err = inject.ParseFaultType(strings.ToLower(*ftype)); err != nil {
+		if ft, err = inject.ParseFaultType(*ftype); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -163,6 +158,7 @@ func main() {
 		Type:            ft,
 		N:               *n,
 		IntermittentLen: *window,
+		BurstLen:        *burst,
 		Seed:            *seed,
 		Cfg:             uarch.DefaultConfig(),
 		Obs:             ob,
@@ -184,9 +180,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Println(" ", stats)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(campaignJSON(p.Name, st, ft, *seed, stats)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Println(" ", stats)
+	}
 	if err := obFinish(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// campaignResult is the -json output schema: one object per campaign,
+// stable field names for jq-based CI gates.
+type campaignResult struct {
+	Program      string  `json:"program"`
+	Target       string  `json:"target"`
+	Type         string  `json:"type"`
+	Seed         uint64  `json:"seed"`
+	N            int     `json:"n"`
+	Masked       int     `json:"masked"`
+	SDC          int     `json:"sdc"`
+	Crash        int     `json:"crash"`
+	Hang         int     `json:"hang"`
+	Trap         int     `json:"trap"`
+	Detected     int     `json:"detected"`
+	Detection    float64 `json:"detection"`
+	GoldenCycles uint64  `json:"golden_cycles"`
+}
+
+func campaignJSON(name string, st coverage.Structure, ft inject.FaultType, seed uint64, s *inject.Stats) campaignResult {
+	return campaignResult{
+		Program:      name,
+		Target:       st.String(),
+		Type:         ft.String(),
+		Seed:         seed,
+		N:            s.N,
+		Masked:       s.Masked,
+		SDC:          s.SDC,
+		Crash:        s.Crash,
+		Hang:         s.Hang,
+		Trap:         s.Trap,
+		Detected:     s.Detected(),
+		Detection:    s.Detection(),
+		GoldenCycles: s.GoldenCycles,
 	}
 }

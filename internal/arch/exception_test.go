@@ -1,0 +1,102 @@
+package arch
+
+import (
+	"testing"
+
+	"harpocrates/internal/isa"
+)
+
+// TestCrashKindException pins the crash-kind → architectural-exception
+// mapping the trap outcome channel is built on. Wild branches and
+// watchdog timeouts have no trap semantics and must map to ExcNone.
+func TestCrashKindException(t *testing.T) {
+	cases := []struct {
+		kind CrashKind
+		want isa.Exception
+	}{
+		{CrashNone, isa.ExcNone},
+		{CrashDivide, isa.ExcDivide},
+		{CrashInvalidOpcode, isa.ExcInvalidOpcode},
+		{CrashPrivileged, isa.ExcGeneralProtection},
+		{CrashBadAddress, isa.ExcPageFault},
+		{CrashMisaligned, isa.ExcAlignment},
+		{CrashBadBranch, isa.ExcNone},
+		{CrashWatchdog, isa.ExcNone},
+	}
+	for _, tc := range cases {
+		if got := tc.kind.Exception(); got != tc.want {
+			t.Fatalf("%v.Exception() = %v; want %v", tc.kind, got, tc.want)
+		}
+	}
+}
+
+// TestCrashErrorException: the error-level accessor is nil-safe, derives
+// the exception from the kind by default, and lets an explicit Exc
+// override the default (the #SS stack-fault refinement of a bad
+// address).
+func TestCrashErrorException(t *testing.T) {
+	var nilErr *CrashError
+	if nilErr.Exception() != isa.ExcNone {
+		t.Fatal("nil CrashError must report ExcNone")
+	}
+	def := &CrashError{Kind: CrashBadAddress}
+	if def.Exception() != isa.ExcPageFault {
+		t.Fatalf("default exception = %v; want #PF", def.Exception())
+	}
+	ss := &CrashError{Kind: CrashBadAddress, Exc: isa.ExcStackFault}
+	if ss.Exception() != isa.ExcStackFault {
+		t.Fatalf("override exception = %v; want #SS", ss.Exception())
+	}
+}
+
+// TestStackFaultException: push/pop through an unmapped stack pointer
+// raises a bad-address crash refined to the #SS stack-fault exception.
+func TestStackFaultException(t *testing.T) {
+	push := findVariant(t, isa.OpPUSH, isa.W64, isa.KReg)
+	pop := findVariant(t, isa.OpPOP, isa.W64, isa.KReg)
+	for _, tc := range []struct {
+		name string
+		in   isa.Inst
+	}{
+		{"push", isa.MakeInst(push, isa.RegOp(isa.RAX))},
+		{"pop", isa.MakeInst(pop, isa.RegOp(isa.RAX))},
+	} {
+		s := testState(t)
+		s.GPR[isa.RSP] = 0xdead0000 // far outside every mapped region
+		err := s.Step([]isa.Inst{tc.in})
+		if err == nil || err.Kind != CrashBadAddress {
+			t.Fatalf("%s with wild RSP: err = %v, want bad-address crash", tc.name, err)
+		}
+		if err.Exception() != isa.ExcStackFault {
+			t.Fatalf("%s with wild RSP: exception = %v, want #SS", tc.name, err.Exception())
+		}
+	}
+}
+
+// TestStepInstOverlay: StepInst executes the supplied instruction in
+// place of prog[PC] — the decoder-corruption entry point — with normal
+// PC sequencing against the real program.
+func TestStepInstOverlay(t *testing.T) {
+	mov := findVariant(t, isa.OpMOV, isa.W64, isa.KReg, isa.KImm)
+	prog := []isa.Inst{isa.MakeInst(mov, isa.RegOp(isa.RAX), isa.ImmOp(1))}
+	overlay := isa.MakeInst(mov, isa.RegOp(isa.RAX), isa.ImmOp(99))
+
+	s := testState(t)
+	if err := s.StepInst(prog, &overlay); err != nil {
+		t.Fatal(err)
+	}
+	if s.GPR[isa.RAX] != 99 {
+		t.Fatalf("overlay did not execute: RAX = %d", s.GPR[isa.RAX])
+	}
+	if s.PC != 1 {
+		t.Fatalf("PC = %d after overlay step; want 1", s.PC)
+	}
+
+	s2 := testState(t)
+	if err := s2.Step(prog); err != nil {
+		t.Fatal(err)
+	}
+	if s2.GPR[isa.RAX] != 1 {
+		t.Fatalf("plain Step changed semantics: RAX = %d", s2.GPR[isa.RAX])
+	}
+}

@@ -13,8 +13,17 @@ func (s *State) Step(prog []isa.Inst) *CrashError {
 	if s.PC < 0 || s.PC >= len(prog) {
 		return &CrashError{Kind: CrashBadBranch, PC: s.PC}
 	}
+	return s.StepInst(prog, &prog[s.PC])
+}
+
+// StepInst executes in as if it were the instruction at prog[s.PC],
+// updating state and PC. The out-of-order core uses this overlay entry
+// point to execute decoder-corrupted instructions: the fetched bytes
+// decoded to something other than what the program image holds, and
+// the substituted instruction must run with the original PC's
+// control-flow context. s.PC must be a valid index into prog.
+func (s *State) StepInst(prog []isa.Inst, in *isa.Inst) *CrashError {
 	pc := s.PC
-	in := &prog[pc]
 	if err := s.exec(in); err != nil {
 		err.PC = pc
 		return err
@@ -458,6 +467,9 @@ func (s *State) exec(in *isa.Inst) *CrashError {
 		}
 		sp := s.GPR[isa.RSP] - 8
 		if err := s.Mem.Write(sp, 8, val); err != nil {
+			// A push outside the stack image is a stack-segment fault,
+			// not the generic page fault the bus error implies.
+			err.Exc = isa.ExcStackFault
 			return err
 		}
 		s.GPR[isa.RSP] = sp
@@ -465,6 +477,7 @@ func (s *State) exec(in *isa.Inst) *CrashError {
 	case isa.OpPOP:
 		val, err := s.Mem.Read(s.GPR[isa.RSP], 8)
 		if err != nil {
+			err.Exc = isa.ExcStackFault
 			return err
 		}
 		s.GPR[isa.RSP] += 8

@@ -35,15 +35,55 @@ func (k CrashKind) String() string {
 	return fmt.Sprintf("crash?%d", uint8(k))
 }
 
+// Exception maps a crash kind to the HX86 architectural exception a
+// real core would deliver for it. Kinds with no trap semantics — a wild
+// branch leaving the program image, or the simulator watchdog — report
+// isa.ExcNone: they are crashes/hangs, not architecturally detected
+// faults.
+func (k CrashKind) Exception() isa.Exception {
+	switch k {
+	case CrashDivide:
+		return isa.ExcDivide
+	case CrashInvalidOpcode:
+		return isa.ExcInvalidOpcode
+	case CrashPrivileged:
+		return isa.ExcGeneralProtection
+	case CrashBadAddress:
+		return isa.ExcPageFault
+	case CrashMisaligned:
+		return isa.ExcAlignment
+	default:
+		return isa.ExcNone
+	}
+}
+
 // CrashError is an architectural fault raised during execution.
 type CrashError struct {
 	Kind CrashKind
 	Addr uint64 // faulting address for memory crashes
 	PC   int    // instruction index, filled by the executor
+
+	// Exc, when set, overrides the Kind-derived architectural exception
+	// (e.g. a push/pop fault is #SS, not the generic #PF its
+	// bad-address kind would imply).
+	Exc isa.Exception
 }
 
 func (e *CrashError) Error() string {
 	return fmt.Sprintf("crash at pc=%d: %v (addr=%#x)", e.PC, e.Kind, e.Addr)
+}
+
+// Exception returns the architectural exception the crash corresponds
+// to: the explicit override if one was recorded, else the kind's
+// default mapping. Nil-safe (nil reports isa.ExcNone).
+func (e *CrashError) Exception() isa.Exception {
+	if e == nil {
+		return isa.ExcNone
+	}
+	if e.Exc != isa.ExcNone {
+		return e.Exc
+	}
+	return e.Kind.Exception()
 }
 
 // FUHooks reroutes selected arithmetic through external functional-unit

@@ -392,6 +392,9 @@ func (s *Store) Elites(structure string, k int) ([]*gen.Genotype, error) {
 }
 
 // SetDetection records a fault-detection measurement for an entry.
+// detected is the campaign's detected-injection index vector
+// (inject.Stats.DetectedSet): every injection whose outcome deviated
+// from Masked — SDC, crash, hang or detected-by-trap alike.
 func (s *Store) SetDetection(hash, faultType string, faultN int, faultSeed uint64, detection float64, detected []int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -19,7 +19,12 @@ type Structure int
 
 // Target structures: the paper's six plus the FP physical register
 // file, an extension target demonstrating that the methodology applies
-// to "any other hardware structure" (§III-B2). Bit arrays come first.
+// to "any other hardware structure" (§III-B2), and the post-paper
+// microarchitectural sites (decoder, branch predictor, store buffer,
+// ROB metadata, L2 tags). ACE-tracked bit arrays come first, then the
+// functional units, then the new sites. Order is part of the dist wire
+// protocol (names travel, but Snapshot arrays index by Structure), so
+// new structures must only ever be appended.
 const (
 	IRF      Structure = iota // physical (integer) register file
 	L1D                       // L1 data cache
@@ -28,12 +33,18 @@ const (
 	IntMul                    // integer multiplier
 	FPAdd                     // SSE FP adder
 	FPMul                     // SSE FP multiplier
+	Decoder                   // instruction-fetch bytes before decode
+	Gshare                    // branch-predictor pattern-history table
+	LSQ                       // store-buffer (captured store data/address)
+	ROBMeta                   // ROB next-PC metadata
+	L2Tags                    // L2 tag array
 
 	NumStructures
 )
 
 var structNames = [NumStructures]string{
 	"IRF", "L1D", "FPRF", "IntAdder", "IntMul", "SSE-FPAdd", "SSE-FPMul",
+	"Decoder", "Gshare", "LSQ", "ROBMeta", "L2Tags",
 }
 
 func (s Structure) String() string {
@@ -43,34 +54,60 @@ func (s Structure) String() string {
 	return fmt.Sprintf("struct?%d", int(s))
 }
 
-// Parse maps a structure name to its Structure. It accepts the
-// canonical String() form case-insensitively plus the short aliases the
-// command-line tools use (irf, l1d, fprf, intadd, intadder, adder,
-// intmul, multiplier, fpadd, fpmul).
-func Parse(name string) (Structure, error) {
-	switch strings.ToLower(name) {
-	case "irf":
-		return IRF, nil
-	case "l1d":
-		return L1D, nil
-	case "fprf":
-		return FPRF, nil
-	case "intadd", "intadder", "adder":
-		return IntAdder, nil
-	case "intmul", "multiplier":
-		return IntMul, nil
-	case "fpadd", "sse-fpadd":
-		return FPAdd, nil
-	case "fpmul", "sse-fpmul":
-		return FPMul, nil
+// structAliases is the single parsing table behind Parse: every name,
+// canonical or alias, is stored lowercased. The canonical String()
+// forms are added programmatically so a newly appended Structure parses
+// without touching this table.
+var structAliases = map[string]Structure{
+	"intadd":      IntAdder,
+	"adder":       IntAdder,
+	"intmul":      IntMul,
+	"multiplier":  IntMul,
+	"fpadd":       FPAdd,
+	"fpmul":       FPMul,
+	"dec":         Decoder,
+	"decode":      Decoder,
+	"bpred":       Gshare,
+	"bp":          Gshare,
+	"sq":          LSQ,
+	"storebuffer": LSQ,
+	"rob":         ROBMeta,
+	"l2":          L2Tags,
+	"l2tag":       L2Tags,
+}
+
+func init() {
+	for s := Structure(0); s < NumStructures; s++ {
+		structAliases[strings.ToLower(structNames[s])] = s
 	}
-	return 0, fmt.Errorf("unknown structure %q (irf, l1d, fprf, intadd, intmul, fpadd, fpmul)", name)
+}
+
+// ValidNames returns the canonical structure names, comma-separated —
+// shared by every parser error message that lists them.
+func ValidNames() string {
+	names := make([]string, NumStructures)
+	for s := Structure(0); s < NumStructures; s++ {
+		names[s] = structNames[s]
+	}
+	return strings.Join(names, ", ")
+}
+
+// Parse maps a structure name to its Structure, case-insensitively. It
+// accepts the canonical String() form plus the short aliases the
+// command-line tools use (irf, l1d, fprf, intadd, adder, intmul,
+// multiplier, fpadd, fpmul, dec, bpred, sq, rob, l2, ...).
+func Parse(name string) (Structure, error) {
+	if s, ok := structAliases[strings.ToLower(strings.TrimSpace(name))]; ok {
+		return s, nil
+	}
+	return 0, fmt.Errorf("unknown structure %q (valid: %s)", name, ValidNames())
 }
 
 // IsFunctionalUnit reports whether the structure is a functional unit
 // (graded with IBR and permanent gate faults) rather than a bit array
-// (graded with ACE and transient faults).
-func (s Structure) IsFunctionalUnit() bool { return s >= IntAdder }
+// or microarchitectural site (graded with ACE/SFI and transient
+// faults).
+func (s Structure) IsFunctionalUnit() bool { return s >= IntAdder && s <= FPMul }
 
 // Snapshot is the per-run coverage summary produced by the
 // microarchitectural simulator. It is the quantitative feedback the

@@ -1,6 +1,7 @@
 package coverage
 
 import (
+	"strings"
 	"testing"
 
 	"harpocrates/internal/isa"
@@ -91,9 +92,50 @@ func TestStructureProperties(t *testing.T) {
 	if IRF.IsFunctionalUnit() || L1D.IsFunctionalUnit() {
 		t.Fatal("bit arrays flagged as functional units")
 	}
-	for st := IntAdder; st < NumStructures; st++ {
+	for st := IntAdder; st <= FPMul; st++ {
 		if !st.IsFunctionalUnit() {
 			t.Fatalf("%v not flagged as functional unit", st)
+		}
+	}
+	for st := Decoder; st < NumStructures; st++ {
+		if st.IsFunctionalUnit() {
+			t.Fatalf("microarchitectural site %v flagged as functional unit", st)
+		}
+	}
+}
+
+// TestParseStructures: Parse must accept every canonical String() form
+// case-insensitively, the documented command-line aliases, and reject
+// unknown names with an error that lists the valid ones.
+func TestParseStructures(t *testing.T) {
+	for s := Structure(0); s < NumStructures; s++ {
+		for _, name := range []string{s.String(), strings.ToUpper(s.String()), strings.ToLower(s.String())} {
+			got, err := Parse(name)
+			if err != nil || got != s {
+				t.Fatalf("Parse(%q) = %v, %v; want %v", name, got, err, s)
+			}
+		}
+	}
+	aliases := map[string]Structure{
+		"intadd": IntAdder, "adder": IntAdder, "intmul": IntMul, "multiplier": IntMul,
+		"fpadd": FPAdd, "fpmul": FPMul,
+		"dec": Decoder, "decode": Decoder, "bpred": Gshare, "bp": Gshare,
+		"sq": LSQ, "storebuffer": LSQ, "rob": ROBMeta, "l2": L2Tags, "l2tag": L2Tags,
+		"DEC": Decoder, "Bpred": Gshare, " rob ": ROBMeta,
+	}
+	for name, want := range aliases {
+		got, err := Parse(name)
+		if err != nil || got != want {
+			t.Fatalf("Parse(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	_, err := Parse("tlb")
+	if err == nil {
+		t.Fatal("unknown structure accepted")
+	}
+	for s := Structure(0); s < NumStructures; s++ {
+		if !strings.Contains(err.Error(), s.String()) {
+			t.Fatalf("error %q does not list valid name %q", err, s)
 		}
 	}
 }

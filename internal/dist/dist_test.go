@@ -419,3 +419,35 @@ func TestDistributedDeltaTermination(t *testing.T) {
 	}
 	c.NoDeltaTermination = false
 }
+
+// TestDistributedTrapAndBurstBitIdentical: the trap outcome channel and
+// the multi-bit-upset parameter must survive the wire protocol — a
+// distributed decoder campaign (trap-heavy) and a distributed burst
+// campaign both merge to statistics bit-identical to the local run.
+func TestDistributedTrapAndBurstBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		tweak func(c *inject.Campaign)
+	}{
+		{"decoder-trap", func(c *inject.Campaign) { c.Target = coverage.Decoder }},
+		{"irf-burst", func(c *inject.Campaign) { c.BurstLen = 3 }},
+	} {
+		c, p := testCampaign(t, 32)
+		tc.tweak(c)
+		local, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.name == "decoder-trap" && local.Trap == 0 {
+			t.Fatalf("%s: no traps locally; the wire assertion would be vacuous: %+v", tc.name, local)
+		}
+		pool := New(startWorkers(t, 2), fastOptions())
+		st, err := pool.RunCampaign(c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Equal(local) {
+			t.Fatalf("%s: distributed %+v != local %+v", tc.name, st, local)
+		}
+	}
+}

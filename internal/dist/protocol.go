@@ -44,6 +44,9 @@ type InjectRequest struct {
 
 	Seed            uint64 `json:"seed"`
 	IntermittentLen uint64 `json:"intermittent_len,omitempty"`
+	// BurstLen is the multi-bit-upset width for bit-array targets
+	// (inject.Campaign.BurstLen; 0/1 = single-bit).
+	BurstLen int `json:"burst_len,omitempty"`
 
 	Cfg                uarch.Config `json:"cfg"`
 	CheckpointInterval uint64       `json:"checkpoint_interval,omitempty"`
@@ -141,6 +144,7 @@ func campaignRequest(c *inject.Campaign, progBytes []byte) InjectRequest {
 		N:                  c.N,
 		Seed:               c.Seed,
 		IntermittentLen:    c.IntermittentLen,
+		BurstLen:           c.BurstLen,
 		Cfg:                c.Cfg,
 		CheckpointInterval: c.CheckpointInterval,
 		NoFastForward:      c.NoFastForward,

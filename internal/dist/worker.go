@@ -144,6 +144,7 @@ func (s *Server) campaignFor(req *InjectRequest) (*inject.Campaign, error) {
 		Type:               ftype,
 		N:                  req.N,
 		IntermittentLen:    req.IntermittentLen,
+		BurstLen:           req.BurstLen,
 		Seed:               req.Seed,
 		Cfg:                req.Cfg,
 		CheckpointInterval: req.CheckpointInterval,

@@ -12,7 +12,11 @@
 //     execution.
 //
 // A fault is *detected* when the faulty run deviates from the fault-free
-// run: wrong architectural output (SDC), a crash, or a hang.
+// run: wrong architectural output (SDC), an architectural exception
+// (Trap — div-zero, invalid opcode, access/alignment faults), a crash
+// without trap semantics (wild branch off the program image), or a
+// hang. Trap is the cheapest channel to observe on real hardware: the
+// exception machinery reports it with no software signature comparison.
 package inject
 
 import (
@@ -20,6 +24,7 @@ import (
 	"runtime"
 	"slices"
 	"sort"
+	"strings"
 	"sync"
 
 	"harpocrates/internal/ace"
@@ -42,31 +47,34 @@ const (
 	Permanent
 )
 
+// faultTypeNames is the single table behind String and ParseFaultType,
+// indexed by FaultType — the same scheme coverage.Parse uses, so names
+// cannot drift between the two directions.
+var faultTypeNames = [...]string{
+	Transient:    "transient",
+	Intermittent: "intermittent",
+	Permanent:    "permanent",
+}
+
 func (t FaultType) String() string {
-	switch t {
-	case Transient:
-		return "transient"
-	case Intermittent:
-		return "intermittent"
-	case Permanent:
-		return "permanent"
+	if int(t) < len(faultTypeNames) {
+		return faultTypeNames[t]
 	}
 	return fmt.Sprintf("fault?%d", int(t))
 }
 
-// ParseFaultType maps a fault-type name (the String() form) back to its
-// FaultType. It is the inverse the command-line tools and the wire
-// protocol use.
+// ParseFaultType maps a fault-type name (the String() form,
+// case-insensitively) back to its FaultType. It is the inverse the
+// command-line tools and the wire protocol use.
 func ParseFaultType(name string) (FaultType, error) {
-	switch name {
-	case "transient":
-		return Transient, nil
-	case "intermittent":
-		return Intermittent, nil
-	case "permanent":
-		return Permanent, nil
+	t := strings.ToLower(strings.TrimSpace(name))
+	for ft, n := range faultTypeNames {
+		if t == n {
+			return FaultType(ft), nil
+		}
 	}
-	return 0, fmt.Errorf("inject: unknown fault type %q (transient, intermittent, permanent)", name)
+	return 0, fmt.Errorf("inject: unknown fault type %q (valid: %s)",
+		name, strings.Join(faultTypeNames[:], ", "))
 }
 
 // DefaultFaultType returns the paper's fault model for each structure:
@@ -81,12 +89,21 @@ func DefaultFaultType(st coverage.Structure) FaultType {
 // Outcome classifies one faulty run against the golden run (§II-E).
 type Outcome int
 
-// Outcomes.
+// Outcomes. The numeric values travel through the dist wire protocol
+// (Stats.Outcomes), so existing values are frozen and new outcomes are
+// only ever appended — which is why Trap sits after Hang despite being
+// logically adjacent to Crash.
 const (
 	Masked Outcome = iota
 	SDC
 	Crash
 	Hang
+	// Trap is detection by architectural exception: the fault turned a
+	// valid instruction into a #DE/#UD/#GP/#PF/#SS/#AC trap. On real
+	// hardware this is observable through the exception machinery alone,
+	// making it a cheaper detection channel than signature comparison
+	// (SDC) or a watchdog (Hang).
+	Trap
 )
 
 func (o Outcome) String() string {
@@ -99,6 +116,8 @@ func (o Outcome) String() string {
 		return "crash"
 	case Hang:
 		return "hang"
+	case Trap:
+		return "trap"
 	}
 	return fmt.Sprintf("outcome?%d", int(o))
 }
@@ -116,6 +135,14 @@ type Campaign struct {
 	N int
 	// IntermittentLen is the fault window length in cycles.
 	IntermittentLen uint64
+
+	// BurstLen is the multi-bit-upset width for the bit-array targets
+	// (IRF, FPRF, L1D): each injection flips (or forces) BurstLen
+	// adjacent bits starting at the drawn position, wrapping within the
+	// entry. 0 or 1 means the classic single-bit model. Burst width is a
+	// campaign parameter, not an RNG draw, so BurstLen=1 campaigns are
+	// bit-identical to pre-burst ones for a fixed seed.
+	BurstLen int
 
 	Seed uint64
 	Cfg  uarch.Config
@@ -162,6 +189,7 @@ type Stats struct {
 	SDC     int
 	Crash   int
 	Hang    int
+	Trap    int // detected by architectural exception
 	Skipped int // golden run failed; campaign aborted
 
 	GoldenCycles uint64
@@ -175,19 +203,21 @@ type Stats struct {
 	Outcomes []Outcome
 }
 
-// Detected returns the number of detected faults (SDC + crash + hang).
-func (s *Stats) Detected() int { return s.SDC + s.Crash + s.Hang }
+// Detected returns the number of detected faults (SDC + crash + hang +
+// trap).
+func (s *Stats) Detected() int { return s.SDC + s.Crash + s.Hang + s.Trap }
 
 // Equal reports whether two campaigns produced identical statistics,
 // including the per-injection outcome vector.
 func (s *Stats) Equal(o *Stats) bool {
 	return s.N == o.N && s.Masked == o.Masked && s.SDC == o.SDC &&
-		s.Crash == o.Crash && s.Hang == o.Hang && s.Skipped == o.Skipped &&
+		s.Crash == o.Crash && s.Hang == o.Hang && s.Trap == o.Trap &&
+		s.Skipped == o.Skipped &&
 		s.GoldenCycles == o.GoldenCycles && slices.Equal(s.Outcomes, o.Outcomes)
 }
 
 // DetectedSet returns the sorted injection indices whose faults were
-// detected (outcome SDC, crash or hang).
+// detected (outcome SDC, crash, hang or trap).
 func (s *Stats) DetectedSet() []int {
 	var out []int
 	for i, o := range s.Outcomes {
@@ -224,6 +254,7 @@ func MergeStats(parts []*Stats) (*Stats, error) {
 		out.SDC += p.SDC
 		out.Crash += p.Crash
 		out.Hang += p.Hang
+		out.Trap += p.Trap
 		out.Skipped += p.Skipped
 		out.Outcomes = append(out.Outcomes, p.Outcomes...)
 	}
@@ -243,8 +274,8 @@ func (s *Stats) CI() (lo, hi float64) { return stats.Wilson(s.Detected(), s.N) }
 
 func (s *Stats) String() string {
 	lo, hi := s.CI()
-	return fmt.Sprintf("detection %.1f%% [%.1f, %.1f] (N=%d: %d sdc, %d crash, %d hang, %d masked)",
-		100*s.Detection(), 100*lo, 100*hi, s.N, s.SDC, s.Crash, s.Hang, s.Masked)
+	return fmt.Sprintf("detection %.1f%% [%.1f, %.1f] (N=%d: %d sdc, %d crash, %d hang, %d trap, %d masked)",
+		100*s.Detection(), 100*lo, 100*hi, s.N, s.SDC, s.Crash, s.Hang, s.Trap, s.Masked)
 }
 
 // FUHooksFor builds the functional-unit hook set routing the target
@@ -362,8 +393,26 @@ func (c *Campaign) deriveSpec(i int, goldenCycles uint64, nl *gates.Netlist) fau
 		case coverage.FPRF:
 			sp.reg = rng.IntN(c.Cfg.FPPRF)
 			sp.bit = rng.IntN(128)
-		default:
+		case coverage.L1D:
 			sp.bit = rng.IntN(c.Cfg.L1D.SizeBytes * 8)
+		case coverage.Decoder:
+			// Reduced modulo the fetched instruction's encoded length at
+			// arm-consumption time; drawing a generous range keeps every
+			// byte of the longest encoding reachable.
+			sp.bit = rng.IntN(1024)
+		case coverage.Gshare:
+			sp.bit = rng.IntN(2 << uint(c.Cfg.GshareBits))
+		case coverage.LSQ:
+			sp.reg = rng.IntN(max(c.Cfg.SQSize, 1))
+			sp.bit = rng.IntN(256)
+		case coverage.ROBMeta:
+			sp.reg = rng.IntN(max(c.Cfg.ROBSize, 1))
+			sp.bit = rng.IntN(31)
+		case coverage.L2Tags:
+			sp.reg = rng.IntN(max(c.Cfg.L2.SizeBytes/max(c.Cfg.L2.LineBytes, 1), 1))
+			sp.bit = rng.IntN(64)
+		default:
+			panic(fmt.Sprintf("inject: no fault model for structure %v", c.Target))
 		}
 		return sp
 	}
@@ -392,26 +441,61 @@ func (c *Campaign) cfgFor(sp faultSpec, golden *uarch.Result) uarch.Config {
 		// old per-cycle hook forced naive cycle-by-cycle simulation of the
 		// entire faulty run.
 		reg, bit, val := sp.reg, sp.bit, sp.val
+		burst := max(c.BurstLen, 1)
 		var fire func(core *uarch.Core, cyc uint64)
 		if c.Type == Transient {
 			switch c.Target {
 			case coverage.IRF:
-				fire = func(core *uarch.Core, _ uint64) { core.FlipIntPRFBit(reg, bit) }
+				fire = func(core *uarch.Core, _ uint64) {
+					for j := 0; j < burst; j++ {
+						core.FlipIntPRFBit(reg, (bit+j)%64)
+					}
+				}
 			case coverage.FPRF:
-				fire = func(core *uarch.Core, _ uint64) { core.FlipFPPRFBit(reg, bit) }
-			default:
-				fire = func(core *uarch.Core, _ uint64) { core.FlipCacheBit(bit) }
+				fire = func(core *uarch.Core, _ uint64) {
+					for j := 0; j < burst; j++ {
+						core.FlipFPPRFBit(reg, (bit+j)%128)
+					}
+				}
+			case coverage.L1D:
+				fire = func(core *uarch.Core, _ uint64) {
+					for j := 0; j < burst; j++ {
+						core.FlipCacheBit((bit + j) % core.NumCacheBits())
+					}
+				}
+			case coverage.Decoder:
+				fire = func(core *uarch.Core, _ uint64) { core.ArmDecoderFault(bit) }
+			case coverage.Gshare:
+				fire = func(core *uarch.Core, _ uint64) { core.FlipGshareBit(bit) }
+			case coverage.LSQ:
+				fire = func(core *uarch.Core, _ uint64) { core.FlipStoreBufferBit(reg, bit) }
+			case coverage.ROBMeta:
+				fire = func(core *uarch.Core, _ uint64) { core.FlipROBNextBit(reg, bit) }
+			case coverage.L2Tags:
+				fire = func(core *uarch.Core, _ uint64) { core.FlipL2TagBit(reg, bit) }
 			}
 			cfg.Events = []uarch.CycleEvent{{Start: sp.start, Fire: fire}}
 			return cfg
 		}
-		switch c.Target { // intermittent stuck-at window
+		switch c.Target { // intermittent stuck-at window (bit arrays only)
 		case coverage.IRF:
-			fire = func(core *uarch.Core, _ uint64) { core.ForceIntPRFBit(reg, bit, val) }
+			fire = func(core *uarch.Core, _ uint64) {
+				for j := 0; j < burst; j++ {
+					core.ForceIntPRFBit(reg, (bit+j)%64, val)
+				}
+			}
 		case coverage.FPRF:
-			fire = func(core *uarch.Core, _ uint64) { core.ForceFPPRFBit(reg, bit, val) }
+			fire = func(core *uarch.Core, _ uint64) {
+				for j := 0; j < burst; j++ {
+					core.ForceFPPRFBit(reg, (bit+j)%128, val)
+				}
+			}
 		default:
-			fire = func(core *uarch.Core, _ uint64) { core.ForceCacheBit(bit, val) }
+			fire = func(core *uarch.Core, _ uint64) {
+				for j := 0; j < burst; j++ {
+					core.ForceCacheBit((bit+j)%core.NumCacheBits(), val)
+				}
+			}
 		}
 		cfg.Events = []uarch.CycleEvent{{Start: sp.start, End: sp.end, Fire: fire}}
 		return cfg
@@ -470,12 +554,15 @@ func (c *Campaign) goldenInstrumented() (*uarch.Result, []*uarch.Checkpoint, *ua
 		return uarch.Run(c.Prog, c.Init(), cfg), nil, nil
 	}
 	if c.Type == Transient && !c.Target.IsFunctionalUnit() {
+		// Only the ACE-tracked bit arrays have a consumed-interval
+		// pre-classifier; the microarchitectural sites (decoder, gshare,
+		// LSQ, ROB metadata, L2 tags) are always simulated.
 		switch c.Target {
 		case coverage.IRF:
 			cfg.RecordIRFIntervals = true
 		case coverage.FPRF:
 			cfg.RecordFPRFIntervals = true
-		default:
+		case coverage.L1D:
 			cfg.RecordL1DIntervals = true
 		}
 	}
@@ -537,16 +624,24 @@ func (c *Campaign) preMasked(sp faultSpec, rec *ace.IntervalRecorder, goldenCycl
 	if sp.start >= goldenCycles {
 		return true
 	}
-	var cell int
-	switch c.Target {
-	case coverage.IRF:
-		cell = sp.reg*64 + sp.bit
-	case coverage.FPRF:
-		cell = (2*sp.reg+sp.bit/64)*64 + sp.bit%64
-	default:
-		cell = sp.bit / 8 // the L1D log is per byte
+	// Every bit of the burst must be unconsumed; one observed bit makes
+	// the whole injection simulate.
+	for j := 0; j < max(c.BurstLen, 1); j++ {
+		var cell int
+		switch c.Target {
+		case coverage.IRF:
+			cell = sp.reg*64 + (sp.bit+j)%64
+		case coverage.FPRF:
+			b := (sp.bit + j) % 128
+			cell = (2*sp.reg+b/64)*64 + b%64
+		default:
+			cell = ((sp.bit + j) % (c.Cfg.L1D.SizeBytes * 8)) / 8 // the L1D log is per byte
+		}
+		if rec.Consumed(cell, sp.start) {
+			return false
+		}
 	}
-	return !rec.Consumed(cell, sp.start)
+	return true
 }
 
 // nearestCheckpoint returns the latest checkpoint at or before cycle
@@ -617,8 +712,18 @@ func (c *Campaign) runSpec(sp faultSpec, golden *uarch.Result, cks []*uarch.Chec
 // reconverged run is checked first: it stopped mid-program with its
 // machine state equal to the golden run's at the same cycle, so it would
 // have finished exactly as the golden run did — Masked by construction
-// (requires a clean golden run, which RunRange guarantees before arming
-// delta comparison).
+// (requires a clean golden run, which RunRange refuses to proceed
+// without). Precedence is deliberate and fixed:
+//
+//   - TimedOut before everything observable: a run that hit the
+//     watchdog is a Hang even when its (partial) signature already
+//     diverged — the divergent signature was never delivered as an
+//     output, the hang is what the wrapper observes.
+//   - A crash with trap semantics (Result.Trap != ExcNone) is Trap:
+//     the exception is architecturally reported, a cheaper detection
+//     channel than any comparison. Crashes without trap semantics
+//     (wild branch off the program image) remain Crash.
+//   - Only a run that completed is graded by signature (SDC/Masked).
 func classify(res, golden *uarch.Result) Outcome {
 	switch {
 	case res.Reconverged:
@@ -626,12 +731,23 @@ func classify(res, golden *uarch.Result) Outcome {
 	case res.TimedOut:
 		return Hang
 	case res.Crash != nil:
+		if res.Trap != isa.ExcNone {
+			return Trap
+		}
 		return Crash
 	case res.Signature != golden.Signature:
 		return SDC
 	default:
 		return Masked
 	}
+}
+
+// goldenErr describes why a golden run is not clean.
+func goldenErr(golden *uarch.Result) error {
+	if golden.Crash != nil {
+		return golden.Crash
+	}
+	return fmt.Errorf("watchdog fired at cycle %d", golden.Cycles)
 }
 
 // Run executes the campaign and returns aggregate statistics.
@@ -661,6 +777,18 @@ func (c *Campaign) RunRange(lo, hi int) (*Stats, error) {
 	if lo < 0 || hi > c.N || lo >= hi {
 		return nil, fmt.Errorf("inject: bad spec range [%d, %d) of %d", lo, hi, c.N)
 	}
+	if c.Target < 0 || c.Target >= coverage.NumStructures {
+		return nil, fmt.Errorf("inject: unknown target structure %d (valid: %s)",
+			int(c.Target), coverage.ValidNames())
+	}
+	if c.Target > coverage.FPMul && c.Type != Transient {
+		return nil, fmt.Errorf("inject: target %v supports only transient faults (got %v)",
+			c.Target, c.Type)
+	}
+	if c.Target == coverage.L2Tags && c.Cfg.L2.SizeBytes == 0 {
+		return nil, fmt.Errorf("inject: target %v requires an enabled L2 (Cfg.L2.SizeBytes > 0)",
+			c.Target)
+	}
 	n := hi - lo
 	stopRun := c.Obs.Phase("inject.run")
 	defer stopRun()
@@ -687,18 +815,22 @@ func (c *Campaign) RunRange(lo, hi int) (*Stats, error) {
 		}
 		uarch.ReleaseDeltaTrajectory(traj)
 	}()
-	if golden.TimedOut {
-		span.End(obs.Fields{"error": "golden run timed out"})
-		return nil, fmt.Errorf("inject: golden run timed out")
-	}
 	if !golden.Clean() {
-		// Reconverged→Masked is only sound against a golden run that ends
-		// well: a faulty run matching a crashing/trapping golden trajectory
-		// would crash too, but classify() maps Reconverged to Masked, so
-		// never arm comparison here. Release now — the deferred release sees
-		// the nil and no-ops.
-		uarch.ReleaseDeltaTrajectory(traj)
-		traj = nil
+		// A fault-free run that crashes or hangs has no meaningful output
+		// signature: grading faulty runs against it would silently call
+		// every fault that reproduces the golden crash "Masked" and every
+		// fault that dodges it "SDC" — against a garbage reference.
+		// Refuse the campaign instead of producing wrong statistics (the
+		// deferred release above returns the instrumentation to its
+		// pools).
+		why := "crashed"
+		if golden.TimedOut {
+			why = "timed out"
+		}
+		err := fmt.Errorf("inject: golden (fault-free) run %s: %w; refusing to classify faults against it",
+			why, goldenErr(golden))
+		span.End(obs.Fields{"error": err.Error()})
+		return nil, err
 	}
 	st := &Stats{N: n, GoldenCycles: golden.Cycles}
 	if c.Obs.Enabled() {
@@ -817,6 +949,8 @@ func (c *Campaign) RunRange(lo, hi int) (*Stats, error) {
 			st.Crash++
 		case Hang:
 			st.Hang++
+		case Trap:
+			st.Trap++
 		}
 	}
 	if c.Obs.Enabled() {
@@ -824,11 +958,12 @@ func (c *Campaign) RunRange(lo, hi int) (*Stats, error) {
 		c.Obs.Counter("inject.outcome.sdc").Add(int64(st.SDC))
 		c.Obs.Counter("inject.outcome.crash").Add(int64(st.Crash))
 		c.Obs.Counter("inject.outcome.hang").Add(int64(st.Hang))
+		c.Obs.Counter("inject.outcome.trap").Add(int64(st.Trap))
 		c.Obs.Counter("inject.campaigns").Inc()
 	}
 	span.End(obs.Fields{
 		"masked": st.Masked, "sdc": st.SDC, "crash": st.Crash, "hang": st.Hang,
-		"detection": st.Detection(), "golden_cycles": st.GoldenCycles,
+		"trap": st.Trap, "detection": st.Detection(), "golden_cycles": st.GoldenCycles,
 	})
 	return st, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math/rand/v2"
+	"strings"
 	"testing"
 
 	"harpocrates/internal/coverage"
@@ -159,9 +160,14 @@ func TestDefaultFaultType(t *testing.T) {
 	if DefaultFaultType(coverage.IRF) != Transient || DefaultFaultType(coverage.L1D) != Transient {
 		t.Fatal("bit arrays must default to transient faults")
 	}
-	for st := coverage.IntAdder; st < coverage.NumStructures; st++ {
+	for st := coverage.IntAdder; st <= coverage.FPMul; st++ {
 		if DefaultFaultType(st) != Permanent {
 			t.Fatal("functional units must default to permanent faults")
+		}
+	}
+	for st := coverage.Decoder; st < coverage.NumStructures; st++ {
+		if DefaultFaultType(st) != Transient {
+			t.Fatalf("microarchitectural site %v must default to transient faults", st)
 		}
 	}
 }
@@ -309,13 +315,20 @@ func TestMergeStatsRejectsDivergence(t *testing.T) {
 func TestParseFaultType(t *testing.T) {
 	for name, want := range map[string]FaultType{
 		"transient": Transient, "intermittent": Intermittent, "permanent": Permanent,
+		"Transient": Transient, "PERMANENT": Permanent, " Intermittent ": Intermittent,
 	} {
 		got, err := ParseFaultType(name)
 		if err != nil || got != want {
 			t.Fatalf("ParseFaultType(%q) = %v, %v", name, got, err)
 		}
 	}
-	if _, err := ParseFaultType("cosmic"); err == nil {
+	_, err := ParseFaultType("cosmic")
+	if err == nil {
 		t.Fatal("bad fault type accepted")
+	}
+	for _, ft := range []FaultType{Transient, Intermittent, Permanent} {
+		if !strings.Contains(err.Error(), ft.String()) {
+			t.Fatalf("error %q does not list valid name %q", err, ft)
+		}
 	}
 }

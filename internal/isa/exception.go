@@ -1,0 +1,84 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Exception identifies an HX86 architectural exception: the trap a real
+// x86 core would raise for the same fault. Exceptions are the model's
+// "detected by trap" channel — a fault that turns a valid instruction
+// into one of these is observable on real hardware through the
+// machine-check / #DE / #UD / #GP machinery without any software
+// signature comparison, so fault-injection campaigns grade it as a
+// distinct (and cheaper to observe) outcome class than a silent
+// corruption or a wild-branch crash.
+type Exception uint8
+
+// Architectural exception codes. The zero value means "no exception":
+// the run either completed cleanly or failed in a way with no
+// architectural trap semantics (wild branch out of the program image,
+// watchdog timeout).
+const (
+	ExcNone              Exception = iota
+	ExcDivide                      // #DE: divide error (divide by zero / quotient overflow)
+	ExcInvalidOpcode               // #UD: invalid or undecodable opcode
+	ExcGeneralProtection           // #GP: privileged or ill-formed operation
+	ExcPageFault                   // #PF: access outside the mapped data image
+	ExcStackFault                  // #SS: push/pop outside the stack segment
+	ExcAlignment                   // #AC: misaligned access with alignment checking
+	numExceptions
+)
+
+// excInfo is the single source of truth for exception naming and x86
+// vector numbers; String, Vector and ParseException all derive from it.
+var excInfo = [numExceptions]struct {
+	name   string
+	vector uint8
+}{
+	ExcNone:              {"none", 0xFF},
+	ExcDivide:            {"#DE", 0},
+	ExcInvalidOpcode:     {"#UD", 6},
+	ExcGeneralProtection: {"#GP", 13},
+	ExcPageFault:         {"#PF", 14},
+	ExcStackFault:        {"#SS", 12},
+	ExcAlignment:         {"#AC", 17},
+}
+
+// String returns the conventional x86 mnemonic ("#DE", "#UD", ...), or
+// "none" for ExcNone.
+func (e Exception) String() string {
+	if e < numExceptions {
+		return excInfo[e].name
+	}
+	return fmt.Sprintf("exc?%d", uint8(e))
+}
+
+// Vector returns the x86 interrupt vector number the exception would be
+// delivered on. ExcNone (and out-of-range values) report 0xFF.
+func (e Exception) Vector() uint8 {
+	if e < numExceptions {
+		return excInfo[e].vector
+	}
+	return 0xFF
+}
+
+// ParseException resolves an exception name, case-insensitively and
+// with or without the leading '#' ("de", "#UD", "pf"...).
+func ParseException(s string) (Exception, error) {
+	t := strings.TrimPrefix(strings.ToLower(strings.TrimSpace(s)), "#")
+	for e := ExcNone; e < numExceptions; e++ {
+		if t == strings.TrimPrefix(strings.ToLower(excInfo[e].name), "#") {
+			return e, nil
+		}
+	}
+	return ExcNone, fmt.Errorf("isa: unknown exception %q (valid: %s)", s, exceptionNames())
+}
+
+func exceptionNames() string {
+	names := make([]string, numExceptions)
+	for e := ExcNone; e < numExceptions; e++ {
+		names[e] = excInfo[e].name
+	}
+	return strings.Join(names, ", ")
+}

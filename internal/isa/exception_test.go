@@ -1,0 +1,62 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExceptionTable pins the x86 vector numbers and mnemonics: they are
+// architectural constants, and the trap-outcome reports and wire
+// protocol carry them by value.
+func TestExceptionTable(t *testing.T) {
+	cases := []struct {
+		exc    Exception
+		name   string
+		vector uint8
+	}{
+		{ExcNone, "none", 0xFF},
+		{ExcDivide, "#DE", 0},
+		{ExcInvalidOpcode, "#UD", 6},
+		{ExcStackFault, "#SS", 12},
+		{ExcGeneralProtection, "#GP", 13},
+		{ExcPageFault, "#PF", 14},
+		{ExcAlignment, "#AC", 17},
+	}
+	for _, tc := range cases {
+		if tc.exc.String() != tc.name {
+			t.Fatalf("%d.String() = %q; want %q", tc.exc, tc.exc.String(), tc.name)
+		}
+		if tc.exc.Vector() != tc.vector {
+			t.Fatalf("%v.Vector() = %d; want %d", tc.exc, tc.exc.Vector(), tc.vector)
+		}
+	}
+	if Exception(200).Vector() != 0xFF {
+		t.Fatal("out-of-range exception must report vector 0xFF")
+	}
+}
+
+// TestParseException: round-trips every String() form, accepts names
+// case-insensitively with or without the '#', and lists the valid names
+// when rejecting.
+func TestParseException(t *testing.T) {
+	for e := ExcNone; e < numExceptions; e++ {
+		for _, name := range []string{
+			e.String(),
+			strings.ToLower(e.String()),
+			strings.TrimPrefix(e.String(), "#"),
+			" " + strings.ToUpper(e.String()) + " ",
+		} {
+			got, err := ParseException(name)
+			if err != nil || got != e {
+				t.Fatalf("ParseException(%q) = %v, %v; want %v", name, got, err, e)
+			}
+		}
+	}
+	_, err := ParseException("#XF")
+	if err == nil {
+		t.Fatal("unknown exception accepted")
+	}
+	if !strings.Contains(err.Error(), "#DE") || !strings.Contains(err.Error(), "#AC") {
+		t.Fatalf("error %q does not list the valid names", err)
+	}
+}

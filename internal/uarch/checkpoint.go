@@ -177,6 +177,17 @@ func (c *Core) copyFrom(src *Core) {
 	c.fq = append(c.fq[:0], src.fq...)
 	c.fetchPC = src.fetchPC
 	c.fetchStallUntil = src.fetchStallUntil
+	c.decArmed = src.decArmed
+	c.decBit = src.decBit
+	c.decInst = src.decInst
+	// A mutated µop's inst points at its core's decInst; rebind it to the
+	// copy's. (Checkpoints are only taken on golden runs, which never
+	// carry mutated µops, but pooled-core copies are cheap to keep exact.)
+	for i := range c.rob {
+		if c.rob[i].mutated {
+			c.rob[i].inst = &c.decInst
+		}
+	}
 
 	c.cycle = src.cycle
 	// Run-loop scratch: wbReadyAt is only a lower bound on the next

@@ -15,6 +15,12 @@ type Result struct {
 
 	// Crash is non-nil if the program crashed architecturally.
 	Crash *arch.CrashError
+	// Trap is the architectural exception the crash corresponds to
+	// (isa.ExcNone when the run did not crash, or crashed without trap
+	// semantics — wild branch, watchdog). A non-ExcNone trap is the
+	// "detected by trap" channel: real hardware reports it through the
+	// exception machinery with no software signature comparison.
+	Trap isa.Exception
 	// TimedOut reports that the watchdog fired (hang).
 	TimedOut bool
 
@@ -82,6 +88,13 @@ type fqEntry struct {
 	pc       int
 	predNext int
 	poison   bool
+	// mutated marks an instruction whose fetched bytes were corrupted by
+	// an armed decoder fault but still decoded: rename substitutes the
+	// core's decInst for the program image's instruction.
+	mutated bool
+	// bad marks fetched bytes that no longer decode at all: the entry
+	// flows through the pipeline and raises #UD at execute.
+	bad bool
 }
 
 // Core is the out-of-order core simulator.
@@ -126,6 +139,14 @@ type Core struct {
 	fq              []fqEntry
 	fetchPC         int
 	fetchStallUntil uint64
+
+	// Decoder fault: while decArmed, the next fetched instruction's
+	// encoded bytes get bit decBit flipped before decoding (one-shot;
+	// consumed by the first fetch, wrong-path or not). decInst holds the
+	// corrupted-but-decodable instruction for mutated fq/ROB entries.
+	decArmed bool
+	decBit   int
+	decInst  isa.Inst
 
 	cycle   uint64
 	seq     uint64
@@ -254,6 +275,9 @@ func (c *Core) init(prog []isa.Inst, init *arch.State, cfg Config) {
 	}
 	c.fetchPC = 0
 	c.fetchStallUntil = 0
+	c.decArmed = false
+	c.decBit = 0
+	c.decInst = isa.Inst{}
 	c.cycle, c.seq, c.instret = 0, 0, 0
 	c.nLoads, c.nStores = 0, 0
 	c.memPortsUsed = 0
@@ -411,6 +435,95 @@ func (c *Core) ForceCacheBit(bit int, val bool) {
 	}
 }
 
+// ArmDecoderFault arms a one-shot fault on the instruction-fetch path:
+// the next instruction fetched (wrong-path or not) has bit `bit` of its
+// encoded byte representation flipped before decoding. Depending on
+// where the flip lands the instruction may decode to a different
+// operation or operand (SDC/crash/trap territory), fail to decode at
+// all (#UD trap), or decode identically in a don't-care bit (masked).
+// The bit index is reduced modulo the actual encoded length at fetch.
+func (c *Core) ArmDecoderFault(bit int) {
+	c.decArmed = true
+	c.decBit = bit
+}
+
+// NumGshareStateBits returns the number of state bits in the branch
+// predictor's pattern-history table (2 bits per counter).
+func (c *Core) NumGshareStateBits() int { return 2 * len(c.bp.table) }
+
+// FlipGshareBit flips one bit of a 2-bit gshare counter. The predictor
+// is purely speculative state, so the flip can only perturb timing —
+// architectural results must stay byte-identical (asserted by tests).
+func (c *Core) FlipGshareBit(bit int) {
+	c.bp.table[(bit/2)%len(c.bp.table)] ^= 1 << uint(bit%2)
+}
+
+// NumL2Tags returns the number of tag entries in the L2 (0 without L2).
+func (c *Core) NumL2Tags() int {
+	if c.cache.l2 == nil {
+		return 0
+	}
+	return len(c.cache.l2.tag)
+}
+
+// FlipL2TagBit flips one bit of an L2 tag entry. The L2 is a tag-only
+// timing model (data always comes from backing memory), so like gshare
+// faults this perturbs hit/miss latency at most; a flip in an invalid
+// entry's tag is dead state.
+func (c *Core) FlipL2TagBit(entry, bit int) {
+	if c.cache.l2 == nil {
+		return
+	}
+	c.cache.l2.tag[entry%len(c.cache.l2.tag)] ^= 1 << uint(bit%64)
+}
+
+// FlipStoreBufferBit flips one bit of a pending store-buffer entry:
+// entry selects (modulo occupancy) an in-flight store in the store
+// queue, and bit addresses its captured write as a 128-bit record —
+// bits 0..63 hit the data word, 64..127 the target address. Flipping
+// the address can redirect the store outside the image (#PF trap at
+// commit) or silently corrupt another location (SDC). Stores not yet
+// executed have no captured write; the flip is then a no-op (the value
+// has not entered the buffer).
+func (c *Core) FlipStoreBufferBit(entry, bit int) {
+	if len(c.sq) == 0 {
+		return
+	}
+	u := &c.rob[c.sq[entry%len(c.sq)]]
+	if u.squashed || len(u.writes) == 0 {
+		return
+	}
+	w := &u.writes[(bit/128)%len(u.writes)]
+	if b := bit % 128; b < 64 {
+		w.data ^= 1 << uint(b)
+	} else {
+		w.addr ^= 1 << uint(b-64)
+	}
+}
+
+// FlipROBNextBit flips one bit of a ROB entry's next-PC metadata: entry
+// selects (modulo occupancy) a live ROB µop; unexecuted entries take
+// the flip in their predicted next PC (possibly triggering a spurious
+// squash at writeback), executed ones in their resolved next PC
+// (possibly redirecting retirement off the program image — a
+// bad-branch crash — or finishing the program early). Bits are reduced
+// modulo 31 to keep the PC an int on 32-bit hosts.
+func (c *Core) FlipROBNextBit(entry, bit int) {
+	if c.robCnt == 0 {
+		return
+	}
+	u := &c.rob[(c.robHead+entry%c.robCnt)%len(c.rob)]
+	if u.squashed {
+		return
+	}
+	mask := 1 << uint(bit%31)
+	if u.st == uWaiting {
+		u.predNext ^= mask
+	} else {
+		u.actualNext ^= mask
+	}
+}
+
 // Run simulates to completion and returns the result. With no opaque
 // OnCycle hook (and NoCycleSkip unset) the event-driven loop is used:
 // fully stalled cycles are jumped over instead of ticked, with results
@@ -464,6 +577,7 @@ func (c *Core) buildResult() *Result {
 
 	r := &Result{
 		Crash:       c.crash,
+		Trap:        c.crash.Exception(),
 		TimedOut:    c.timedOut,
 		Signature:   sig,
 		Reconverged: c.reconverged,
@@ -503,7 +617,10 @@ func (c *Core) buildResult() *Result {
 // traceCommit writes one retired-instruction line to the trace sink.
 func (c *Core) traceCommit(u *uop) {
 	text := "(poison)"
-	if u.inst != nil {
+	switch {
+	case u.bad:
+		text = "(bad-decode)"
+	case u.inst != nil:
 		text = u.inst.String()
 	}
 	fmt.Fprintf(c.cfg.Trace, "cyc=%-8d seq=%-6d pc=%-6d issued@%-8d %s\n",

@@ -165,17 +165,24 @@ func (c *Core) execUop(idx int) {
 			ms.Flags = c.flagPRF[s.phys]
 		}
 	}
-	if c.cfg.TrackIBR && !u.poison {
+	if c.cfg.TrackIBR && u.inst != nil {
 		c.captureIBR(u, ms)
 	}
 	ms.FU = c.activeFU()
 	u.memLat = 0
 
 	var err *arch.CrashError
-	if u.poison {
+	switch {
+	case u.poison:
 		err = &arch.CrashError{Kind: arch.CrashBadBranch, PC: u.pc}
-	} else {
-		err = ms.Step(c.prog)
+	case u.bad:
+		// The fetched bytes did not decode: architecturally a #UD trap.
+		err = &arch.CrashError{Kind: arch.CrashInvalidOpcode, PC: u.pc, Exc: isa.ExcInvalidOpcode}
+	default:
+		// u.inst is &c.prog[u.pc] for clean fetches and the core's
+		// decoder-corrupted instruction for mutated ones; either way it
+		// executes with the original PC's control-flow context.
+		err = ms.StepInst(c.prog, u.inst)
 	}
 	if err != nil {
 		u.err = err
@@ -309,15 +316,21 @@ func (c *Core) renameOne(f fqEntry) bool {
 	}
 	var v *isa.Variant
 	var in *isa.Inst
-	if !f.poison {
+	switch {
+	case f.poison, f.bad:
+		// Poison and bad-decode entries carry no decodable instruction;
+		// they occupy a slot and raise their error at execute.
+		v = isa.Lookup(0)
+	case f.mutated:
+		in = &c.decInst
+		v = isa.Lookup(in.V)
+	default:
 		in = &c.prog[f.pc]
 		v = isa.Lookup(in.V)
-	} else {
-		v = isa.Lookup(0)
 	}
 	c.scratchSrc = c.scratchSrc[:0]
 	c.scratchDst = c.scratchDst[:0]
-	if !f.poison {
+	if in != nil {
 		c.scratchSrc, c.scratchDst = collectRefs(in, v, c.scratchSrc, c.scratchDst)
 	}
 	// Resource checks.
@@ -335,8 +348,8 @@ func (c *Core) renameOne(f fqEntry) bool {
 	if needInt > len(c.intFree) || needFP > len(c.fpFree) || needFlag > len(c.flagFree) {
 		return false
 	}
-	isLoad := !f.poison && (v.ReadsMem() || v.Op == isa.OpPOP)
-	isStore := !f.poison && (v.WritesMem() || v.Op == isa.OpPUSH)
+	isLoad := in != nil && (v.ReadsMem() || v.Op == isa.OpPOP)
+	isStore := in != nil && (v.WritesMem() || v.Op == isa.OpPUSH)
 	if isLoad && c.nLoads >= c.cfg.LQSize {
 		return false
 	}
@@ -353,6 +366,8 @@ func (c *Core) renameOne(f fqEntry) bool {
 	u.v = v
 	u.inst = in
 	u.poison = f.poison
+	u.mutated = f.mutated
+	u.bad = f.bad
 	u.predNext = f.predNext
 	u.isLoad = isLoad
 	u.isStore = isStore
@@ -429,6 +444,24 @@ func (c *Core) fetch() {
 			return
 		}
 		in := &c.prog[pc]
+		var mutated bool
+		if c.decArmed {
+			// One-shot: the first in-range fetch (wrong-path or not)
+			// consumes the armed decoder fault.
+			c.decArmed = false
+			if ci, ok := corruptInst(*in, c.decBit); ok {
+				c.decInst = ci
+				in = &c.decInst
+				mutated = true
+			} else {
+				// Undecodable bytes: the entry still occupies a pipeline
+				// slot and raises #UD when it reaches execute.
+				c.fq = append(c.fq, fqEntry{pc: pc, predNext: pc + 1, bad: true})
+				c.fetchPC = pc + 1
+				c.progressed = true
+				continue
+			}
+		}
 		v := isa.Lookup(in.V)
 		next := pc + 1
 		if v.IsBranch {
@@ -436,12 +469,12 @@ func (c *Core) fetch() {
 			if v.Op == isa.OpJMP || c.bp.predict(pc) {
 				next = target
 			}
-			c.fq = append(c.fq, fqEntry{pc: pc, predNext: next})
+			c.fq = append(c.fq, fqEntry{pc: pc, predNext: next, mutated: mutated})
 			c.fetchPC = next
 			c.progressed = true
 			return // at most one branch fetched per cycle
 		}
-		c.fq = append(c.fq, fqEntry{pc: pc, predNext: next})
+		c.fq = append(c.fq, fqEntry{pc: pc, predNext: next, mutated: mutated})
 		c.fetchPC = next
 		c.progressed = true
 	}

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"sync"
 	"sync/atomic"
+
+	"harpocrates/internal/isa"
 )
 
 // Delta resimulation: reconvergence-based early termination of faulty
@@ -318,6 +320,15 @@ func (c *Core) stateHash() uint64 {
 		mixInt(e.pc)
 		mixInt(e.predNext)
 		mixBool(e.poison)
+		mixBool(e.mutated)
+		mixBool(e.bad)
+	}
+	// Decoder-fault latch: an armed-but-unconsumed fault will corrupt a
+	// future fetch, and any live mutated entry executes the corrupted
+	// decInst rather than the program image — both bind future behaviour.
+	mixBool(c.decArmed)
+	if c.decArmed {
+		mixInt(c.decBit)
 	}
 
 	// Rename maps.
@@ -372,6 +383,13 @@ func (c *Core) stateHash() uint64 {
 		mixInt(u.pc)
 		mix(uint64(u.st))
 		mixBool(u.poison)
+		mixBool(u.bad)
+		mixBool(u.mutated)
+		if u.mutated {
+			// The corrupted instruction lives outside the program image;
+			// its contents decide this µop's entire future behaviour.
+			hashInst(&h, u.inst)
+		}
 		mixBool(u.isLoad)
 		mixBool(u.isStore)
 		mixInt(u.predNext)
@@ -388,6 +406,7 @@ func (c *Core) stateHash() uint64 {
 			mixInt(u.actualNext)
 			if u.err != nil {
 				mix(uint64(u.err.Kind))
+				mix(uint64(u.err.Exception()))
 				mix(u.err.Addr)
 			} else {
 				mix(^uint64(0))
@@ -478,4 +497,21 @@ func (c *Core) stateHash() uint64 {
 	// faulty runs resumed mid-campaign never rescan the image.
 	mix(c.mem.Digest())
 	return h
+}
+
+// hashInst folds a full instruction instance into the state hash. Only
+// decoder-mutated µops need it: every other µop's instruction is
+// determined by its PC and the (shared, immutable) program image.
+func hashInst(h *uint64, in *isa.Inst) {
+	hh := deltaMix(*h, uint64(in.V)|uint64(in.NOps)<<32)
+	for i := range in.Ops {
+		op := &in.Ops[i]
+		hh = deltaMix(hh, uint64(op.Kind)|uint64(op.Reg)<<8|uint64(op.X)<<16)
+		hh = deltaMix(hh, uint64(op.Imm))
+		hh = deltaMix(hh, uint64(op.Mem.Base)|uint64(op.Mem.Index)<<8|uint64(op.Mem.Scale)<<16|uint64(uint32(op.Mem.Disp))<<24)
+		if op.Mem.HasIndex {
+			hh = deltaMix(hh, 1)
+		}
+	}
+	*h = hh
 }

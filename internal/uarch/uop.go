@@ -97,6 +97,8 @@ type uop struct {
 	isLoad  bool
 	isStore bool
 	poison  bool // fetched from an invalid PC: crashes if committed
+	mutated bool // decoder fault: inst is the core's corrupted decInst
+	bad     bool // decoder fault: fetched bytes undecodable, #UD at execute
 
 	predNext   int
 	actualNext int
@@ -124,6 +126,8 @@ func (u *uop) reset() {
 	u.isLoad = false
 	u.isStore = false
 	u.poison = false
+	u.mutated = false
+	u.bad = false
 	u.snapValid = false
 	u.err = nil
 	u.squashed = false
