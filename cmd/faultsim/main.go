@@ -8,6 +8,7 @@
 //	faultsim -suite mibench -prog mibench/qsort -target l1d -n 100
 //	faultsim -random 2000 -target intadd -type intermittent -n 50
 //	faultsim -corpus corpus/ -target irf -n 100 -resume
+//	faultsim -queue http://queue-host:9900 -suite mibench -prog mibench/qsort -n 100
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"harpocrates/internal/inject"
 	"harpocrates/internal/obs"
 	"harpocrates/internal/prog"
+	"harpocrates/internal/queue"
 	"harpocrates/internal/uarch"
 )
 
@@ -48,7 +50,9 @@ func main() {
 		corpusDir = flag.String("corpus", "", "rank a corpus archive: run the campaign on every archived program of the target structure and record detection metadata")
 		resume    = flag.Bool("resume", false, "with -corpus: skip entries already measured with this campaign configuration (resume an interrupted sweep)")
 
-		workers = flag.String("workers", "", "comma-separated harpod worker URLs to shard the campaign across (e.g. http://host1:9090,http://host2:9090)")
+		workers  = flag.String("workers", "", "comma-separated harpod worker URLs to shard the campaign across (e.g. http://host1:9090,http://host2:9090)")
+		queueURL = flag.String("queue", "", "harpoq coordinator URL: submit the campaign as a durable queue job and await the merged result")
+		priority = flag.Int("priority", 0, "with -queue: job priority (higher leases first)")
 
 		tracePath = flag.String("trace", "", "write a JSONL event trace to this file")
 		metrics   = flag.Bool("metrics", false, "print a metrics summary at exit")
@@ -169,11 +173,38 @@ func main() {
 		float64(golden.Instructions)/float64(golden.Cycles))
 	fmt.Printf("campaign: target=%v faults=%v injections=%d\n", st, ft, *n)
 	var stats *inject.Stats
-	if *workers != "" {
+	switch {
+	case *queueURL != "":
+		// Queue mode: the campaign becomes a durable job; progress goes
+		// to stderr so -json keeps a jq-stable stdout.
+		client := queue.NewClient(*queueURL)
+		sub, err := client.SubmitCampaign(c, p, *priority)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "queued %s: %d shards (%d served from cache)\n", sub.ID, sub.Shards, sub.CacheHits)
+		lastDone := -1
+		res, err := client.Await(sub.ID, func(st *dist.JobStatus) {
+			if st.Done != lastDone {
+				lastDone = st.Done
+				fmt.Fprintf(os.Stderr, "  %s: %d/%d shards done (%d cached)\n", st.ID, st.Done, st.Shards, st.Cached)
+			}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if res.State != dist.JobStateDone || res.Stats == nil {
+			fmt.Fprintf(os.Stderr, "job %s ended %s without stats\n", sub.ID, res.State)
+			os.Exit(1)
+		}
+		stats = res.Stats
+	case *workers != "":
 		pool := dist.New(strings.Split(*workers, ","), dist.Options{Obs: ob})
 		fmt.Printf("fleet: %d/%d workers healthy\n", pool.Probe(), pool.Size())
 		stats, err = pool.RunCampaign(c, p)
-	} else {
+	default:
 		stats, err = c.Run()
 	}
 	if err != nil {

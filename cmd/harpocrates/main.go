@@ -22,6 +22,7 @@ import (
 	"harpocrates/internal/dist"
 	"harpocrates/internal/obs"
 	"harpocrates/internal/prog"
+	"harpocrates/internal/queue"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 		corpusMax  = flag.Int("corpus-max", 64, "per-structure corpus archive bound (0 = unbounded)")
 		resume     = flag.Bool("resume", false, "resume an interrupted run from the checkpoint in the corpus directory (requires -corpus)")
 		workers    = flag.String("workers", "", "comma-separated harpod worker URLs to shard evaluation across (e.g. http://host1:9090,http://host2:9090)")
+		queueURL   = flag.String("queue", "", "harpoq coordinator URL: shard evaluation through the durable job queue (and its result cache) instead of direct push")
 		tracePath  = flag.String("trace", "", "write a JSONL event trace to this file")
 		metrics    = flag.Bool("metrics", false, "print a metrics summary at exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -77,7 +79,16 @@ func main() {
 	if *iterations > 0 {
 		o.Iterations = *iterations
 	}
-	if *workers != "" {
+	switch {
+	case *queueURL != "":
+		client := queue.NewClient(*queueURL)
+		if err := client.Healthz(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("queue: coordinator %s healthy\n", *queueURL)
+		o.Evaluator = client.Evaluator()
+	case *workers != "":
 		pool := dist.New(strings.Split(*workers, ","), dist.Options{Obs: ob})
 		fmt.Printf("fleet: %d/%d workers healthy\n", pool.Probe(), pool.Size())
 		o.Evaluator = pool.Evaluator()

@@ -1,14 +1,23 @@
 // Command harpod is the Harpocrates fleet worker: a small HTTP server
 // that grades evaluation batches and runs fault-injection shards on
-// behalf of a coordinator (faultsim -workers / harpocrates -workers).
+// behalf of a coordinator (faultsim -workers / harpocrates -workers),
+// and — with -pull — a work-stealing client of a harpoq job queue:
+// idle workers long-poll the coordinator for the next ready shard, so
+// heterogeneous fleets self-balance with no tuning.
 //
 // Usage:
 //
 //	harpod -addr 0.0.0.0:9090
+//	harpod -addr 0.0.0.0:9090 -pull http://queue-host:9900 -cache /shared/cache
 //
 // The worker is stateless — every request carries the full campaign or
 // evaluation configuration — so workers can join, die and be replaced
-// at any point without coordination.
+// at any point without coordination. The optional -cache directory
+// holds a content-addressed result cache consulted before every
+// simulate; point several workers at one shared filesystem to pool it.
+//
+// GET /metrics serves the Prometheus text exposition on the same
+// listener.
 package main
 
 import (
@@ -24,14 +33,19 @@ import (
 
 	"harpocrates/internal/dist"
 	"harpocrates/internal/obs"
+	"harpocrates/internal/queue"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:9090", "address to listen on")
-		tracePath = flag.String("trace", "", "write a JSONL event trace to this file")
-		metrics   = flag.Bool("metrics", false, "print a metrics summary at exit")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		addr         = flag.String("addr", "127.0.0.1:9090", "address to listen on")
+		pull         = flag.String("pull", "", "harpoq coordinator URL to pull shards from (work-stealing mode)")
+		name         = flag.String("name", "", "worker name reported in leases (default addr)")
+		cacheDir     = flag.String("cache", "", "worker-side content-addressed result cache directory")
+		cacheEntries = flag.Int("cache-entries", 0, "in-memory cache entries (0 = default)")
+		tracePath    = flag.String("trace", "", "write a JSONL event trace to this file")
+		metrics      = flag.Bool("metrics", false, "print a metrics summary at exit")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -39,6 +53,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	// The worker always carries a registry: /metrics must work even
+	// without -metrics.
+	if ob.Registry() == nil {
+		ob = obs.New(obs.NewRegistry(), ob.Tracer())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -55,6 +74,35 @@ func main() {
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
 
+	// Pull mode: work-steal from the queue coordinator alongside the
+	// legacy push endpoint.
+	pullCtx, pullCancel := context.WithCancel(context.Background())
+	pullDone := make(chan struct{})
+	var worker *queue.Worker
+	if *pull != "" {
+		wname := *name
+		if wname == "" {
+			wname = ln.Addr().String()
+		}
+		worker, err = queue.NewWorker(*pull, queue.WorkerOptions{
+			Name:         wname,
+			CacheDir:     *cacheDir,
+			CacheEntries: *cacheEntries,
+			Obs:          ob,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("harpod pulling shards from %s as %q\n", *pull, wname)
+		go func() {
+			defer close(pullDone)
+			worker.Run(pullCtx)
+		}()
+	} else {
+		close(pullDone)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -70,6 +118,13 @@ func main() {
 		if err != nil && err != http.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+	}
+	pullCancel()
+	<-pullDone
+	if worker != nil {
+		if err := worker.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "harpod: close cache:", err)
 		}
 	}
 	if err := obFinish(os.Stdout); err != nil {

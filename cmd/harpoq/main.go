@@ -1,0 +1,135 @@
+// Command harpoq is the Harpocrates campaign-as-a-service coordinator:
+// a durable job queue that accepts fault-injection campaigns and GA
+// evaluation batches over HTTP, shards them, serves every shard it can
+// from a cluster-wide content-addressed result cache, and hands the
+// rest to pulling harpod workers (work-stealing) or legacy push-mode
+// workers.
+//
+// Usage:
+//
+//	harpoq -addr 0.0.0.0:9900 -data /var/lib/harpoq
+//	harpoq -addr 0.0.0.0:9900 -data ./q -workers host1:9090,host2:9090
+//	harpoq -addr 0.0.0.0:9900 -data ./q -local 4
+//
+// Every job and shard completion is persisted to an append-only
+// CRC-checked write-ahead log under -data; kill -9 the coordinator
+// mid-campaign, restart it, and the queue resumes exactly where it was
+// (in-flight shards are re-queued; cached and logged shards are not
+// re-run). On SIGINT/SIGTERM the coordinator drains outstanding
+// leases, snapshots its state atomically and exits cleanly.
+//
+// GET /metrics serves the Prometheus text exposition of every queue,
+// cache and simulator counter on the same listener.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"harpocrates/internal/obs"
+	"harpocrates/internal/queue"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:9900", "address to listen on")
+		dataDir      = flag.String("data", "harpoq-data", "durable state directory (WAL, snapshot, cache)")
+		cacheDir     = flag.String("cache", "", "result cache directory (default <data>/cache)")
+		cacheEntries = flag.Int("cache-entries", 0, "in-memory cache entries (0 = default)")
+		shardSize    = flag.Int("shard-size", 32, "campaign specs per shard")
+		evalShard    = flag.Int("eval-shard-size", 8, "genotypes per eval shard")
+		leaseTimeout = flag.Duration("lease-timeout", 2*time.Minute, "re-queue a leased shard after this long")
+		workers      = flag.String("workers", "", "comma-separated legacy push-mode harpod URLs")
+		localExec    = flag.Int("local", 0, "in-process executor goroutines (work with no fleet)")
+		drain        = flag.Duration("drain", 30*time.Second, "shutdown lease-drain budget")
+		tracePath    = flag.String("trace", "", "write a JSONL event trace to this file")
+		metrics      = flag.Bool("metrics", false, "print a metrics summary at exit")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address")
+	)
+	flag.Parse()
+
+	ob, obFinish, err := obs.SetupCLI(*tracePath, *metrics, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// The coordinator always carries a registry: /metrics must work even
+	// without -metrics.
+	if ob.Registry() == nil {
+		ob = obs.New(obs.NewRegistry(), ob.Tracer())
+	}
+
+	var workerURLs []string
+	for _, w := range strings.Split(*workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workerURLs = append(workerURLs, w)
+		}
+	}
+	coord, err := queue.NewCoordinator(queue.Options{
+		DataDir:       *dataDir,
+		CacheDir:      *cacheDir,
+		CacheEntries:  *cacheEntries,
+		ShardSize:     *shardSize,
+		EvalShardSize: *evalShard,
+		LeaseTimeout:  *leaseTimeout,
+		PushWorkers:   workerURLs,
+		LocalExec:     *localExec,
+		Obs:           ob,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	hs := &http.Server{
+		Handler:           queue.NewServer(coord).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("harpoq coordinator listening on http://%s (data: %s)\n", ln.Addr(), *dataDir)
+
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	exitCode := 0
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "harpoq: %v, draining\n", s)
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, err)
+			exitCode = 1
+		}
+	}
+
+	// Graceful shutdown: stop accepting HTTP, drain outstanding leases,
+	// snapshot and flush the durable state.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	if err := hs.Shutdown(ctx); err != nil {
+		hs.Close()
+	}
+	if err := coord.Close(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "harpoq: shutdown:", err)
+		exitCode = 1
+	}
+	cancel()
+	if err := obFinish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exitCode = 1
+	}
+	os.Exit(exitCode)
+}

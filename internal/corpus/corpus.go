@@ -172,8 +172,17 @@ func (s *Store) SetBound(n int) {
 func HashProgram(p *prog.Program) uint64 {
 	var buf bytes.Buffer
 	_, _ = p.WriteTo(&buf)
+	return HashBytes(buf.Bytes())
+}
+
+// HashBytes folds arbitrary bytes with the store's Mix64 chain — the
+// single content-hashing convention shared by the corpus filenames and
+// every spec hash derived elsewhere (the internal/queue result cache
+// keys programs, configurations and fault specs with it, so cache keys
+// and corpus keys agree about what "same content" means).
+func HashBytes(data []byte) uint64 {
 	h := stats.HashInit
-	for _, b := range buf.Bytes() {
+	for _, b := range data {
 		h = stats.Mix64(h, uint64(b))
 	}
 	return h

@@ -101,6 +101,9 @@ type Pool struct {
 	ob      *obs.Observer
 	client  *http.Client
 	workers []*workerHandle
+	// rr rotates single-shard push dispatch (PostInject/PostEval)
+	// across live workers.
+	rr atomic.Uint64
 }
 
 // New builds a pool over worker base URLs ("http://host:port"; a bare

@@ -1,0 +1,330 @@
+package dist
+
+import (
+	"fmt"
+
+	"harpocrates/internal/core"
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/inject"
+	"harpocrates/internal/obs"
+	"harpocrates/internal/prog"
+)
+
+// Protocol v1 extensions for the campaign-as-a-service coordinator
+// (internal/queue, cmd/harpoq). The job endpoints live on the
+// coordinator, not the worker: clients submit durable jobs, workers
+// *pull* shards via lease/complete (work-stealing) instead of having
+// fixed shard pushes sized for them. The payload shapes reuse the
+// existing v1 request types — an InjectRequest template for campaign
+// jobs and an EvalRequest for GA-evaluation batches — so a legacy
+// push-mode harpod and a pull-mode harpod execute byte-identical work
+// descriptions.
+const (
+	// PathJobs accepts POST (submit a JobRequest) and GET (list jobs);
+	// "/v1/jobs/{id}" serves status, "/v1/jobs/{id}/stream" incremental
+	// JSONL shard events, "/v1/jobs/{id}/result" the merged result and
+	// "/v1/jobs/{id}/cancel" (POST) cancellation.
+	PathJobs = "/v1/jobs"
+	// PathLease is the worker pull endpoint: long-poll for the next
+	// ready shard.
+	PathLease = "/v1/lease"
+	// PathComplete returns a leased shard's result to the coordinator.
+	PathComplete = "/v1/complete"
+	// PathMetrics serves the obs registry in Prometheus text format on
+	// both coordinator and worker listeners.
+	PathMetrics = "/metrics"
+)
+
+// Job kinds.
+const (
+	JobCampaign = "campaign"
+	JobEval     = "eval"
+)
+
+// Job states.
+const (
+	JobStatePending   = "pending"
+	JobStateRunning   = "running"
+	JobStateDone      = "done"
+	JobStateCancelled = "cancelled"
+	JobStateFailed    = "failed"
+)
+
+// JobRequest submits one durable job to the coordinator. Exactly one of
+// Inject/Eval must be set, matching Kind. For campaign jobs the
+// InjectRequest is a template: Lo/Hi are ignored (the coordinator plans
+// shards over [0, N)).
+type JobRequest struct {
+	Kind     string `json:"kind"`
+	Priority int    `json:"priority,omitempty"`
+
+	Inject *InjectRequest `json:"inject,omitempty"`
+	Eval   *EvalRequest   `json:"eval,omitempty"`
+}
+
+// Validate checks the kind/payload pairing.
+func (r *JobRequest) Validate() error {
+	switch r.Kind {
+	case JobCampaign:
+		if r.Inject == nil || r.Eval != nil {
+			return fmt.Errorf("dist: campaign job needs exactly an inject payload")
+		}
+		if r.Inject.N <= 0 {
+			return fmt.Errorf("dist: campaign job needs N > 0")
+		}
+	case JobEval:
+		if r.Eval == nil || r.Inject != nil {
+			return fmt.Errorf("dist: eval job needs exactly an eval payload")
+		}
+		if len(r.Eval.Genotypes) == 0 {
+			return fmt.Errorf("dist: eval job needs at least one genotype")
+		}
+	default:
+		return fmt.Errorf("dist: unknown job kind %q", r.Kind)
+	}
+	return nil
+}
+
+// JobSubmitResponse acknowledges a submit. Shards is the planned shard
+// count; CacheHits of them were served directly from the coordinator's
+// result cache and will never be dispatched.
+type JobSubmitResponse struct {
+	ID        string `json:"id"`
+	Shards    int    `json:"shards"`
+	CacheHits int    `json:"cache_hits"`
+}
+
+// JobStatus is one job's externally visible state (GET /v1/jobs/{id}).
+type JobStatus struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	State    string `json:"state"`
+	Priority int    `json:"priority,omitempty"`
+	Error    string `json:"error,omitempty"`
+
+	Shards int `json:"shards"`
+	Done   int `json:"done"`
+	Cached int `json:"cached"`
+
+	// Stats is the running shard-order merge of the completed shards of
+	// a campaign job (partial until State == done).
+	Stats *inject.Stats `json:"stats,omitempty"`
+}
+
+// JobListResponse is GET /v1/jobs (submit order).
+type JobListResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// JobResult is the merged terminal result (GET /v1/jobs/{id}/result;
+// 409 until the job is done).
+type JobResult struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+
+	Stats   *inject.Stats    `json:"stats,omitempty"`   // campaign jobs
+	Results []WireEvalResult `json:"results,omitempty"` // eval jobs
+}
+
+// LeaseRequest asks the coordinator for the next ready shard. WaitMs
+// long-polls: the coordinator holds the request open up to that long
+// waiting for work before answering "nothing".
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	WaitMs int    `json:"wait_ms,omitempty"`
+}
+
+// LeaseResponse grants one shard (JobID == "" means no work was ready
+// within the poll window). The shard payload is self-contained: Inject
+// arrives with Lo/Hi filled, Eval with the shard's genotype slice, so a
+// pull worker executes it exactly as a pushed request.
+type LeaseResponse struct {
+	JobID string `json:"job_id,omitempty"`
+	Shard int    `json:"shard,omitempty"`
+	Lease uint64 `json:"lease,omitempty"`
+	Kind  string `json:"kind,omitempty"`
+
+	Inject *InjectRequest `json:"inject,omitempty"`
+	Eval   *EvalRequest   `json:"eval,omitempty"`
+}
+
+// CompleteRequest returns a leased shard's result. Err reports an
+// execution failure (the coordinator re-queues the shard). Cached marks
+// a worker-side cache hit (the shard was never simulated).
+type CompleteRequest struct {
+	Worker string `json:"worker"`
+	JobID  string `json:"job_id"`
+	Shard  int    `json:"shard"`
+	Lease  uint64 `json:"lease"`
+
+	Stats   *inject.Stats    `json:"stats,omitempty"`
+	Results []WireEvalResult `json:"results,omitempty"`
+	Err     string           `json:"err,omitempty"`
+	Cached  bool             `json:"cached,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion. Stale is set when the
+// lease had already expired and been re-assigned (the result was
+// discarded; the worker should just lease again).
+type CompleteResponse struct {
+	OK    bool `json:"ok"`
+	Stale bool `json:"stale,omitempty"`
+}
+
+// StreamEvent is one line of the GET /v1/jobs/{id}/stream JSONL feed:
+// a shard completion, or the terminal event (Done with the job's final
+// State).
+type StreamEvent struct {
+	JobID  string `json:"job_id"`
+	Shard  int    `json:"shard"`
+	Lo     int    `json:"lo"`
+	Hi     int    `json:"hi"`
+	Cached bool   `json:"cached,omitempty"`
+	Worker string `json:"worker,omitempty"`
+
+	Done  bool   `json:"done,omitempty"`
+	State string `json:"state,omitempty"`
+}
+
+// NewInjectRequest builds the wire template for a campaign (the
+// exported form of the coordinator's internal shard template; Lo/Hi are
+// left zero for the job layer to fill per shard).
+func NewInjectRequest(c *inject.Campaign, p *prog.Program) (InjectRequest, error) {
+	progBytes, err := EncodeProgram(p)
+	if err != nil {
+		return InjectRequest{}, err
+	}
+	return campaignRequest(c, progBytes), nil
+}
+
+// RunInject executes one campaign shard request in process — the single
+// execution function shared by the push-mode worker handler, the
+// pull-mode worker loop and the coordinator's local/in-process
+// executors, so every path produces bit-identical shard statistics.
+func RunInject(req *InjectRequest, ob *obs.Observer) (*inject.Stats, error) {
+	c, err := CampaignFor(req, ob)
+	if err != nil {
+		return nil, err
+	}
+	return c.RunRange(req.Lo, req.Hi)
+}
+
+// RunEval executes one evaluation shard request in process (see
+// RunInject).
+func RunEval(req *EvalRequest) ([]WireEvalResult, error) {
+	st, err := coverage.Parse(req.Structure)
+	if err != nil {
+		return nil, err
+	}
+	gs, err := DecodeGenotypes(req.Genotypes)
+	if err != nil {
+		return nil, err
+	}
+	metric := coverage.MetricFor(st)
+	out := make([]WireEvalResult, len(gs))
+	for i, g := range gs {
+		res := core.GradeGenotype(g, &req.Gen, req.Core, metric)
+		out[i] = WireEvalResult{Fitness: res.Fitness, Snapshot: res.Snapshot}
+	}
+	return out, nil
+}
+
+// PostInject dispatches one shard request to some live worker of the
+// pool — the coordinator's push-mode fallback for legacy (non-pulling)
+// harpods. Dispatch rotates round-robin over live workers; a worker
+// that keeps failing is evicted (after the pool's usual retries) and
+// the shard moves on to the next survivor. With no live worker left an
+// error is returned and the caller decides (the queue coordinator runs
+// the shard in process).
+func (p *Pool) PostInject(req *InjectRequest) (*inject.Stats, error) {
+	var resp InjectResponse
+	err := p.postAnyWorker(PathInject, "dist.rpc.inject", req, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats.N != req.Hi-req.Lo || len(resp.Stats.Outcomes) != resp.Stats.N {
+		return nil, fmt.Errorf("dist: shard [%d,%d) returned %d outcomes",
+			req.Lo, req.Hi, len(resp.Stats.Outcomes))
+	}
+	return &resp.Stats, nil
+}
+
+// PostEval dispatches one evaluation shard to some live worker (see
+// PostInject).
+func (p *Pool) PostEval(req *EvalRequest) ([]WireEvalResult, error) {
+	var resp EvalResponse
+	if err := p.postAnyWorker(PathEval, "dist.rpc.eval", req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(req.Genotypes) {
+		return nil, fmt.Errorf("dist: eval shard returned %d results for %d genotypes",
+			len(resp.Results), len(req.Genotypes))
+	}
+	return resp.Results, nil
+}
+
+// postAnyWorker tries one RPC against live workers in round-robin
+// order, evicting each worker that exhausts its retries, until one
+// answers or none remain.
+func (p *Pool) postAnyWorker(path, counter string, reqBody, respBody any) error {
+	live := p.liveWorkers()
+	if len(live) == 0 {
+		return fmt.Errorf("dist: no live workers")
+	}
+	start := int(p.rr.Add(1) - 1)
+	var err error
+	for i := 0; i < len(live); i++ {
+		w := live[(start+i)%len(live)]
+		if !w.isAlive() {
+			continue
+		}
+		p.ob.Counter(counter).Inc()
+		if err = p.withRetries(w, func() error { return p.post(w, path, reqBody, respBody) }); err == nil {
+			return nil
+		}
+		p.evict(w, err)
+	}
+	if err == nil {
+		err = fmt.Errorf("dist: no live workers")
+	}
+	return err
+}
+
+// CampaignFor reconstructs a campaign from a shard request. The
+// hook-free scalar config arrives on the wire; structure-specific hooks
+// are rebuilt by the campaign itself, so the executing side's faulty
+// runs are bit-identical to the submitting side's.
+func CampaignFor(req *InjectRequest, ob *obs.Observer) (*inject.Campaign, error) {
+	p, err := DecodeProgram(req.Program)
+	if err != nil {
+		return nil, err
+	}
+	target, err := coverage.Parse(req.Target)
+	if err != nil {
+		return nil, err
+	}
+	ftype, err := inject.ParseFaultType(req.Type)
+	if err != nil {
+		return nil, err
+	}
+	if req.N <= 0 {
+		return nil, fmt.Errorf("dist: campaign needs N > 0")
+	}
+	return &inject.Campaign{
+		Prog:               p.Insts,
+		Init:               p.InitFunc(),
+		Target:             target,
+		Type:               ftype,
+		N:                  req.N,
+		IntermittentLen:    req.IntermittentLen,
+		BurstLen:           req.BurstLen,
+		Seed:               req.Seed,
+		Cfg:                req.Cfg,
+		CheckpointInterval: req.CheckpointInterval,
+		NoFastForward:      req.NoFastForward,
+		NoDeltaTermination: req.NoDeltaTermination,
+		DeltaInterval:      req.DeltaInterval,
+		Obs:                ob,
+	}, nil
+}

@@ -2,13 +2,9 @@ package dist
 
 import (
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
 
-	"harpocrates/internal/core"
-	"harpocrates/internal/coverage"
-	"harpocrates/internal/inject"
 	"harpocrates/internal/obs"
 )
 
@@ -29,12 +25,14 @@ type Server struct {
 func NewServer(ob *obs.Observer) *Server { return &Server{ob: ob} }
 
 // Handler returns the worker's HTTP handler serving PathHealthz,
-// PathEval and PathInject.
+// PathEval, PathInject and the Prometheus exposition at PathMetrics
+// (empty when the server has no registry attached).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathHealthz, s.handleHealthz)
 	mux.HandleFunc(PathEval, s.handleEval)
 	mux.HandleFunc(PathInject, s.handleInject)
+	mux.Handle(PathMetrics, obs.PromHandler(s.ob.Registry()))
 	return mux
 }
 
@@ -74,25 +72,14 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	st, err := coverage.Parse(req.Structure)
+	results, err := RunEval(&req)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
-	}
-	gs, err := DecodeGenotypes(req.Genotypes)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	metric := coverage.MetricFor(st)
-	resp := EvalResponse{Results: make([]WireEvalResult, len(gs))}
-	for i, g := range gs {
-		res := core.GradeGenotype(g, &req.Gen, req.Core, metric)
-		resp.Results[i] = WireEvalResult{Fitness: res.Fitness, Snapshot: res.Snapshot}
 	}
 	s.ob.Counter("dist.worker.eval.batches").Inc()
-	s.ob.Counter("dist.worker.eval.genotypes").Add(int64(len(gs)))
-	writeJSON(w, resp)
+	s.ob.Counter("dist.worker.eval.genotypes").Add(int64(len(results)))
+	writeJSON(w, EvalResponse{Results: results})
 }
 
 func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
@@ -102,7 +89,7 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	c, err := s.campaignFor(&req)
+	c, err := CampaignFor(&req, s.ob)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -115,42 +102,4 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
 	s.ob.Counter("dist.worker.inject.shards").Inc()
 	s.ob.Counter("dist.worker.inject.specs").Add(int64(st.N))
 	writeJSON(w, InjectResponse{Stats: *st})
-}
-
-// campaignFor reconstructs the coordinator's campaign from a shard
-// request. The hook-free scalar config arrives on the wire; structure-
-// specific hooks are rebuilt by the campaign itself, so the worker's
-// faulty runs are bit-identical to the coordinator's.
-func (s *Server) campaignFor(req *InjectRequest) (*inject.Campaign, error) {
-	p, err := DecodeProgram(req.Program)
-	if err != nil {
-		return nil, err
-	}
-	target, err := coverage.Parse(req.Target)
-	if err != nil {
-		return nil, err
-	}
-	ftype, err := inject.ParseFaultType(req.Type)
-	if err != nil {
-		return nil, err
-	}
-	if req.N <= 0 {
-		return nil, fmt.Errorf("dist: campaign needs N > 0")
-	}
-	return &inject.Campaign{
-		Prog:               p.Insts,
-		Init:               p.InitFunc(),
-		Target:             target,
-		Type:               ftype,
-		N:                  req.N,
-		IntermittentLen:    req.IntermittentLen,
-		BurstLen:           req.BurstLen,
-		Seed:               req.Seed,
-		Cfg:                req.Cfg,
-		CheckpointInterval: req.CheckpointInterval,
-		NoFastForward:      req.NoFastForward,
-		NoDeltaTermination: req.NoDeltaTermination,
-		DeltaInterval:      req.DeltaInterval,
-		Obs:                s.ob,
-	}, nil
 }

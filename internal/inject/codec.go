@@ -1,0 +1,102 @@
+package inject
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Shard-result container format ("HXSR"): the compact, versioned binary
+// codec for one campaign shard's Stats. It is the value format of the
+// internal/queue content-addressed result cache and of the coordinator
+// WAL's shard-completion records, so a cached or replayed shard result
+// decodes to bytes-for-bytes the Stats the worker originally produced —
+// which is what keeps cache-served campaigns bit-identical to uncached
+// ones. The outcome byte values are the frozen wire values of Outcome
+// (see the Outcome doc comment), so the format inherits the dist
+// protocol's append-only evolution rule.
+const (
+	statsMagic   = 0x48585352 // "HXSR"
+	statsVersion = 1
+
+	// maxCodecOutcomes bounds a decoded outcome vector (a campaign far
+	// larger than any real sweep; guards against corrupt length fields).
+	maxCodecOutcomes = 1 << 28
+)
+
+// EncodeStats serializes shard statistics into the HXSR container.
+func EncodeStats(s *Stats) []byte {
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	put := func(v any) { _ = binary.Write(&buf, le, v) }
+	put(uint32(statsMagic))
+	put(uint32(statsVersion))
+	put(uint32(s.N))
+	put(uint32(s.Masked))
+	put(uint32(s.SDC))
+	put(uint32(s.Crash))
+	put(uint32(s.Hang))
+	put(uint32(s.Trap))
+	put(uint32(s.Skipped))
+	put(s.GoldenCycles)
+	put(uint32(len(s.Outcomes)))
+	for _, o := range s.Outcomes {
+		put(uint8(o))
+	}
+	return buf.Bytes()
+}
+
+// DecodeStats deserializes an HXSR container written by EncodeStats,
+// rejecting bad magic, unknown versions, truncated payloads,
+// unreasonable lengths and trailing bytes.
+func DecodeStats(data []byte) (*Stats, error) {
+	r := bytes.NewReader(data)
+	le := binary.LittleEndian
+	get := func(v any) error { return binary.Read(r, le, v) }
+	var magic, version uint32
+	if err := get(&magic); err != nil {
+		return nil, fmt.Errorf("inject: stats codec: %w", err)
+	}
+	if magic != statsMagic {
+		return nil, fmt.Errorf("inject: bad stats magic %#x", magic)
+	}
+	if err := get(&version); err != nil {
+		return nil, fmt.Errorf("inject: stats codec: %w", err)
+	}
+	if version != statsVersion {
+		return nil, fmt.Errorf("inject: unsupported stats version %d", version)
+	}
+	var n, masked, sdc, crash, hang, trap, skipped, outcomes uint32
+	s := &Stats{}
+	for _, f := range []*uint32{&n, &masked, &sdc, &crash, &hang, &trap, &skipped} {
+		if err := get(f); err != nil {
+			return nil, fmt.Errorf("inject: stats codec: %w", err)
+		}
+	}
+	if err := get(&s.GoldenCycles); err != nil {
+		return nil, fmt.Errorf("inject: stats codec: %w", err)
+	}
+	if err := get(&outcomes); err != nil {
+		return nil, fmt.Errorf("inject: stats codec: %w", err)
+	}
+	if outcomes > maxCodecOutcomes {
+		return nil, fmt.Errorf("inject: unreasonable outcome count %d", outcomes)
+	}
+	s.N, s.Masked, s.SDC, s.Crash = int(n), int(masked), int(sdc), int(crash)
+	s.Hang, s.Trap, s.Skipped = int(hang), int(trap), int(skipped)
+	if outcomes > 0 {
+		raw := make([]byte, outcomes)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return nil, fmt.Errorf("inject: stats codec: %w", err)
+		}
+		s.Outcomes = make([]Outcome, outcomes)
+		for i, b := range raw {
+			s.Outcomes[i] = Outcome(b)
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("inject: %d trailing stats bytes", r.Len())
+	}
+	return s, nil
+}

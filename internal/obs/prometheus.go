@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// promPrefix namespaces every exported metric so a shared Prometheus
+// server can scrape a mixed fleet without collisions.
+const promPrefix = "harpo_"
+
+// promName sanitizes a registry metric name into a Prometheus metric
+// name: dots and every other non-[a-zA-Z0-9_] byte become underscores,
+// and the harpo_ namespace prefix is prepended.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promPrefix) + len(name))
+	b.WriteString(promPrefix)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every counter, gauge and histogram in the
+// Prometheus text exposition format (version 0.0.4), each metric
+// prefixed with "harpo_". Counters export as counters, gauges as
+// gauges, and histograms as native cumulative histograms: one
+// `_bucket{le="..."}` series per non-empty power-of-two bucket (the
+// registry's internal bucketing), plus the mandatory le="+Inf" bucket,
+// `_sum` and `_count`. Metric names are emitted in sorted order so the
+// exposition is deterministic for a fixed registry state.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	for _, name := range names(r.counters) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(w, "%s %d\n", pn, r.counters[name].Load())
+	}
+	for _, name := range names(r.gauges) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(w, "%s %g\n", pn, r.gauges[name].Load())
+	}
+	for _, name := range names(r.hists) {
+		writePromHistogram(w, promName(name), r.hists[name])
+	}
+}
+
+// writePromHistogram renders one histogram. Bucket i of the registry's
+// power-of-two scheme counts observations with bit length i, i.e.
+// values <= 2^i - 1, which is exactly a cumulative upper bound once the
+// per-bucket counts are summed left to right.
+func writePromHistogram(w io.Writer, pn string, h *Histogram) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, upperBound(i), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count())
+	fmt.Fprintf(w, "%s_sum %d\n", pn, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", pn, h.Count())
+}
+
+// upperBound is bucket i's inclusive upper bound (2^i - 1, saturating).
+func upperBound(i int) int64 {
+	if i >= 63 {
+		return int64(^uint64(0) >> 1)
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// PromHandler serves the registry in Prometheus text format — mount it
+// at GET /metrics on the same listener as a coordinator or worker. A
+// nil registry serves an empty (but valid) exposition.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

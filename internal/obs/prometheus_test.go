@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queue.jobs.submitted").Add(3)
+	r.Gauge("corpus.archive.size").Set(17.5)
+	h := r.Histogram("queue.shard.ns")
+	h.Observe(1) // bucket le="1"
+	h.Observe(5) // bucket le="7"
+	h.Observe(6) // bucket le="7"
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE harpo_queue_jobs_submitted counter\n",
+		"harpo_queue_jobs_submitted 3\n",
+		"# TYPE harpo_corpus_archive_size gauge\n",
+		"harpo_corpus_archive_size 17.5\n",
+		"# TYPE harpo_queue_shard_ns histogram\n",
+		"harpo_queue_shard_ns_bucket{le=\"1\"} 1\n",
+		"harpo_queue_shard_ns_bucket{le=\"7\"} 3\n", // cumulative
+		"harpo_queue_shard_ns_bucket{le=\"+Inf\"} 3\n",
+		"harpo_queue_shard_ns_sum 12\n",
+		"harpo_queue_shard_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	r.WritePrometheus(&b) // must not panic
+	if b.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", b.String())
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queue.cache.hits").Inc()
+
+	srv := httptest.NewServer(PromHandler(r))
+	defer srv.Close()
+
+	rec := httptest.NewRecorder()
+	PromHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "harpo_queue_cache_hits 1") {
+		t.Fatalf("body missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	PromHandler(r).ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST /metrics = %d, want 405", rec.Code)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	if got := promName("dist.worker.127.0.0.1:9090.ns"); got != "harpo_dist_worker_127_0_0_1_9090_ns" {
+		t.Fatalf("promName = %q", got)
+	}
+}

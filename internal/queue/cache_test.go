@@ -1,0 +1,219 @@
+package queue
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"harpocrates/internal/obs"
+)
+
+func testKey(i int) CacheKey {
+	return CacheKey{Program: uint64(i) * 7, Config: uint64(i) * 13, Spec: uint64(i) * 31}
+}
+
+func TestCachePutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := c.Put(testKey(i), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != n {
+		t.Fatalf("Len = %d, want %d", c.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := c.Get(testKey(i))
+		if !ok || string(v) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, ok)
+		}
+	}
+	if _, ok := c.Get(testKey(n + 1)); ok {
+		t.Fatal("hit for never-written key")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the on-disk index must serve everything back.
+	c2, err := OpenCache(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Len() != n {
+		t.Fatalf("reopened Len = %d, want %d", c2.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := c2.Get(testKey(i))
+		if !ok || string(v) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("reopened Get(%d) = %q, %v", i, v, ok)
+		}
+	}
+}
+
+// First write wins; a duplicate Put never changes a stored value.
+func TestCacheFirstWriteWins(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	k := testKey(1)
+	c.Put(k, []byte("first"))
+	c.Put(k, []byte("second"))
+	if v, _ := c.Get(k); string(v) != "first" {
+		t.Fatalf("Get = %q, want first write", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+// Values evicted from the in-memory LRU are still served from disk.
+func TestCacheLRUReadThrough(t *testing.T) {
+	reg := obs.NewRegistry()
+	// memCap = max(1, 16/16) = 1 entry per shard: heavy eviction.
+	c, err := OpenCache(t.TempDir(), 16, obs.New(reg, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := c.Put(testKey(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, ok := c.Get(testKey(i))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, ok)
+		}
+	}
+	if reg.Counter("queue.cache.mem_evictions").Load() == 0 {
+		t.Fatal("no LRU evictions despite tiny capacity")
+	}
+	if reg.Counter("queue.cache.disk_hits").Load() == 0 {
+		t.Fatal("no disk read-throughs despite tiny capacity")
+	}
+	if got := reg.Counter("queue.cache.hits").Load(); got != n {
+		t.Fatalf("hits = %d, want %d", got, n)
+	}
+}
+
+// A torn segment tail (crashed writer) loses only the torn record.
+func TestCacheTornSegmentTail(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := testKey(1), testKey(2)
+	c.Put(k1, []byte("keep-me"))
+	c.Put(k2, []byte("tear-me"))
+	c.Close()
+
+	// Both keys landed in some segment; tear the last 3 bytes off every
+	// non-empty segment file.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		if err := os.WriteFile(seg, data[:len(data)-3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2, err := OpenCache(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	// Every surviving entry must still decode exactly; the torn ones are
+	// simply gone.
+	for _, k := range []CacheKey{k1, k2} {
+		if v, ok := c2.Get(k); ok && string(v) != "keep-me" && string(v) != "tear-me" {
+			t.Fatalf("corrupt value %q survived", v)
+		}
+	}
+	// And the cache accepts fresh writes after the truncated tail.
+	if err := c2.Put(testKey(3), []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c2.Get(testKey(3)); !ok || string(v) != "fresh" {
+		t.Fatalf("post-truncation Put/Get = %q, %v", v, ok)
+	}
+}
+
+// The concurrency contract: parallel Puts and Gets of identical and
+// distinct keys are race-clean and never serve a wrong value. Run under
+// -race in CI.
+func TestCacheConcurrent(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const (
+		workers = 8
+		keys    = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				k := testKey(i)
+				want := []byte(fmt.Sprintf("value-%d", i))
+				// Same key written by every worker (identical bytes) plus
+				// a worker-distinct key.
+				if err := c.Put(k, want); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok := c.Get(k); !ok || !bytes.Equal(v, want) {
+					t.Errorf("worker %d: Get(%d) = %q, %v", w, i, v, ok)
+					return
+				}
+				own := CacheKey{Program: uint64(w), Config: uint64(i), Spec: 99}
+				ownVal := []byte(fmt.Sprintf("own-%d-%d", w, i))
+				if err := c.Put(own, ownVal); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok := c.Get(own); !ok || !bytes.Equal(v, ownVal) {
+					t.Errorf("worker %d: own Get(%d) = %q, %v", w, i, v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := c.Len(), keys+workers*keys; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}
+
+func TestCacheNil(t *testing.T) {
+	var c *Cache
+	if err := c.Put(testKey(1), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(testKey(1)); ok {
+		t.Fatal("nil cache hit")
+	}
+	if c.Len() != 0 || c.Contains(testKey(1)) || c.Sync() != nil || c.Close() != nil {
+		t.Fatal("nil cache misbehaves")
+	}
+}

@@ -1,0 +1,286 @@
+package queue
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"harpocrates/internal/core"
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/dist"
+	"harpocrates/internal/gen"
+	"harpocrates/internal/inject"
+	"harpocrates/internal/prog"
+	"harpocrates/internal/uarch"
+)
+
+// Client talks to a coordinator. It survives coordinator restarts: the
+// durable queue means a submitted job keeps its identity across a
+// crash, so Await simply re-polls until the restarted coordinator
+// answers again.
+type Client struct {
+	base   string
+	client *http.Client
+
+	// PollInterval is the status re-poll cadence while awaiting
+	// (default 200ms).
+	PollInterval time.Duration
+	// RetryWindow bounds how long transport errors are tolerated while
+	// awaiting — the window a coordinator restart may take
+	// (default 2 minutes).
+	RetryWindow time.Duration
+}
+
+// NewClient builds a client for a coordinator base URL ("http://host:port";
+// a bare "host:port" gets the scheme prefixed).
+func NewClient(base string) *Client {
+	base = strings.TrimSpace(base)
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{
+		base:         strings.TrimRight(base, "/"),
+		client:       &http.Client{},
+		PollInterval: 200 * time.Millisecond,
+		RetryWindow:  2 * time.Minute,
+	}
+}
+
+func (c *Client) post(path string, reqBody, respBody any) error {
+	payload, err := json.Marshal(reqBody)
+	if err != nil {
+		return fmt.Errorf("queue: marshal request: %w", err)
+	}
+	resp, err := c.client.Post(c.base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("queue: %s: %w", path, err)
+	}
+	return decodeResp(resp, path, respBody)
+}
+
+func (c *Client) get(path string, respBody any) error {
+	resp, err := c.client.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("queue: %s: %w", path, err)
+	}
+	return decodeResp(resp, path, respBody)
+}
+
+func decodeResp(resp *http.Response, path string, respBody any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("queue: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxJobRequestBytes)).Decode(respBody); err != nil {
+		return fmt.Errorf("queue: %s: parse response: %w", path, err)
+	}
+	return nil
+}
+
+// Healthz probes the coordinator.
+func (c *Client) Healthz() error {
+	resp, err := c.client.Get(c.base + dist.PathHealthz)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("queue: healthz status %s", resp.Status)
+	}
+	return nil
+}
+
+// Submit posts one job.
+func (c *Client) Submit(req *dist.JobRequest) (*dist.JobSubmitResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	var resp dist.JobSubmitResponse
+	if err := c.post(dist.PathJobs, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SubmitCampaign wraps a local campaign + program into a queue job.
+func (c *Client) SubmitCampaign(camp *inject.Campaign, p *prog.Program, priority int) (*dist.JobSubmitResponse, error) {
+	ireq, err := dist.NewInjectRequest(camp, p)
+	if err != nil {
+		return nil, err
+	}
+	return c.Submit(&dist.JobRequest{Kind: dist.JobCampaign, Priority: priority, Inject: &ireq})
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(id string) (*dist.JobStatus, error) {
+	var st dist.JobStatus
+	if err := c.get(dist.PathJobs+"/"+id, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// List fetches every job's status.
+func (c *Client) List() ([]dist.JobStatus, error) {
+	var resp dist.JobListResponse
+	if err := c.get(dist.PathJobs, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// Cancel cancels one job.
+func (c *Client) Cancel(id string) error {
+	var resp map[string]bool
+	return c.post(dist.PathJobs+"/"+id+"/cancel", struct{}{}, &resp)
+}
+
+// Result fetches a terminal job's merged result.
+func (c *Client) Result(id string) (*dist.JobResult, error) {
+	var res dist.JobResult
+	if err := c.get(dist.PathJobs+"/"+id+"/result", &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Await polls a job to a terminal state and returns its merged result.
+// Transport errors inside RetryWindow are retried — a coordinator
+// restart mid-job resumes the durable queue, and the client just keeps
+// asking. onEvent, if non-nil, receives each newly observed
+// shard-completion count (for progress display).
+func (c *Client) Await(id string, onEvent func(st *dist.JobStatus)) (*dist.JobResult, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	var lastErr error
+	errSince := time.Time{}
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			// Distinguish "job unknown" (fatal: the coordinator lost its
+			// state, or the id is wrong) from transport errors (retry:
+			// the coordinator is restarting).
+			if strings.Contains(err.Error(), "no such job") {
+				return nil, err
+			}
+			if errSince.IsZero() {
+				errSince = time.Now()
+			}
+			lastErr = err
+			if time.Since(errSince) > c.RetryWindow {
+				return nil, fmt.Errorf("queue: coordinator unreachable for %s: %w", c.RetryWindow, lastErr)
+			}
+			time.Sleep(interval)
+			continue
+		}
+		errSince = time.Time{}
+		if onEvent != nil {
+			onEvent(st)
+		}
+		switch st.State {
+		case dist.JobStateDone:
+			return c.Result(id)
+		case dist.JobStateCancelled, dist.JobStateFailed:
+			res := &dist.JobResult{ID: id, Kind: st.Kind, State: st.State}
+			if st.State == dist.JobStateFailed && st.Error != "" {
+				return res, fmt.Errorf("queue: job %s failed: %s", id, st.Error)
+			}
+			return res, nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+// RunCampaign submits a campaign and awaits its merged statistics —
+// the queue-backed drop-in for dist.Pool.RunCampaign, with the same
+// bit-identity guarantee (shard-index-order merge of deterministic
+// shard results).
+func (c *Client) RunCampaign(camp *inject.Campaign, p *prog.Program) (*inject.Stats, error) {
+	sub, err := c.SubmitCampaign(camp, p, 0)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Await(sub.ID, nil)
+	if err != nil {
+		return nil, err
+	}
+	if res.State != dist.JobStateDone || res.Stats == nil {
+		return nil, fmt.Errorf("queue: job %s ended %s without stats", sub.ID, res.State)
+	}
+	return res.Stats, nil
+}
+
+// clientEvaluator adapts the client to core.Evaluator: each evaluation
+// batch becomes one queue job, sharded, cached and graded by the
+// fleet, reassembled in input order.
+type clientEvaluator struct {
+	c *Client
+
+	mu    sync.Mutex
+	st    coverage.Structure
+	gen   gen.Config
+	core  uarch.Config
+	ready bool
+}
+
+// Evaluator returns a core.Evaluator backed by the queue (set it as
+// core.Options.Evaluator).
+func (c *Client) Evaluator() core.Evaluator { return &clientEvaluator{c: c} }
+
+func (e *clientEvaluator) Configure(st coverage.Structure, gcfg gen.Config, ccfg uarch.Config) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.st = st
+	e.gen = gcfg
+	e.core = ccfg
+	e.ready = true
+	return nil
+}
+
+func (e *clientEvaluator) EvaluateBatch(gs []*gen.Genotype) ([]core.EvalResult, error) {
+	e.mu.Lock()
+	if !e.ready {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("queue: evaluator used before Configure")
+	}
+	st, gcfg, ccfg := e.st, e.gen, e.core
+	e.mu.Unlock()
+	if len(gs) == 0 {
+		return nil, nil
+	}
+	req := &dist.JobRequest{
+		Kind: dist.JobEval,
+		Eval: &dist.EvalRequest{
+			Structure: st.String(),
+			Gen:       gcfg,
+			Core:      ccfg,
+			Genotypes: dist.EncodeGenotypes(gs),
+		},
+	}
+	sub, err := e.c.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.c.Await(sub.ID, nil)
+	if err != nil {
+		return nil, err
+	}
+	if res.State != dist.JobStateDone || len(res.Results) != len(gs) {
+		return nil, fmt.Errorf("queue: eval job %s ended %s with %d/%d results",
+			sub.ID, res.State, len(res.Results), len(gs))
+	}
+	out := make([]core.EvalResult, len(gs))
+	for i, r := range res.Results {
+		out[i] = core.EvalResult{Fitness: r.Fitness, Snapshot: r.Snapshot}
+	}
+	return out, nil
+}

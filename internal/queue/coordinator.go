@@ -1,0 +1,866 @@
+package queue
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"harpocrates/internal/dist"
+	"harpocrates/internal/obs"
+)
+
+// Options tunes a coordinator.
+type Options struct {
+	// DataDir is the durable state directory: wal.log, snapshot.json and
+	// (by default) the result cache live under it.
+	DataDir string
+	// CacheDir overrides the result-cache directory (default
+	// DataDir/cache). The cache may be shared read-write with pull-mode
+	// workers on the same filesystem.
+	CacheDir string
+	// CacheEntries bounds the in-memory LRU (entries; 0 = default).
+	CacheEntries int
+
+	// ShardSize is the number of campaign specs per shard (default 32);
+	// EvalShardSize the number of genotypes per eval shard (default 8).
+	// Bounds are fixed per job at submit time, so changing these between
+	// restarts never re-shards persisted jobs.
+	ShardSize     int
+	EvalShardSize int
+
+	// LeaseTimeout is how long a worker may sit on a leased shard before
+	// it is re-queued for the others (default 2 minutes).
+	LeaseTimeout time.Duration
+
+	// PushWorkers lists legacy push-mode harpod URLs; the coordinator
+	// runs an internal dispatcher that leases shards like any pull
+	// worker and pushes them over the PR 4 request/response protocol.
+	PushWorkers []string
+	// PushOptions tunes the push pool (retries, timeouts).
+	PushOptions dist.Options
+
+	// LocalExec runs that many in-process executor goroutines — the
+	// zero-worker fallback that keeps a fleetless coordinator (or a test)
+	// completing jobs.
+	LocalExec int
+
+	// Obs receives queue.* counters, gauges and histograms; may be nil.
+	Obs *obs.Observer
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheDir == "" {
+		o.CacheDir = filepath.Join(o.DataDir, "cache")
+	}
+	if o.ShardSize <= 0 {
+		o.ShardSize = 32
+	}
+	if o.EvalShardSize <= 0 {
+		o.EvalShardSize = 8
+	}
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = 2 * time.Minute
+	}
+	return o
+}
+
+// Coordinator is the campaign-as-a-service job queue: it accepts
+// durable jobs, serves them to pulling workers shard by shard
+// (work-stealing: idle workers lease the next ready shard, so
+// heterogeneous machines self-balance), re-queues expired leases,
+// persists every transition to the WAL, and serves every shard it can
+// from the content-addressed result cache instead of dispatching it.
+type Coordinator struct {
+	opts  Options
+	ob    *obs.Observer
+	wal   *WAL
+	cache *Cache
+	push  *dist.Pool
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []*job // submit order
+	nextSeq   int
+	nextLease uint64
+	pulse     chan struct{} // closed + replaced on every state change
+	draining  bool
+
+	stop chan struct{}
+	bg   sync.WaitGroup
+}
+
+// NewCoordinator opens (creating if needed) the durable state under
+// opts.DataDir, replays the snapshot + WAL — re-queuing every shard
+// that was leased or pending when the previous process died, so no
+// work is lost — and starts the background dispatchers.
+func NewCoordinator(opts Options) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	if opts.DataDir == "" {
+		return nil, fmt.Errorf("queue: coordinator needs a data dir")
+	}
+	if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("queue: %w", err)
+	}
+	cache, err := OpenCache(opts.CacheDir, opts.CacheEntries, opts.Obs)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		opts:  opts,
+		ob:    opts.Obs,
+		cache: cache,
+		jobs:  make(map[string]*job),
+		pulse: make(chan struct{}),
+		stop:  make(chan struct{}),
+	}
+	if err := c.recover(); err != nil {
+		cache.Close()
+		return nil, err
+	}
+	if len(opts.PushWorkers) > 0 {
+		po := opts.PushOptions
+		if po.Obs == nil {
+			po.Obs = opts.Obs
+		}
+		c.push = dist.New(opts.PushWorkers, po)
+		n := max(1, c.push.Probe()*2)
+		for i := 0; i < n; i++ {
+			c.bg.Add(1)
+			go c.executorLoop(fmt.Sprintf("push-%d", i), c.execPush)
+		}
+	}
+	for i := 0; i < opts.LocalExec; i++ {
+		c.bg.Add(1)
+		go c.executorLoop(fmt.Sprintf("local-%d", i), c.execLocal)
+	}
+	c.bg.Add(1)
+	go c.expiryLoop()
+	return c, nil
+}
+
+// recover loads snapshot.json, replays the WAL on top, serves cached
+// shards, and re-queues everything else.
+func (c *Coordinator) recover() error {
+	snapPath := filepath.Join(c.opts.DataDir, "snapshot.json")
+	if data, err := os.ReadFile(snapPath); err == nil {
+		var snap snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("queue: parse snapshot: %w", err)
+		}
+		if snap.Version != snapshotVersion {
+			return fmt.Errorf("queue: unsupported snapshot version %d", snap.Version)
+		}
+		c.nextSeq = snap.NextSeq
+		for i := range snap.Jobs {
+			sj := &snap.Jobs[i]
+			j := newJob(sj.ID, sj.Seq, sj.Req, sj.Bounds)
+			j.state = sj.State
+			j.errMsg = sj.Error
+			for _, d := range sj.Done {
+				if d.Shard < 0 || d.Shard >= len(j.shards) {
+					return fmt.Errorf("queue: snapshot job %s: shard %d out of range", sj.ID, d.Shard)
+				}
+				c.applyDone(j, d.Shard, d.Value, d.Cached, d.Worker, false)
+			}
+			c.jobs[j.id] = j
+			c.order = append(c.order, j)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("queue: read snapshot: %w", err)
+	}
+
+	wal, recs, err := OpenWAL(filepath.Join(c.opts.DataDir, "wal.log"))
+	if err != nil {
+		return err
+	}
+	c.wal = wal
+	for _, rec := range recs {
+		if err := c.replayRecord(rec); err != nil {
+			return err
+		}
+	}
+	c.ob.Counter("queue.wal.replayed").Add(int64(len(recs)))
+
+	// Re-derive job states and serve whatever the cache already knows:
+	// a restart with a warm cache re-completes shards without a single
+	// simulate call.
+	for _, j := range c.order {
+		if j.terminal() {
+			continue
+		}
+		c.serveFromCache(j)
+		c.refreshState(j)
+	}
+	c.ob.Gauge("queue.jobs.open").Set(float64(c.openJobs()))
+	return nil
+}
+
+// replayRecord applies one WAL record to the in-memory state.
+func (c *Coordinator) replayRecord(rec Record) error {
+	switch rec.Kind {
+	case recSubmit:
+		var ws walSubmit
+		if err := json.Unmarshal(rec.Payload, &ws); err != nil {
+			return fmt.Errorf("queue: replay submit: %w", err)
+		}
+		if _, ok := c.jobs[ws.ID]; ok {
+			return fmt.Errorf("queue: replay: duplicate job %s", ws.ID)
+		}
+		if err := ws.Req.Validate(); err != nil {
+			return fmt.Errorf("queue: replay job %s: %w", ws.ID, err)
+		}
+		j := newJob(ws.ID, ws.Seq, ws.Req, ws.Bounds)
+		c.jobs[j.id] = j
+		c.order = append(c.order, j)
+		if ws.Seq >= c.nextSeq {
+			c.nextSeq = ws.Seq + 1
+		}
+	case recShardDone:
+		var wd walShardDone
+		if err := json.Unmarshal(rec.Payload, &wd); err != nil {
+			return fmt.Errorf("queue: replay shard done: %w", err)
+		}
+		j, ok := c.jobs[wd.ID]
+		if !ok {
+			return fmt.Errorf("queue: replay: shard done for unknown job %s", wd.ID)
+		}
+		if wd.Shard < 0 || wd.Shard >= len(j.shards) {
+			return fmt.Errorf("queue: replay: job %s shard %d out of range", wd.ID, wd.Shard)
+		}
+		if j.shards[wd.Shard].state != shardDone {
+			c.applyDone(j, wd.Shard, wd.Value, wd.Cached, wd.Worker, false)
+		}
+	case recCancel:
+		var wc walCancel
+		if err := json.Unmarshal(rec.Payload, &wc); err != nil {
+			return fmt.Errorf("queue: replay cancel: %w", err)
+		}
+		if j, ok := c.jobs[wc.ID]; ok && !j.terminal() {
+			j.state = dist.JobStateCancelled
+		}
+	default:
+		return fmt.Errorf("queue: replay: unknown record kind %d", rec.Kind)
+	}
+	return nil
+}
+
+// applyDone marks one shard complete and emits its stream event.
+// Caller holds c.mu (or is single-threaded recovery).
+func (c *Coordinator) applyDone(j *job, i int, value []byte, cached bool, worker string, put bool) {
+	s := j.shards[i]
+	s.state = shardDone
+	s.value = value
+	s.cached = cached
+	s.worker = worker
+	j.done++
+	if cached {
+		j.cached++
+	}
+	if put {
+		if err := c.cache.Put(j.shardKey(i), value); err != nil {
+			c.ob.Counter("queue.cache.put_errors").Inc()
+		}
+	}
+	j.events = append(j.events, dist.StreamEvent{
+		JobID: j.id, Shard: i, Lo: s.lo, Hi: s.hi, Cached: cached, Worker: worker,
+	})
+}
+
+// serveFromCache completes every still-ready shard whose key the cache
+// holds. Caller holds c.mu (or recovery).
+func (c *Coordinator) serveFromCache(j *job) {
+	for i, s := range j.shards {
+		if s.state != shardReady {
+			continue
+		}
+		value, ok := c.cache.Get(j.shardKey(i))
+		if !ok {
+			continue
+		}
+		if err := j.decodeShardValue(i, value); err != nil {
+			// A corrupt or mismatched cache entry is treated as a miss;
+			// the shard simulates normally.
+			c.ob.Counter("queue.cache.decode_errors").Inc()
+			continue
+		}
+		c.ob.Counter("queue.shards.cached").Inc()
+		c.walShardDone(j, i, value, true, "")
+		c.applyDone(j, i, value, true, "", false)
+	}
+}
+
+// refreshState finalizes a job whose shards are all done. Caller holds
+// c.mu (or recovery).
+func (c *Coordinator) refreshState(j *job) {
+	if j.terminal() {
+		return
+	}
+	if j.done == len(j.shards) {
+		j.state = dist.JobStateDone
+		j.events = append(j.events, dist.StreamEvent{JobID: j.id, Done: true, State: j.state})
+		c.ob.Counter("queue.jobs.completed").Inc()
+		return
+	}
+	if j.done > 0 || anyLeased(j) {
+		j.state = dist.JobStateRunning
+	}
+}
+
+func anyLeased(j *job) bool {
+	for _, s := range j.shards {
+		if s.state == shardLeased {
+			return true
+		}
+	}
+	return false
+}
+
+// openJobs counts non-terminal jobs. Caller holds c.mu (or recovery).
+func (c *Coordinator) openJobs() int {
+	n := 0
+	for _, j := range c.order {
+		if !j.terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// walAppend marshals and appends one record.
+func (c *Coordinator) walAppend(kind byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("queue: marshal wal record: %w", err)
+	}
+	return c.wal.Append(kind, payload)
+}
+
+func (c *Coordinator) walShardDone(j *job, i int, value []byte, cached bool, worker string) {
+	if err := c.walAppend(recShardDone, &walShardDone{
+		ID: j.id, Shard: i, Cached: cached, Worker: worker, Value: value,
+	}); err != nil {
+		// A failed durability write must not lose the in-memory result;
+		// the job still completes, only crash-resume would re-run it.
+		c.ob.Counter("queue.wal.errors").Inc()
+	}
+}
+
+// broadcast wakes every lease long-poller and stream follower. Caller
+// holds c.mu.
+func (c *Coordinator) broadcast() {
+	close(c.pulse)
+	c.pulse = make(chan struct{})
+}
+
+// pulseChan returns the current pulse under the lock.
+func (c *Coordinator) pulseChan() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pulse
+}
+
+// Submit validates, persists and enqueues one job, serving every shard
+// it can from the result cache before any dispatch. It returns once the
+// job is durable.
+func (c *Coordinator) Submit(req *dist.JobRequest) (*dist.JobSubmitResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	var bounds [][2]int
+	if req.Kind == dist.JobCampaign {
+		bounds = planBounds(req.Inject.N, c.opts.ShardSize)
+	} else {
+		bounds = planBounds(len(req.Eval.Genotypes), c.opts.EvalShardSize)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return nil, fmt.Errorf("queue: coordinator is shutting down")
+	}
+	seq := c.nextSeq
+	c.nextSeq++
+	id := fmt.Sprintf("j-%06d", seq)
+	j := newJob(id, seq, req, bounds)
+	if err := c.walAppend(recSubmit, &walSubmit{ID: id, Seq: seq, Req: req, Bounds: bounds}); err != nil {
+		c.nextSeq = seq // roll back the unused sequence number
+		return nil, err
+	}
+	c.jobs[id] = j
+	c.order = append(c.order, j)
+	c.ob.Counter("queue.jobs.submitted").Inc()
+
+	c.serveFromCache(j)
+	c.refreshState(j)
+	c.ob.Gauge("queue.jobs.open").Set(float64(c.openJobs()))
+	c.broadcast()
+	return &dist.JobSubmitResponse{ID: id, Shards: len(j.shards), CacheHits: j.cached}, nil
+}
+
+// Lease hands the calling worker the next ready shard, long-polling up
+// to wait for one to appear. The pick order is (priority desc, submit
+// order asc, shard index asc): work-stealing with a deterministic
+// frontier. An empty response (JobID == "") means nothing was ready.
+func (c *Coordinator) Lease(worker string, wait time.Duration) (*dist.LeaseResponse, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		c.mu.Lock()
+		if c.draining {
+			c.mu.Unlock()
+			return &dist.LeaseResponse{}, nil
+		}
+		c.expireLocked(time.Now())
+		if resp := c.leaseLocked(worker); resp != nil {
+			c.mu.Unlock()
+			return resp, nil
+		}
+		pulse := c.pulse
+		c.mu.Unlock()
+
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return &dist.LeaseResponse{}, nil
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-pulse:
+			timer.Stop()
+		case <-timer.C:
+			return &dist.LeaseResponse{}, nil
+		case <-c.stop:
+			timer.Stop()
+			return &dist.LeaseResponse{}, nil
+		}
+	}
+}
+
+// leaseLocked picks and leases the next ready shard, or returns nil.
+// Caller holds c.mu.
+func (c *Coordinator) leaseLocked(worker string) *dist.LeaseResponse {
+	j, i := c.nextReadyLocked()
+	if j == nil {
+		return nil
+	}
+	s := j.shards[i]
+	c.nextLease++
+	s.state = shardLeased
+	s.lease = c.nextLease
+	s.worker = worker
+	s.leasedAt = time.Now()
+	s.deadline = s.leasedAt.Add(c.opts.LeaseTimeout)
+	if j.state == dist.JobStatePending {
+		j.state = dist.JobStateRunning
+	}
+	c.ob.Counter("queue.leases.granted").Inc()
+	resp := &dist.LeaseResponse{JobID: j.id, Shard: i, Lease: s.lease, Kind: j.req.Kind}
+	if j.req.Kind == dist.JobCampaign {
+		resp.Inject = j.shardInjectReq(i)
+	} else {
+		resp.Eval = j.shardEvalReq(i)
+	}
+	return resp
+}
+
+// nextReadyLocked scans for the first ready shard of the best job by
+// (priority desc, submit order asc). The order slice stays
+// submit-ordered; priority is applied by the scan. Caller holds c.mu.
+func (c *Coordinator) nextReadyLocked() (*job, int) {
+	var bestJob *job
+	bestShard := -1
+	for _, j := range c.order {
+		if j.terminal() {
+			continue
+		}
+		if bestJob != nil && (j.prio < bestJob.prio) {
+			continue
+		}
+		if bestJob != nil && j.prio == bestJob.prio && j.seq > bestJob.seq {
+			continue
+		}
+		for i, s := range j.shards {
+			if s.state == shardReady {
+				if bestJob == nil || j.prio > bestJob.prio ||
+					(j.prio == bestJob.prio && j.seq < bestJob.seq) {
+					bestJob, bestShard = j, i
+				}
+				break
+			}
+		}
+	}
+	return bestJob, bestShard
+}
+
+// expireLocked re-queues every leased shard past its deadline. Caller
+// holds c.mu.
+func (c *Coordinator) expireLocked(now time.Time) {
+	expired := 0
+	for _, j := range c.order {
+		if j.terminal() {
+			continue
+		}
+		for _, s := range j.shards {
+			if s.state == shardLeased && now.After(s.deadline) {
+				s.state = shardReady
+				s.lease = 0
+				s.worker = ""
+				expired++
+			}
+		}
+	}
+	if expired > 0 {
+		c.ob.Counter("queue.lease.expirations").Add(int64(expired))
+		c.broadcast()
+	}
+}
+
+// Complete accepts a leased shard's result (or failure). Stale leases —
+// expired and possibly re-assigned — are acknowledged and discarded;
+// the re-lease's result is the one that counts, and values are
+// content-determined so the discard can never lose information.
+func (c *Coordinator) Complete(req *dist.CompleteRequest) (*dist.CompleteResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[req.JobID]
+	if !ok {
+		return nil, fmt.Errorf("queue: no job %s", req.JobID)
+	}
+	if req.Shard < 0 || req.Shard >= len(j.shards) {
+		return nil, fmt.Errorf("queue: job %s has no shard %d", req.JobID, req.Shard)
+	}
+	if j.terminal() {
+		// Cancelled (or already finished) while the worker was busy.
+		return &dist.CompleteResponse{OK: true, Stale: true}, nil
+	}
+	s := j.shards[req.Shard]
+	if s.state != shardLeased || s.lease != req.Lease {
+		c.ob.Counter("queue.complete.stale").Inc()
+		return &dist.CompleteResponse{OK: true, Stale: true}, nil
+	}
+	if req.Err != "" {
+		s.state = shardReady
+		s.lease = 0
+		s.worker = ""
+		c.ob.Counter("queue.shard.failures").Inc()
+		c.broadcast()
+		return &dist.CompleteResponse{OK: true}, nil
+	}
+	value, err := j.encodeShardResult(req.Shard, req)
+	if err != nil {
+		// A malformed result is a worker bug: re-queue the shard and
+		// reject the completion.
+		s.state = shardReady
+		s.lease = 0
+		s.worker = ""
+		c.ob.Counter("queue.shard.failures").Inc()
+		c.broadcast()
+		return nil, err
+	}
+	c.ob.Histogram("queue.shard.ns").ObserveDuration(time.Since(s.leasedAt))
+	c.ob.Counter("queue.shards.completed").Inc()
+	if req.Cached {
+		c.ob.Counter("queue.shards.worker_cached").Inc()
+	}
+	c.walShardDone(j, req.Shard, value, req.Cached, req.Worker)
+	c.applyDone(j, req.Shard, value, req.Cached, req.Worker, true)
+	c.refreshState(j)
+	c.ob.Gauge("queue.jobs.open").Set(float64(c.openJobs()))
+	c.broadcast()
+	return &dist.CompleteResponse{OK: true}, nil
+}
+
+// Cancel moves a non-terminal job to cancelled; in-flight leases are
+// discarded at completion.
+func (c *Coordinator) Cancel(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return fmt.Errorf("queue: no job %s", id)
+	}
+	if j.terminal() {
+		return fmt.Errorf("queue: job %s is already %s", id, j.state)
+	}
+	if err := c.walAppend(recCancel, &walCancel{ID: id}); err != nil {
+		return err
+	}
+	j.state = dist.JobStateCancelled
+	j.events = append(j.events, dist.StreamEvent{JobID: id, Done: true, State: j.state})
+	c.ob.Counter("queue.jobs.cancelled").Inc()
+	c.ob.Gauge("queue.jobs.open").Set(float64(c.openJobs()))
+	c.broadcast()
+	return nil
+}
+
+// Status returns one job's externally visible state.
+func (c *Coordinator) Status(id string) (*dist.JobStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	st := j.status()
+	return &st, true
+}
+
+// List returns every job's status in submit order.
+func (c *Coordinator) List() []dist.JobStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]dist.JobStatus, 0, len(c.order))
+	for _, j := range c.order {
+		out = append(out, j.status())
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Result returns the merged terminal result of a done job (an error
+// for unknown jobs; nil result with the job's state for unfinished or
+// cancelled ones).
+func (c *Coordinator) Result(id string) (*dist.JobResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("queue: no job %s", id)
+	}
+	return j.result()
+}
+
+// EventsSince returns a copy of a job's stream events from index `from`
+// plus whether the job is terminal.
+func (c *Coordinator) EventsSince(id string, from int) ([]dist.StreamEvent, bool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, false, false
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from > len(j.events) {
+		from = len(j.events)
+	}
+	events := append([]dist.StreamEvent(nil), j.events[from:]...)
+	return events, j.terminal(), true
+}
+
+// Wait blocks until the job reaches a terminal state and returns its
+// merged result (in-process convenience used by tests and embedded
+// callers; remote clients follow the stream endpoint).
+func (c *Coordinator) Wait(id string) (*dist.JobResult, error) {
+	for {
+		c.mu.Lock()
+		j, ok := c.jobs[id]
+		if !ok {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("queue: no job %s", id)
+		}
+		if j.terminal() {
+			res, err := j.result()
+			c.mu.Unlock()
+			return res, err
+		}
+		pulse := c.pulse
+		c.mu.Unlock()
+		select {
+		case <-pulse:
+		case <-c.stop:
+			return nil, fmt.Errorf("queue: coordinator closed while waiting for %s", id)
+		}
+	}
+}
+
+// expiryLoop re-queues expired leases in the background so stalled
+// workers cannot wedge a job even with no lease traffic arriving.
+func (c *Coordinator) expiryLoop() {
+	defer c.bg.Done()
+	interval := max(c.opts.LeaseTimeout/4, 50*time.Millisecond)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-t.C:
+			c.mu.Lock()
+			c.expireLocked(now)
+			c.mu.Unlock()
+		}
+	}
+}
+
+// executorLoop is the shared skeleton of the in-process and push-mode
+// dispatchers: lease, execute, complete, repeat.
+func (c *Coordinator) executorLoop(name string, exec func(*dist.LeaseResponse) *dist.CompleteRequest) {
+	defer c.bg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		lease, err := c.Lease(name, 500*time.Millisecond)
+		if err != nil || lease.JobID == "" {
+			continue
+		}
+		comp := exec(lease)
+		comp.Worker = name
+		comp.JobID = lease.JobID
+		comp.Shard = lease.Shard
+		comp.Lease = lease.Lease
+		if _, err := c.Complete(comp); err != nil {
+			c.ob.Counter("queue.executor.complete_errors").Inc()
+		}
+		if comp.Err != "" {
+			// Executor failure (likely every push worker gone): back off
+			// instead of spinning on the same shard.
+			select {
+			case <-c.stop:
+				return
+			case <-time.After(200 * time.Millisecond):
+			}
+		}
+	}
+}
+
+// execLocal runs one leased shard in process.
+func (c *Coordinator) execLocal(lease *dist.LeaseResponse) *dist.CompleteRequest {
+	comp := &dist.CompleteRequest{}
+	if lease.Kind == dist.JobCampaign {
+		st, err := dist.RunInject(lease.Inject, c.ob)
+		if err != nil {
+			comp.Err = err.Error()
+			return comp
+		}
+		comp.Stats = st
+	} else {
+		res, err := dist.RunEval(lease.Eval)
+		if err != nil {
+			comp.Err = err.Error()
+			return comp
+		}
+		comp.Results = res
+	}
+	c.ob.Counter("queue.shards.executed_local").Inc()
+	return comp
+}
+
+// execPush forwards one leased shard to a legacy push-mode worker.
+func (c *Coordinator) execPush(lease *dist.LeaseResponse) *dist.CompleteRequest {
+	comp := &dist.CompleteRequest{}
+	if lease.Kind == dist.JobCampaign {
+		st, err := c.push.PostInject(lease.Inject)
+		if err != nil {
+			comp.Err = err.Error()
+			return comp
+		}
+		comp.Stats = st
+	} else {
+		res, err := c.push.PostEval(lease.Eval)
+		if err != nil {
+			comp.Err = err.Error()
+			return comp
+		}
+		comp.Results = res
+	}
+	c.ob.Counter("queue.shards.executed_push").Inc()
+	return comp
+}
+
+// Close gracefully shuts the coordinator down: new submits and leases
+// are refused, in-flight leases get until ctx's deadline to complete
+// (a lease that misses it is simply re-queued on the next start — the
+// WAL already has everything else), the full state is snapshotted
+// atomically, the WAL is reset and every file is flushed and closed.
+func (c *Coordinator) Close(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.broadcast()
+	c.mu.Unlock()
+
+	// Drain: wait for outstanding leases to come home.
+	for {
+		c.mu.Lock()
+		outstanding := 0
+		for _, j := range c.order {
+			if j.terminal() {
+				continue
+			}
+			for _, s := range j.shards {
+				if s.state == shardLeased {
+					outstanding++
+				}
+			}
+		}
+		pulse := c.pulse
+		c.mu.Unlock()
+		if outstanding == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			c.ob.Counter("queue.close.undrained_leases").Add(int64(outstanding))
+			goto drained
+		case <-pulse:
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+drained:
+	close(c.stop)
+	c.bg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := snapshot{Version: snapshotVersion, NextSeq: c.nextSeq}
+	for _, j := range c.order {
+		sj := snapJob{
+			walSubmit: walSubmit{ID: j.id, Seq: j.seq, Req: j.req, Bounds: boundsOf(j)},
+			State:     j.state,
+			Error:     j.errMsg,
+		}
+		for i, s := range j.shards {
+			if s.state == shardDone {
+				sj.Done = append(sj.Done, snapShard{Shard: i, Cached: s.cached, Worker: s.worker, Value: s.value})
+			}
+		}
+		snap.Jobs = append(snap.Jobs, sj)
+	}
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		return fmt.Errorf("queue: marshal snapshot: %w", err)
+	}
+	var firstErr error
+	if err := atomicWrite(filepath.Join(c.opts.DataDir, "snapshot.json"), data); err != nil {
+		firstErr = err
+	} else if err := c.wal.Reset(); err != nil {
+		firstErr = err
+	}
+	if err := c.wal.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := c.cache.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// boundsOf re-derives the persisted bounds slice of a job.
+func boundsOf(j *job) [][2]int {
+	out := make([][2]int, len(j.shards))
+	for i, s := range j.shards {
+		out[i] = [2]int{s.lo, s.hi}
+	}
+	return out
+}
+
+// Cache exposes the coordinator's result cache (worker-side lookups in
+// tests; the CLI surfaces it for inspection).
+func (c *Coordinator) Cache() *Cache { return c.cache }

@@ -1,0 +1,276 @@
+package queue
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"harpocrates/internal/dist"
+	"harpocrates/internal/inject"
+)
+
+// shardState is one shard's lifecycle position.
+type shardState int
+
+const (
+	shardReady shardState = iota
+	shardLeased
+	shardDone
+)
+
+// shardRec is the coordinator's record of one planned shard. Bounds are
+// fixed at submit time and persisted with the job, so a coordinator
+// restarted with different sharding options still completes (and
+// cache-keys) an old job exactly as planned.
+type shardRec struct {
+	lo, hi int
+	state  shardState
+
+	lease    uint64
+	worker   string
+	leasedAt time.Time
+	deadline time.Time
+
+	cached bool
+	// value is the encoded result of a done shard: HXSR stats bytes for
+	// campaign shards, JSON-encoded []dist.WireEvalResult for eval
+	// shards — the same bytes the WAL records and the cache stores.
+	value []byte
+}
+
+// job is one durable queue entry.
+type job struct {
+	id   string
+	seq  int
+	prio int
+	req  *dist.JobRequest
+
+	shards []*shardRec
+	done   int
+	cached int
+
+	state  string
+	errMsg string
+
+	events []dist.StreamEvent
+}
+
+// planBounds cuts n work items into contiguous shards of at most size
+// items (the last may be smaller).
+func planBounds(n, size int) [][2]int {
+	if size <= 0 {
+		size = 1
+	}
+	var out [][2]int
+	for lo := 0; lo < n; lo += size {
+		out = append(out, [2]int{lo, min(lo+size, n)})
+	}
+	return out
+}
+
+// newJob builds the in-memory job for a validated request and planned
+// bounds.
+func newJob(id string, seq int, req *dist.JobRequest, bounds [][2]int) *job {
+	j := &job{id: id, seq: seq, prio: req.Priority, req: req, state: dist.JobStatePending}
+	for _, b := range bounds {
+		j.shards = append(j.shards, &shardRec{lo: b[0], hi: b[1]})
+	}
+	return j
+}
+
+// terminal reports whether the job has reached a final state.
+func (j *job) terminal() bool {
+	switch j.state {
+	case dist.JobStateDone, dist.JobStateCancelled, dist.JobStateFailed:
+		return true
+	}
+	return false
+}
+
+// shardInjectReq materializes shard i's self-contained wire request.
+func (j *job) shardInjectReq(i int) *dist.InjectRequest {
+	req := *j.req.Inject
+	req.Lo, req.Hi = j.shards[i].lo, j.shards[i].hi
+	return &req
+}
+
+// shardEvalReq materializes shard i's genotype slice request.
+func (j *job) shardEvalReq(i int) *dist.EvalRequest {
+	req := *j.req.Eval
+	req.Genotypes = j.req.Eval.Genotypes[j.shards[i].lo:j.shards[i].hi]
+	return &req
+}
+
+// shardKey is shard i's content-addressed cache key.
+func (j *job) shardKey(i int) CacheKey {
+	if j.req.Kind == dist.JobCampaign {
+		return CampaignShardKey(j.shardInjectReq(i))
+	}
+	return EvalShardKey(j.shardEvalReq(i))
+}
+
+// encodeShardResult validates and encodes a completion's payload into
+// the job's value format.
+func (j *job) encodeShardResult(i int, req *dist.CompleteRequest) ([]byte, error) {
+	s := j.shards[i]
+	if j.req.Kind == dist.JobCampaign {
+		if req.Stats == nil {
+			return nil, fmt.Errorf("queue: campaign shard completed without stats")
+		}
+		if req.Stats.N != s.hi-s.lo || len(req.Stats.Outcomes) != req.Stats.N {
+			return nil, fmt.Errorf("queue: shard [%d,%d) returned %d outcomes",
+				s.lo, s.hi, len(req.Stats.Outcomes))
+		}
+		return inject.EncodeStats(req.Stats), nil
+	}
+	if len(req.Results) != s.hi-s.lo {
+		return nil, fmt.Errorf("queue: eval shard [%d,%d) returned %d results",
+			s.lo, s.hi, len(req.Results))
+	}
+	return json.Marshal(req.Results)
+}
+
+// decodeShardValue validates an encoded shard value (a cache hit or a
+// WAL replay) against shard i's bounds; an undecodable or mis-sized
+// value is reported so the caller can treat it as a miss.
+func (j *job) decodeShardValue(i int, value []byte) error {
+	s := j.shards[i]
+	if j.req.Kind == dist.JobCampaign {
+		st, err := inject.DecodeStats(value)
+		if err != nil {
+			return err
+		}
+		if st.N != s.hi-s.lo || len(st.Outcomes) != st.N {
+			return fmt.Errorf("queue: cached shard [%d,%d) holds %d outcomes", s.lo, s.hi, st.N)
+		}
+		return nil
+	}
+	var res []dist.WireEvalResult
+	if err := json.Unmarshal(value, &res); err != nil {
+		return err
+	}
+	if len(res) != s.hi-s.lo {
+		return fmt.Errorf("queue: cached eval shard [%d,%d) holds %d results", s.lo, s.hi, len(res))
+	}
+	return nil
+}
+
+// status renders the externally visible state. Caller holds the
+// coordinator lock.
+func (j *job) status() dist.JobStatus {
+	st := dist.JobStatus{
+		ID:       j.id,
+		Kind:     j.req.Kind,
+		State:    j.state,
+		Priority: j.prio,
+		Error:    j.errMsg,
+		Shards:   len(j.shards),
+		Done:     j.done,
+		Cached:   j.cached,
+	}
+	if j.req.Kind == dist.JobCampaign && j.done > 0 {
+		// Partial stats: the shard-order merge of the shards done so
+		// far (the full merge once the job is done).
+		var parts []*inject.Stats
+		for _, s := range j.shards {
+			if s.state != shardDone {
+				continue
+			}
+			if dec, err := inject.DecodeStats(s.value); err == nil {
+				parts = append(parts, dec)
+			}
+		}
+		if merged, err := inject.MergeStats(parts); err == nil {
+			st.Stats = merged
+		}
+	}
+	return st
+}
+
+// result renders the merged terminal result. Caller holds the
+// coordinator lock; the job must be done.
+func (j *job) result() (*dist.JobResult, error) {
+	out := &dist.JobResult{ID: j.id, Kind: j.req.Kind, State: j.state}
+	if j.state != dist.JobStateDone {
+		return out, nil
+	}
+	if j.req.Kind == dist.JobCampaign {
+		parts := make([]*inject.Stats, len(j.shards))
+		for i, s := range j.shards {
+			dec, err := inject.DecodeStats(s.value)
+			if err != nil {
+				return nil, fmt.Errorf("queue: job %s shard %d: %w", j.id, i, err)
+			}
+			parts[i] = dec
+		}
+		merged, err := inject.MergeStats(parts)
+		if err != nil {
+			return nil, fmt.Errorf("queue: job %s: %w", j.id, err)
+		}
+		out.Stats = merged
+		return out, nil
+	}
+	for i, s := range j.shards {
+		var res []dist.WireEvalResult
+		if err := json.Unmarshal(s.value, &res); err != nil {
+			return nil, fmt.Errorf("queue: job %s shard %d: %w", j.id, i, err)
+		}
+		out.Results = append(out.Results, res...)
+	}
+	return out, nil
+}
+
+// WAL record kinds.
+const (
+	recSubmit    byte = 1
+	recShardDone byte = 2
+	recCancel    byte = 3
+)
+
+// walSubmit persists everything needed to rebuild a job: the full
+// request and the planned shard bounds (so replay never depends on the
+// restarted coordinator's sharding options).
+type walSubmit struct {
+	ID     string           `json:"id"`
+	Seq    int              `json:"seq"`
+	Req    *dist.JobRequest `json:"req"`
+	Bounds [][2]int         `json:"bounds"`
+}
+
+// walShardDone persists one shard completion with its encoded value.
+type walShardDone struct {
+	ID     string `json:"id"`
+	Shard  int    `json:"shard"`
+	Cached bool   `json:"cached,omitempty"`
+	Worker string `json:"worker,omitempty"`
+	Value  []byte `json:"value"`
+}
+
+type walCancel struct {
+	ID string `json:"id"`
+}
+
+// snapshot is the atomic full-state capture written at graceful
+// shutdown (and after WAL-heavy replays); the WAL is reset right after
+// a snapshot lands, so restart state = snapshot + WAL suffix.
+type snapshot struct {
+	Version int       `json:"version"`
+	NextSeq int       `json:"next_seq"`
+	Jobs    []snapJob `json:"jobs"`
+}
+
+const snapshotVersion = 1
+
+type snapJob struct {
+	walSubmit
+	State string      `json:"state"`
+	Error string      `json:"error,omitempty"`
+	Done  []snapShard `json:"done,omitempty"`
+}
+
+type snapShard struct {
+	Shard  int    `json:"shard"`
+	Cached bool   `json:"cached,omitempty"`
+	Worker string `json:"worker,omitempty"`
+	Value  []byte `json:"value"`
+}

@@ -1,0 +1,92 @@
+package queue
+
+import (
+	"encoding/json"
+
+	"harpocrates/internal/corpus"
+	"harpocrates/internal/dist"
+	"harpocrates/internal/stats"
+)
+
+// Cache key derivation. All three key components use the corpus
+// hashing conventions (stats.Mix64 chains seeded with stats.HashInit,
+// the same scheme behind corpus filenames and the evaluator's fitness
+// memo), so "same content" means the same thing everywhere in the
+// system:
+//
+//   - Program: the Mix64 fold of the HXPG program bytes (campaign
+//     shards) or of the length-prefixed HXGT genotype batch (eval
+//     shards);
+//   - Config: the fold of the canonical JSON of the scalar
+//     configuration(s) — hook and event fields carry json:"-" and so
+//     are excluded by construction, exactly as on the wire;
+//   - Spec: the fold of the fault or evaluation parameters, including
+//     the shard bounds.
+//
+// Perf-only knobs (CheckpointInterval, NoFastForward,
+// NoDeltaTermination, DeltaInterval) are deliberately excluded from
+// the spec hash: the repo's differential tests prove campaign outcome
+// vectors are bit-identical across all of them, so a result computed
+// under any knob setting is valid for every other.
+
+// foldU64 mixes one 64-bit word into a Mix64 chain.
+func foldU64(h, v uint64) uint64 { return stats.Mix64(h, v) }
+
+// foldBytes mixes a length-prefixed byte string into a Mix64 chain
+// (the length prefix keeps concatenations unambiguous).
+func foldBytes(h uint64, b []byte) uint64 {
+	h = stats.Mix64(h, uint64(len(b)))
+	for _, c := range b {
+		h = stats.Mix64(h, uint64(c))
+	}
+	return h
+}
+
+// hashJSON content-hashes a value's canonical JSON encoding
+// (encoding/json emits struct fields in declaration order, so the
+// encoding is deterministic for a fixed type).
+func hashJSON(v any) uint64 {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Configuration types are plain scalar structs; marshal cannot
+		// fail for them. An impossible failure degrades to a constant,
+		// which only costs cache hits, never correctness.
+		return stats.HashInit
+	}
+	return corpus.HashBytes(data)
+}
+
+// CampaignShardKey derives the content-addressed cache key of one
+// campaign shard request ([Lo, Hi) of the campaign's N specs).
+func CampaignShardKey(req *dist.InjectRequest) CacheKey {
+	spec := stats.HashInit
+	spec = foldBytes(spec, []byte(req.Target))
+	spec = foldBytes(spec, []byte(req.Type))
+	spec = foldU64(spec, uint64(req.N))
+	spec = foldU64(spec, req.Seed)
+	spec = foldU64(spec, req.IntermittentLen)
+	spec = foldU64(spec, uint64(req.BurstLen))
+	spec = foldU64(spec, uint64(req.Lo))
+	spec = foldU64(spec, uint64(req.Hi))
+	return CacheKey{
+		Program: corpus.HashBytes(req.Program),
+		Config:  hashJSON(req.Cfg),
+		Spec:    spec,
+	}
+}
+
+// EvalShardKey derives the content-addressed cache key of one
+// evaluation shard request (its genotype slice).
+func EvalShardKey(req *dist.EvalRequest) CacheKey {
+	prog := stats.HashInit
+	for _, g := range req.Genotypes {
+		prog = foldBytes(prog, g)
+	}
+	cfg := stats.HashInit
+	cfg = foldU64(cfg, hashJSON(req.Gen))
+	cfg = foldU64(cfg, hashJSON(req.Core))
+	spec := stats.HashInit
+	spec = foldBytes(spec, []byte(req.Structure))
+	spec = foldU64(spec, uint64(len(req.Genotypes)))
+	return CacheKey{Program: prog, Config: cfg, Spec: spec}
+}

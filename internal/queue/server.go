@@ -1,0 +1,221 @@
+package queue
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"harpocrates/internal/dist"
+	"harpocrates/internal/obs"
+)
+
+// Server exposes the coordinator over HTTP: the v1 job endpoints, the
+// work-stealing lease/complete pair for pulling workers, and the
+// Prometheus exposition on the same listener.
+//
+//	POST /v1/jobs            submit a campaign or eval job
+//	GET  /v1/jobs            list jobs
+//	GET  /v1/jobs/{id}       one job's status (partial stats included)
+//	GET  /v1/jobs/{id}/stream  JSONL shard-completion events until done
+//	POST /v1/jobs/{id}/cancel  cancel a job
+//	POST /v1/lease           long-poll for the next ready shard
+//	POST /v1/complete        return a leased shard's result
+//	GET  /v1/healthz         liveness
+//	GET  /metrics            Prometheus text exposition
+type Server struct {
+	coord *Coordinator
+}
+
+// NewServer wraps a coordinator.
+func NewServer(c *Coordinator) *Server { return &Server{coord: c} }
+
+// Handler returns the coordinator's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(dist.PathHealthz, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc(dist.PathJobs, s.handleJobs)
+	mux.HandleFunc(dist.PathJobs+"/", s.handleJob)
+	mux.HandleFunc(dist.PathLease, s.handleLease)
+	mux.HandleFunc(dist.PathComplete, s.handleComplete)
+	mux.Handle(dist.PathMetrics, obs.PromHandler(s.coord.ob.Registry()))
+	return mux
+}
+
+// maxJobRequestBytes bounds one submitted job (programs are KBs;
+// genotype batches can reach MBs).
+const maxJobRequestBytes = 256 << 20
+
+func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobRequestBytes))
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeBody(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleJobs serves POST (submit) and GET (list) on /v1/jobs.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeBody(w, &dist.JobListResponse{Jobs: s.coord.List()})
+	case http.MethodPost:
+		var req dist.JobRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobRequestBytes))
+		if err := dec.Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := s.coord.Submit(&req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeBody(w, resp)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleJob routes /v1/jobs/{id}, /v1/jobs/{id}/stream and
+// /v1/jobs/{id}/cancel.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, dist.PathJobs+"/")
+	id, verb, _ := strings.Cut(rest, "/")
+	if id == "" {
+		http.Error(w, "missing job id", http.StatusBadRequest)
+		return
+	}
+	switch verb {
+	case "":
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		st, ok := s.coord.Status(id)
+		if !ok {
+			http.Error(w, "no such job", http.StatusNotFound)
+			return
+		}
+		writeBody(w, st)
+	case "result":
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		res, err := s.coord.Result(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		if res.State != dist.JobStateDone && res.State != dist.JobStateCancelled {
+			http.Error(w, fmt.Sprintf("job %s is %s", id, res.State), http.StatusConflict)
+			return
+		}
+		writeBody(w, res)
+	case "cancel":
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := s.coord.Cancel(id); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeBody(w, map[string]bool{"ok": true})
+	case "stream":
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.streamJob(w, r, id)
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+// streamJob writes the job's shard-completion events as JSON lines,
+// following new events until the job is terminal or the client leaves.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, id string) {
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/jsonl")
+	enc := json.NewEncoder(w)
+	from := 0
+	for {
+		events, terminal, ok := s.coord.EventsSince(id, from)
+		if !ok {
+			if from == 0 {
+				http.Error(w, "no such job", http.StatusNotFound)
+			}
+			return
+		}
+		for _, ev := range events {
+			if err := enc.Encode(&ev); err != nil {
+				return
+			}
+		}
+		from += len(events)
+		if len(events) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		pulse := s.coord.pulseChan()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.coord.stop:
+			return
+		case <-pulse:
+		case <-time.After(5 * time.Second):
+			// Periodic re-check also doubles as a keep-alive bound.
+		}
+	}
+}
+
+// handleLease serves the work-stealing long poll.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req dist.LeaseRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	wait := time.Duration(req.WaitMs) * time.Millisecond
+	if wait > 5*time.Minute {
+		wait = 5 * time.Minute
+	}
+	resp, err := s.coord.Lease(req.Worker, wait)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeBody(w, resp)
+}
+
+// handleComplete accepts a worker's shard result.
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req dist.CompleteRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	resp, err := s.coord.Complete(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeBody(w, resp)
+}

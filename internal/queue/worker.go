@@ -1,0 +1,220 @@
+package queue
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"harpocrates/internal/dist"
+	"harpocrates/internal/inject"
+	"harpocrates/internal/obs"
+)
+
+// WorkerOptions tunes a pull-mode worker.
+type WorkerOptions struct {
+	// Name identifies the worker in leases and metrics (default the
+	// process hostname is NOT consulted — pass something meaningful).
+	Name string
+	// CacheDir, if set, opens a worker-side content-addressed result
+	// cache: a leased shard whose key is already cached completes
+	// without simulating, and fresh results are stored for the next
+	// lease. Point several workers at a shared filesystem to pool it.
+	CacheDir string
+	// CacheEntries bounds the worker cache's in-memory LRU.
+	CacheEntries int
+	// WaitMs is the long-poll wait per lease request (default 30s).
+	WaitMs int
+	// Obs receives worker counters; may be nil.
+	Obs *obs.Observer
+}
+
+// Worker pulls shards from a coordinator until its context ends: the
+// work-stealing half of the queue. An idle worker long-polls
+// POST /v1/lease; the coordinator hands it the next ready shard by
+// priority and submit order. Faster machines simply come back sooner —
+// load balance emerges with no tuning.
+type Worker struct {
+	base   string
+	opts   WorkerOptions
+	ob     *obs.Observer
+	client *http.Client
+	cache  *Cache
+}
+
+// NewWorker builds a worker against a coordinator base URL, opening the
+// optional worker-side cache.
+func NewWorker(base string, opts WorkerOptions) (*Worker, error) {
+	base = strings.TrimSpace(base)
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if opts.Name == "" {
+		opts.Name = "harpod"
+	}
+	if opts.WaitMs <= 0 {
+		opts.WaitMs = 30_000
+	}
+	w := &Worker{
+		base:   strings.TrimRight(base, "/"),
+		opts:   opts,
+		ob:     opts.Obs,
+		client: &http.Client{},
+	}
+	if opts.CacheDir != "" {
+		cache, err := OpenCache(opts.CacheDir, opts.CacheEntries, opts.Obs)
+		if err != nil {
+			return nil, err
+		}
+		w.cache = cache
+	}
+	return w, nil
+}
+
+// Cache exposes the worker-side cache (nil when none was configured).
+func (w *Worker) Cache() *Cache { return w.cache }
+
+// Close releases the worker cache.
+func (w *Worker) Close() error { return w.cache.Close() }
+
+// Run pulls and executes shards until ctx is cancelled. Transport
+// errors (coordinator restarting) back off and retry; the loop only
+// ends with the context.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		lease, err := w.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			w.ob.Counter("queue.worker.lease_errors").Inc()
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(time.Second):
+			}
+			continue
+		}
+		if lease.JobID == "" {
+			continue // nothing ready within the long poll
+		}
+		comp := w.execute(lease)
+		comp.Worker = w.opts.Name
+		comp.JobID = lease.JobID
+		comp.Shard = lease.Shard
+		comp.Lease = lease.Lease
+		if err := w.complete(ctx, comp); err != nil {
+			// The coordinator will expire the lease and re-queue; nothing
+			// for the worker to do but move on.
+			w.ob.Counter("queue.worker.complete_errors").Inc()
+		}
+	}
+}
+
+// lease long-polls the coordinator for one shard.
+func (w *Worker) lease(ctx context.Context) (*dist.LeaseResponse, error) {
+	req := dist.LeaseRequest{Worker: w.opts.Name, WaitMs: w.opts.WaitMs}
+	var resp dist.LeaseResponse
+	if err := w.post(ctx, dist.PathLease, &req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// complete returns one shard result.
+func (w *Worker) complete(ctx context.Context, comp *dist.CompleteRequest) error {
+	var resp dist.CompleteResponse
+	if err := w.post(ctx, dist.PathComplete, comp, &resp); err != nil {
+		return err
+	}
+	if resp.Stale {
+		w.ob.Counter("queue.worker.stale_completes").Inc()
+	}
+	return nil
+}
+
+// execute runs one leased shard, consulting the worker-side cache
+// before simulating and feeding it after.
+func (w *Worker) execute(lease *dist.LeaseResponse) *dist.CompleteRequest {
+	comp := &dist.CompleteRequest{}
+	if lease.Kind == dist.JobCampaign {
+		key := CampaignShardKey(lease.Inject)
+		if value, ok := w.cache.Get(key); ok {
+			if st, err := inject.DecodeStats(value); err == nil &&
+				st.N == lease.Inject.Hi-lease.Inject.Lo {
+				w.ob.Counter("queue.worker.cache_hits").Inc()
+				comp.Stats = st
+				comp.Cached = true
+				return comp
+			}
+		}
+		st, err := dist.RunInject(lease.Inject, w.ob)
+		if err != nil {
+			comp.Err = err.Error()
+			return comp
+		}
+		comp.Stats = st
+		w.cachePut(key, inject.EncodeStats(st))
+		return comp
+	}
+
+	key := EvalShardKey(lease.Eval)
+	if value, ok := w.cache.Get(key); ok {
+		var res []dist.WireEvalResult
+		if err := json.Unmarshal(value, &res); err == nil && len(res) == len(lease.Eval.Genotypes) {
+			w.ob.Counter("queue.worker.cache_hits").Inc()
+			comp.Results = res
+			comp.Cached = true
+			return comp
+		}
+	}
+	res, err := dist.RunEval(lease.Eval)
+	if err != nil {
+		comp.Err = err.Error()
+		return comp
+	}
+	comp.Results = res
+	if value, err := json.Marshal(res); err == nil {
+		w.cachePut(key, value)
+	}
+	return comp
+}
+
+func (w *Worker) cachePut(key CacheKey, value []byte) {
+	if err := w.cache.Put(key, value); err != nil {
+		w.ob.Counter("queue.worker.cache_put_errors").Inc()
+	}
+}
+
+// post sends one JSON request to the coordinator.
+func (w *Worker) post(ctx context.Context, path string, reqBody, respBody any) error {
+	payload, err := json.Marshal(reqBody)
+	if err != nil {
+		return fmt.Errorf("queue: marshal request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("queue: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("queue: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("queue: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxJobRequestBytes)).Decode(respBody); err != nil {
+		return fmt.Errorf("queue: %s: parse response: %w", path, err)
+	}
+	return nil
+}
