@@ -30,6 +30,7 @@ func main() {
 		speed     = flag.Bool("speed", false, "§VI-C detection-speed comparison")
 		sfi       = flag.Bool("sfi", false, "SFI campaign fast-forward timing (checkpointed resume vs from-cycle-0)")
 		micro     = flag.Bool("micro", false, "run-loop microbenchmarks (naive vs event-driven cycle skipping)")
+		adapt     = flag.Bool("adaptive", false, "adaptive-vs-static schedule ablation (bandit portfolio + Pareto archive)")
 		all       = flag.Bool("all", false, "run everything")
 
 		jsonPath = flag.String("json", "", "write machine-readable benchmark results (name, ns/op, speedup) to this file")
@@ -138,6 +139,13 @@ func main() {
 		rs, err := experiments.Microbench(pp)
 		die(err)
 		experiments.FprintMicrobench(os.Stdout, rs)
+		fmt.Println()
+		jsonResults = append(jsonResults, rs...)
+	}
+	if *all || *adapt {
+		rs, err := experiments.AdaptiveAblation(pp)
+		die(err)
+		experiments.FprintAdaptiveAblation(os.Stdout, rs)
 		fmt.Println()
 		jsonResults = append(jsonResults, rs...)
 	}

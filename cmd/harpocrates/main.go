@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"harpocrates"
+	"harpocrates/internal/core"
 	"harpocrates/internal/corpus"
 	"harpocrates/internal/coverage"
 	"harpocrates/internal/dist"
@@ -38,6 +40,9 @@ func main() {
 		corpusDir  = flag.String("corpus", "", "persistent corpus directory: seed the run from archived elites and auto-archive each iteration's survivors")
 		corpusMax  = flag.Int("corpus-max", 64, "per-structure corpus archive bound (0 = unbounded)")
 		resume     = flag.Bool("resume", false, "resume an interrupted run from the checkpoint in the corpus directory (requires -corpus)")
+		adaptive   = flag.Bool("adaptive", false, "bandit-scheduled mutation portfolio (UCB1 over replaceall/point/blockswap/splice/crossoverk) and marginal-coverage corpus seed scheduling")
+		pareto     = flag.Bool("pareto", false, "evolve one population against all six paper structures at once, maintaining a Pareto archive (exported to -corpus under each member's best structure)")
+		jsonOut    = flag.Bool("json", false, "print a deterministic one-line JSON run summary as the last line of output")
 		workers    = flag.String("workers", "", "comma-separated harpod worker URLs to shard evaluation across (e.g. http://host1:9090,http://host2:9090)")
 		queueURL   = flag.String("queue", "", "harpoq coordinator URL: shard evaluation through the durable job queue (and its result cache) instead of direct push")
 		tracePath  = flag.String("trace", "", "write a JSONL event trace to this file")
@@ -76,6 +81,8 @@ func main() {
 	o := harpocrates.Preset(st, *scale)
 	o.Seed = *seed
 	o.Obs = ob
+	o.Adaptive = *adaptive
+	o.Pareto = *pareto
 	if *iterations > 0 {
 		o.Iterations = *iterations
 	}
@@ -103,24 +110,37 @@ func main() {
 		}
 		store.SetBound(*corpusMax)
 		// Warm-start from archived elites (cold start when the archive is
-		// empty) and auto-archive each iteration's survivor set.
-		seeds, err := store.Elites(st.String(), o.TopK)
+		// empty) and auto-archive each iteration's survivor set. Adaptive
+		// runs schedule seeds by marginal detected-fault coverage instead
+		// of raw fitness; the static path keeps the fitness order (and
+		// its bit-identical trajectories).
+		var seeds []*harpocrates.Genotype
+		if *adaptive {
+			seeds, err = store.ScheduledElites(st.String(), o.TopK)
+		} else {
+			seeds, err = store.Elites(st.String(), o.TopK)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		o.Seeds = seeds
 		gcfg := o.Gen
-		o.OnTopK = func(it int, top []*harpocrates.Individual) {
-			for _, ind := range top {
-				_, err := store.Add(ind.Program(&gcfg), ind.G, corpus.Meta{
-					Structure: st.String(),
-					Fitness:   ind.Fitness,
-					Iteration: it,
-				})
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "warning: corpus archive: %v\n", err)
-					return
+		if !*pareto {
+			// Pareto runs export the final front instead: per-iteration
+			// survivors carry mean-objective fitnesses that would not rank
+			// meaningfully against single-structure entries.
+			o.OnTopK = func(it int, top []*harpocrates.Individual) {
+				for _, ind := range top {
+					_, err := store.Add(ind.Program(&gcfg), ind.G, corpus.Meta{
+						Structure: st.String(),
+						Fitness:   ind.Fitness,
+						Iteration: it,
+					})
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "warning: corpus archive: %v\n", err)
+						return
+					}
 				}
 			}
 		}
@@ -153,6 +173,12 @@ func main() {
 		h.Times.Mutation, h.Times.Generation, h.Times.Compilation, h.Times.Evaluation)
 	fmt.Printf("throughput: %d programs, %d instructions generated and evaluated\n",
 		h.EvaluatedPrograms, h.EvaluatedInstructions)
+	if len(res.Front) > 0 {
+		fmt.Printf("pareto: %d non-dominated programs on the archive front\n", len(res.Front))
+		if store != nil {
+			exportFront(store, res, &o)
+		}
+	}
 	if store != nil {
 		fmt.Printf("corpus: %d programs archived in %s\n", store.Len(), store.Dir())
 	}
@@ -171,13 +197,113 @@ func main() {
 		}
 		fmt.Printf("saved best program to %s (%d instructions)\n", *save, len(best.Insts))
 	}
+	var detStats *harpocrates.DetectionStats
 	if *detect > 0 {
-		runDetection(best, st, *detect, *seed, ob)
+		detProg := best
+		if *pareto && len(res.Front) > 0 {
+			// The front member strongest on the -structure objective is
+			// the campaign target; the scalar best optimizes the mean.
+			cand := res.Best
+			for _, ind := range res.Front {
+				if ind.Snapshot.Value(st) > cand.Snapshot.Value(st) {
+					cand = ind
+				}
+			}
+			detProg = cand.Program(&o.Gen)
+		}
+		detStats = runDetection(detProg, st, *detect, *seed, ob)
+	}
+	if *jsonOut {
+		printSummary(res, st, &o, *adaptive, *pareto, *detect, detStats)
 	}
 	if err := obFinish(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// exportFront archives each Pareto front member under the objective
+// structure it is strongest on, so a single multi-structure run feeds
+// all six per-structure corpora.
+func exportFront(store *corpus.Store, res *harpocrates.LoopResult, o *harpocrates.LoopOptions) {
+	gcfg := o.Gen
+	exported := 0
+	for _, ind := range res.Front {
+		bestSt, bestVal := core.ParetoObjectives()[0], -1.0
+		for _, ost := range core.ParetoObjectives() {
+			if v := ind.Snapshot.Value(ost); v > bestVal {
+				bestSt, bestVal = ost, v
+			}
+		}
+		if _, err := store.Add(ind.Program(&gcfg), ind.G, corpus.Meta{
+			Structure: bestSt.String(),
+			Fitness:   bestVal,
+			Iteration: res.Iterations,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: corpus front export: %v\n", err)
+			return
+		}
+		exported++
+	}
+	fmt.Printf("corpus: exported %d Pareto front members\n", exported)
+}
+
+// runSummary is the -json output schema: one deterministic object (no
+// wall-clock fields), printed as the final stdout line so CI gates can
+// `tail -n 1 | jq` it. BestHash fingerprints the winning genotype, so
+// two runs printing equal summaries evolved the identical program.
+type runSummary struct {
+	Structure   string  `json:"structure"`
+	Adaptive    bool    `json:"adaptive"`
+	Pareto      bool    `json:"pareto"`
+	Seed        uint64  `json:"seed"`
+	Iterations  int     `json:"iterations"`
+	Converged   bool    `json:"converged"`
+	Evaluated   int     `json:"evaluated"`
+	CacheHits   int     `json:"cache_hits"`
+	BestFitness float64 `json:"best_fitness"`
+	BestHash    string  `json:"best_hash"`
+	FrontSize   int     `json:"front_size,omitempty"`
+	DetectN     int     `json:"detect_n,omitempty"`
+	Detected    int     `json:"detected,omitempty"`
+	Masked      int     `json:"masked,omitempty"`
+	SDC         int     `json:"sdc,omitempty"`
+	Crash       int     `json:"crash,omitempty"`
+	Hang        int     `json:"hang,omitempty"`
+	Trap        int     `json:"trap,omitempty"`
+	Detection   float64 `json:"detection,omitempty"`
+}
+
+func printSummary(res *harpocrates.LoopResult, st harpocrates.Structure, o *harpocrates.LoopOptions, adaptive, pareto bool, detect int, stats *harpocrates.DetectionStats) {
+	s := runSummary{
+		Structure:   st.String(),
+		Adaptive:    adaptive,
+		Pareto:      pareto,
+		Seed:        o.Seed,
+		Iterations:  res.Iterations,
+		Converged:   res.Converged,
+		Evaluated:   res.History.EvaluatedPrograms,
+		CacheHits:   res.History.CacheHits,
+		BestFitness: res.Best.Fitness,
+		BestHash:    fmt.Sprintf("%016x", res.Best.G.Hash()),
+		FrontSize:   len(res.Front),
+	}
+	if stats != nil {
+		s.DetectN = detect
+		s.Detected = stats.Detected()
+		s.Masked = stats.Masked
+		s.SDC = stats.SDC
+		s.Crash = stats.Crash
+		s.Hang = stats.Hang
+		s.Trap = stats.Trap
+		s.Detection = stats.Detection()
+	}
+	out, err := json.Marshal(&s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
 }
 
 // reEvaluate grades a loaded program: coverage on the core model, an
@@ -205,7 +331,7 @@ func reEvaluate(p *harpocrates.Program, st harpocrates.Structure, detect, dump i
 	}
 }
 
-func runDetection(p *harpocrates.Program, st harpocrates.Structure, injections int, seed uint64, ob *obs.Observer) {
+func runDetection(p *harpocrates.Program, st harpocrates.Structure, injections int, seed uint64, ob *obs.Observer) *harpocrates.DetectionStats {
 	fmt.Printf("running %v SFI campaign (%d injections, %s faults)...\n",
 		st, injections, faultName(st))
 	c := harpocrates.NewDetectionCampaign(p, st, injections, seed)
@@ -216,6 +342,7 @@ func runDetection(p *harpocrates.Program, st harpocrates.Structure, injections i
 		os.Exit(1)
 	}
 	fmt.Printf("  %v\n", stats)
+	return stats
 }
 
 func faultName(st harpocrates.Structure) string {

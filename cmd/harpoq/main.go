@@ -49,6 +49,7 @@ func main() {
 		leaseTimeout = flag.Duration("lease-timeout", 2*time.Minute, "re-queue a leased shard after this long")
 		workers      = flag.String("workers", "", "comma-separated legacy push-mode harpod URLs")
 		localExec    = flag.Int("local", 0, "in-process executor goroutines (work with no fleet)")
+		compactWAL   = flag.Int64("compact-wal", 64<<20, "snapshot state and reset the WAL once it exceeds this many bytes (0 disables)")
 		drain        = flag.Duration("drain", 30*time.Second, "shutdown lease-drain budget")
 		tracePath    = flag.String("trace", "", "write a JSONL event trace to this file")
 		metrics      = flag.Bool("metrics", false, "print a metrics summary at exit")
@@ -73,16 +74,20 @@ func main() {
 			workerURLs = append(workerURLs, w)
 		}
 	}
+	if *compactWAL <= 0 {
+		*compactWAL = -1 // flag 0 means "off", Options 0 means "default"
+	}
 	coord, err := queue.NewCoordinator(queue.Options{
-		DataDir:       *dataDir,
-		CacheDir:      *cacheDir,
-		CacheEntries:  *cacheEntries,
-		ShardSize:     *shardSize,
-		EvalShardSize: *evalShard,
-		LeaseTimeout:  *leaseTimeout,
-		PushWorkers:   workerURLs,
-		LocalExec:     *localExec,
-		Obs:           ob,
+		DataDir:         *dataDir,
+		CacheDir:        *cacheDir,
+		CacheEntries:    *cacheEntries,
+		ShardSize:       *shardSize,
+		EvalShardSize:   *evalShard,
+		LeaseTimeout:    *leaseTimeout,
+		PushWorkers:     workerURLs,
+		LocalExec:       *localExec,
+		CompactWALBytes: *compactWAL,
+		Obs:             ob,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -69,6 +69,9 @@ type (
 	Program = prog.Program
 	// GenConfig parameterizes constrained-random generation (§V-D).
 	GenConfig = gen.Config
+	// Genotype is the mutable representation the loop evolves (variant
+	// sequence + operand seed), exposed through LoopOptions.Seeds.
+	Genotype = gen.Genotype
 	// LoopOptions parameterizes the refinement loop (§IV).
 	LoopOptions = core.Options
 	// LoopResult is the outcome of a refinement run.

@@ -1,0 +1,242 @@
+// Adaptive search: the bandit-scheduled mutation portfolio and the
+// multi-structure Pareto machinery behind Options.Adaptive and
+// Options.Pareto. Everything here is inert when both flags are off —
+// the static loop takes no extra RNG draws and writes version-1
+// snapshots, so legacy trajectories stay bit-identical.
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/gen"
+	"harpocrates/internal/mutate"
+	"harpocrates/internal/sched"
+)
+
+// operator is one arm of the mutation portfolio. Two-parent operators
+// draw their mate uniformly from the survivor set.
+type operator struct {
+	name  string
+	apply func(parent *gen.Genotype, top []*Individual, cfg *gen.Config, rng *rand.Rand) *gen.Genotype
+}
+
+// defaultPortfolio is the bandit's arm set: the paper's production
+// operator, the ablation operators, and the two new structural ones.
+// Arm order is part of the checkpoint contract (bandit state is stored
+// positionally) — append only.
+func defaultPortfolio() []operator {
+	return []operator{
+		{name: "replaceall", apply: func(p *gen.Genotype, _ []*Individual, cfg *gen.Config, rng *rand.Rand) *gen.Genotype {
+			return mutate.ReplaceAll(p, cfg, rng)
+		}},
+		{name: "point", apply: func(p *gen.Genotype, _ []*Individual, cfg *gen.Config, rng *rand.Rand) *gen.Genotype {
+			return mutate.Point(p, cfg, rng)
+		}},
+		{name: "blockswap", apply: func(p *gen.Genotype, _ []*Individual, cfg *gen.Config, rng *rand.Rand) *gen.Genotype {
+			return mutate.BlockSwap(p, cfg, rng)
+		}},
+		{name: "splice", apply: func(p *gen.Genotype, top []*Individual, cfg *gen.Config, rng *rand.Rand) *gen.Genotype {
+			donor := top[rng.IntN(len(top))].G
+			return mutate.Splice(p, donor, cfg, rng)
+		}},
+		{name: "crossoverk", apply: func(p *gen.Genotype, top []*Individual, cfg *gen.Config, rng *rand.Rand) *gen.Genotype {
+			mate := top[rng.IntN(len(top))].G
+			if len(mate.Variants) != len(p.Variants) {
+				// Corpus seeds of a different program size cannot cross
+				// positionally; self-crossover keeps the draw pattern.
+				mate = p
+			}
+			return mutate.CrossoverK(p, mate, 3, rng)
+		}},
+	}
+}
+
+// paretoObjectives are the six structures of the paper's evaluation,
+// maximized jointly in Pareto mode. Order is part of the objective
+// vector layout.
+var paretoObjectives = []coverage.Structure{
+	coverage.IRF, coverage.L1D,
+	coverage.IntAdder, coverage.IntMul, coverage.FPAdd, coverage.FPMul,
+}
+
+// ParetoObjectives returns the structures Pareto mode optimizes
+// jointly (a copy; callers use it to pick per-structure exports from
+// the front).
+func ParetoObjectives() []coverage.Structure {
+	return append([]coverage.Structure(nil), paretoObjectives...)
+}
+
+// paretoVector extracts the objective vector from a coverage snapshot.
+func paretoVector(s *coverage.Snapshot) []float64 {
+	v := make([]float64, len(paretoObjectives))
+	for i, st := range paretoObjectives {
+		v[i] = s.Value(st)
+	}
+	return v
+}
+
+// paretoScalar is the scalar fitness of a Pareto individual: the mean
+// objective. The max-mean individual is always non-dominated (if b
+// dominated a, mean(b) > mean(a)), so scalar History entries stay
+// meaningful.
+func paretoScalar(v []float64) float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}
+
+// paretoSort orders the population by (non-dominated front asc,
+// crowding distance desc); the stable sort plus deterministic input
+// order keeps the result reproducible.
+func paretoSort(pop []*Individual) {
+	vecs := make([][]float64, len(pop))
+	for i, ind := range pop {
+		vecs[i] = paretoVector(&ind.Snapshot)
+	}
+	rank, crowd := sched.Rank(vecs)
+	type slot struct {
+		ind   *Individual
+		rank  int
+		crowd float64
+	}
+	slots := make([]slot, len(pop))
+	for i := range pop {
+		slots[i] = slot{pop[i], rank[i], crowd[i]}
+	}
+	sort.SliceStable(slots, func(a, b int) bool {
+		if slots[a].rank != slots[b].rank {
+			return slots[a].rank < slots[b].rank
+		}
+		return slots[a].crowd > slots[b].crowd
+	})
+	for i := range slots {
+		pop[i] = slots[i].ind
+	}
+}
+
+// adaptiveState carries the run's bandit and Pareto archive. The zero
+// bandit/archive (static runs) make every method a no-op.
+type adaptiveState struct {
+	o         *Options
+	bandit    *sched.Bandit
+	portfolio []operator
+	archive   *sched.Archive
+	members   map[uint64]*Individual // archive key -> individual
+}
+
+func newAdaptiveState(o *Options) *adaptiveState {
+	ad := &adaptiveState{o: o}
+	if o.Adaptive {
+		ad.portfolio = defaultPortfolio()
+		ad.bandit = sched.NewBandit(len(ad.portfolio), o.Sched)
+	}
+	if o.Pareto {
+		ad.archive = sched.NewArchive(o.ParetoBound)
+		ad.members = make(map[uint64]*Individual)
+	}
+	return ad
+}
+
+// observe folds freshly evaluated individuals into the Pareto state:
+// scalar fitness becomes the mean objective and the archive absorbs
+// every non-dominated newcomer. No-op outside Pareto mode.
+func (ad *adaptiveState) observe(inds []*Individual) {
+	if ad.archive == nil {
+		return
+	}
+	for _, ind := range inds {
+		vec := paretoVector(&ind.Snapshot)
+		ind.Fitness = paretoScalar(vec)
+		key := hashGenotype(ind.G)
+		added, evicted := ad.archive.Add(key, vec)
+		if added {
+			ad.members[key] = ind
+		}
+		// The eviction list may include the entry just added (bound
+		// pressure), so members are pruned after insertion.
+		for _, k := range evicted {
+			delete(ad.members, k)
+		}
+	}
+	if ad.o.Obs.Enabled() {
+		ad.o.Obs.Gauge("core.pareto.front").Set(float64(ad.archive.Len()))
+	}
+}
+
+// reward feeds offspring-beats-parent outcomes back to the bandit
+// (offspring are parent-major: offspring[p*M+m] descends from top[p]).
+// No-op outside Adaptive mode.
+func (ad *adaptiveState) reward(offspring, top []*Individual, arms []int, o *Options) {
+	if ad.bandit == nil {
+		return
+	}
+	for i, off := range offspring {
+		parent := top[i/o.MutantsPerParent]
+		r := 0.0
+		if off.Fitness > parent.Fitness {
+			r = 1.0
+		}
+		ad.bandit.Update(arms[i], r)
+		if o.Obs.Enabled() {
+			o.Obs.Histogram("sched.arm.reward." + ad.portfolio[arms[i]].name).Observe(int64(r))
+		}
+	}
+	if o.Obs.Enabled() {
+		for i := range ad.portfolio {
+			o.Obs.Gauge("sched.arm.mean." + ad.portfolio[i].name).Set(ad.bandit.Mean(i))
+		}
+	}
+}
+
+// snapshotInto attaches the adaptive state to a checkpoint snapshot;
+// static runs attach nothing and keep writing version-1 bytes.
+func (ad *adaptiveState) snapshotInto(snap *snapshot) {
+	if ad.bandit != nil {
+		st := ad.bandit.State()
+		snap.bandit = &st
+	}
+	if ad.archive != nil {
+		snap.archive = ad.front()
+	}
+}
+
+// restore rebuilds the adaptive state from a resumed snapshot. Archive
+// members re-admit cleanly (the stored set is mutually non-dominated
+// and within bound), and their objective vectors are recomputed from
+// the persisted coverage snapshots.
+func (ad *adaptiveState) restore(snap *snapshot) error {
+	if ad.bandit != nil && snap.bandit != nil {
+		if err := ad.bandit.Restore(*snap.bandit); err != nil {
+			return err
+		}
+	}
+	if ad.archive != nil {
+		ad.observe(snap.archive)
+	}
+	return nil
+}
+
+// front returns the archive members sorted by (mean objective desc,
+// genotype hash asc); nil outside Pareto mode.
+func (ad *adaptiveState) front() []*Individual {
+	if ad.archive == nil {
+		return nil
+	}
+	out := make([]*Individual, 0, len(ad.members))
+	for _, e := range ad.archive.Entries() {
+		if ind, ok := ad.members[e.Key]; ok {
+			out = append(out, ind)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Fitness != out[b].Fitness {
+			return out[a].Fitness > out[b].Fitness
+		}
+		return hashGenotype(out[a].G) < hashGenotype(out[b].G)
+	})
+	return out
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/gen"
+	"harpocrates/internal/mutate"
+	"harpocrates/internal/sched"
+	"harpocrates/internal/stats"
+)
+
+// TestStaticPathBitIdentity is the flags-off acceptance gate: with
+// Adaptive and Pareto unset, Run must replay the exact legacy
+// trajectory. The test replicates the static loop independently —
+// same RNG stream, same draw order, same selection and mutation
+// schedule — and demands an identical fitness history and final best
+// genotype. Any extra RNG draw, reordered selection or changed
+// dispatch on the static path breaks this immediately.
+func TestStaticPathBitIdentity(t *testing.T) {
+	o := tinyOptions(coverage.IntAdder)
+	got, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Independent replica of the legacy loop.
+	ref := tinyOptions(coverage.IntAdder)
+	if err := ref.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(stats.DeriveSource(ref.Seed, 0))
+	pop := make([]*Individual, ref.PopSize)
+	for i := range pop {
+		pop[i] = &Individual{G: gen.NewRandom(&ref.Gen, rng)}
+	}
+	grade := func(inds []*Individual) {
+		for _, ind := range inds {
+			res := GradeGenotype(ind.G, &ref.Gen, ref.Core, ref.Metric)
+			ind.Fitness, ind.Snapshot = res.Fitness, res.Snapshot
+		}
+	}
+	grade(pop)
+	var best []float64
+	for it := 0; it < ref.Iterations; it++ {
+		sort.SliceStable(pop, func(a, b int) bool { return pop[a].Fitness > pop[b].Fitness })
+		top := pop[:ref.TopK]
+		best = append(best, top[0].Fitness)
+		if it == ref.Iterations-1 {
+			break
+		}
+		var offspring []*Individual
+		for _, parent := range top {
+			for m := 0; m < ref.MutantsPerParent; m++ {
+				offspring = append(offspring, &Individual{G: mutate.ReplaceAll(parent.G, &ref.Gen, rng)})
+			}
+		}
+		grade(offspring)
+		pop = append(append([]*Individual(nil), top...), offspring...)
+	}
+	sort.SliceStable(pop, func(a, b int) bool { return pop[a].Fitness > pop[b].Fitness })
+
+	if !reflect.DeepEqual(got.History.Best, best) {
+		t.Errorf("static Run fitness history diverged from the legacy loop:\nRun:    %v\nlegacy: %v",
+			got.History.Best, best)
+	}
+	if got.Best.G.Hash() != pop[0].G.Hash() || got.Best.Fitness != pop[0].Fitness {
+		t.Errorf("static Run best diverged: hash %#x fitness %v, legacy hash %#x fitness %v",
+			got.Best.G.Hash(), got.Best.Fitness, pop[0].G.Hash(), pop[0].Fitness)
+	}
+	if got.Front != nil {
+		t.Error("static run returned a Pareto front")
+	}
+}
+
+func adaptiveTinyOptions() Options {
+	o := tinyOptions(coverage.IntAdder)
+	o.Adaptive = true
+	o.Pareto = true
+	return o
+}
+
+// frontFingerprint reduces a Pareto front to a comparable value.
+func frontFingerprint(front []*Individual) []uint64 {
+	out := make([]uint64, len(front))
+	for i, ind := range front {
+		out[i] = ind.G.Hash()
+	}
+	return out
+}
+
+// TestAdaptiveDeterministic: adaptive+Pareto runs under a fixed seed
+// are bit-reproducible — history, best genotype and the full front.
+func TestAdaptiveDeterministic(t *testing.T) {
+	a, err := Run(adaptiveTinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(adaptiveTinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !historyEqual(a.History, b.History) {
+		t.Errorf("adaptive history not reproducible:\n%+v\n%+v", a.History, b.History)
+	}
+	if a.Best.G.Hash() != b.Best.G.Hash() {
+		t.Errorf("adaptive best not reproducible: %#x vs %#x", a.Best.G.Hash(), b.Best.G.Hash())
+	}
+	if !reflect.DeepEqual(frontFingerprint(a.Front), frontFingerprint(b.Front)) {
+		t.Errorf("adaptive front not reproducible:\n%v\n%v",
+			frontFingerprint(a.Front), frontFingerprint(b.Front))
+	}
+	if len(a.Front) == 0 {
+		t.Error("Pareto run returned an empty front")
+	}
+}
+
+// TestAdaptiveResumeBitIdentical: the checkpoint/resume guarantee
+// extends to adaptive runs — the bandit arm state and the Pareto
+// archive ride the (version 2) snapshot, so an interrupted adaptive
+// run replays the identical trajectory including the exported front.
+func TestAdaptiveResumeBitIdentical(t *testing.T) {
+	const full = 6
+
+	ref := adaptiveTinyOptions()
+	ref.Iterations = full
+	want, err := Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck := filepath.Join(t.TempDir(), "run.hxck")
+	part := adaptiveTinyOptions()
+	part.Iterations = full / 2
+	part.CheckpointPath = ck
+	if _, err := Run(part); err != nil {
+		t.Fatal(err)
+	}
+
+	res := adaptiveTinyOptions()
+	res.Iterations = full
+	res.CheckpointPath = ck
+	res.Resume = true
+	got, err := Run(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !historyEqual(got.History, want.History) {
+		t.Errorf("resumed adaptive history diverged:\nresumed:       %+v\nuninterrupted: %+v",
+			got.History, want.History)
+	}
+	if got.Best.G.Hash() != want.Best.G.Hash() || got.Best.Fitness != want.Best.Fitness {
+		t.Errorf("resumed adaptive best diverged: hash %#x fitness %v, want %#x %v",
+			got.Best.G.Hash(), got.Best.Fitness, want.Best.G.Hash(), want.Best.Fitness)
+	}
+	if !reflect.DeepEqual(frontFingerprint(got.Front), frontFingerprint(want.Front)) {
+		t.Errorf("resumed adaptive front diverged:\nresumed: %v\nwant:    %v",
+			frontFingerprint(got.Front), frontFingerprint(want.Front))
+	}
+}
+
+// TestCrossModeResumeRefused: a static snapshot must not resume an
+// adaptive run and vice versa — the trajectories differ, so silently
+// continuing would break the bit-identity guarantee.
+func TestCrossModeResumeRefused(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "static.hxck")
+	o := tinyOptions(coverage.IntAdder)
+	o.Iterations = 3
+	o.CheckpointPath = ck
+	if _, err := Run(o); err != nil {
+		t.Fatal(err)
+	}
+	bad := adaptiveTinyOptions()
+	bad.CheckpointPath = ck
+	bad.Resume = true
+	if _, err := Run(bad); err == nil {
+		t.Fatal("adaptive resume of a static checkpoint succeeded; want mismatch error")
+	}
+
+	ck2 := filepath.Join(t.TempDir(), "adaptive.hxck")
+	a := adaptiveTinyOptions()
+	a.Iterations = 3
+	a.CheckpointPath = ck2
+	if _, err := Run(a); err != nil {
+		t.Fatal(err)
+	}
+	bad2 := tinyOptions(coverage.IntAdder)
+	bad2.CheckpointPath = ck2
+	bad2.Resume = true
+	if _, err := Run(bad2); err == nil {
+		t.Fatal("static resume of an adaptive checkpoint succeeded; want mismatch error")
+	}
+}
+
+// TestSnapshotVersionByMode: static runs keep writing version-1
+// snapshot bytes (the cross-release compatibility contract); adaptive
+// or Pareto runs write version 2.
+func TestSnapshotVersionByMode(t *testing.T) {
+	version := func(o Options) uint32 {
+		ck := filepath.Join(t.TempDir(), "run.hxck")
+		o.Iterations = 2
+		o.CheckpointPath = ck
+		if _, err := Run(o); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return binary.LittleEndian.Uint32(raw[4:8])
+	}
+	if v := version(tinyOptions(coverage.IntAdder)); v != snapVersion {
+		t.Errorf("static snapshot version = %d, want %d", v, snapVersion)
+	}
+	if v := version(adaptiveTinyOptions()); v != snapVersionAdaptive {
+		t.Errorf("adaptive snapshot version = %d, want %d", v, snapVersionAdaptive)
+	}
+}
+
+// TestParetoFrontNonDominated: the exported front is mutually
+// non-dominated over the six-objective vectors, sorted by mean
+// objective descending, and its scalar fitness is the mean objective.
+func TestParetoFrontNonDominated(t *testing.T) {
+	o := tinyOptions(coverage.IntAdder)
+	o.Pareto = true // Pareto without the bandit exercises that split too
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	vecs := make([][]float64, len(res.Front))
+	for i, ind := range res.Front {
+		vecs[i] = paretoVector(&ind.Snapshot)
+		if got := paretoScalar(vecs[i]); ind.Fitness != got {
+			t.Errorf("front[%d] fitness %v != mean objective %v", i, ind.Fitness, got)
+		}
+	}
+	for i := range vecs {
+		for j := range vecs {
+			if i != j && sched.Dominates(vecs[i], vecs[j]) {
+				t.Errorf("front[%d] dominates front[%d]: %v > %v", i, j, vecs[i], vecs[j])
+			}
+		}
+	}
+	for i := 1; i < len(res.Front); i++ {
+		if res.Front[i-1].Fitness < res.Front[i].Fitness {
+			t.Errorf("front not sorted by mean objective: [%d]=%v < [%d]=%v",
+				i-1, res.Front[i-1].Fitness, i, res.Front[i].Fitness)
+		}
+	}
+	if len(res.Front) > 64 {
+		t.Errorf("front exceeds the default archive bound: %d members", len(res.Front))
+	}
+}

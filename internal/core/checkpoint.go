@@ -23,13 +23,19 @@ import (
 
 	"harpocrates/internal/gen"
 	"harpocrates/internal/isa"
+	"harpocrates/internal/sched"
 	"harpocrates/internal/stats"
 )
 
-// Binary container format for loop snapshots ("HXCK").
+// Binary container format for loop snapshots ("HXCK"). Version 1 is
+// the static-schedule format; version 2 appends the adaptive sections
+// (bandit arm state, Pareto archive) and is written only by runs with
+// Adaptive or Pareto set, so static checkpoints stay byte-identical
+// across releases.
 const (
-	snapMagic   = 0x4858434b // "HXCK"
-	snapVersion = 1
+	snapMagic           = 0x4858434b // "HXCK"
+	snapVersion         = 1
+	snapVersionAdaptive = 2
 )
 
 // snapshot is the persisted loop state.
@@ -40,6 +46,10 @@ type snapshot struct {
 	hist     *History
 	pop      []*Individual
 	memo     map[uint64]evalEntry
+
+	// Adaptive sections (version 2; nil/empty on static snapshots).
+	bandit  *sched.State
+	archive []*Individual
 }
 
 // resumeHash fingerprints every option that shapes the optimization
@@ -70,6 +80,19 @@ func (o *Options) resumeHash() uint64 {
 	}
 	for _, b := range []byte(o.Metric.Name) {
 		h = stats.Mix64(h, uint64(b))
+	}
+	// The adaptive flags reshape the trajectory (operator dispatch,
+	// selection order), so they are folded in — but only when set, which
+	// keeps every pre-existing static hash unchanged and makes a static
+	// snapshot refuse an adaptive resume (and vice versa).
+	if o.Adaptive {
+		h = stats.Mix64(h, 0xada7d1fe)
+		h = stats.Mix64(h, math.Float64bits(o.Sched.Explore))
+		h = stats.Mix64(h, math.Float64bits(o.Sched.UCBC))
+	}
+	if o.Pareto {
+		h = stats.Mix64(h, 0x9a4e7000)
+		h = stats.Mix64(h, uint64(o.ParetoBound))
 	}
 	return h
 }
@@ -117,9 +140,22 @@ func writeSnapshot(path string, s *snapshot) error {
 	var buf bytes.Buffer
 	le := binary.LittleEndian
 	put := func(v any) { _ = binary.Write(&buf, le, v) }
+	putInd := func(ind *Individual) {
+		put(ind.Fitness)
+		put(ind.Snapshot)
+		put(ind.G.Seed)
+		put(uint32(len(ind.G.Variants)))
+		for _, v := range ind.G.Variants {
+			put(uint16(v))
+		}
+	}
 
+	version := uint32(snapVersion)
+	if s.bandit != nil || len(s.archive) > 0 {
+		version = snapVersionAdaptive
+	}
 	put(uint32(snapMagic))
-	put(uint32(snapVersion))
+	put(version)
 	put(s.optsHash)
 	put(uint32(s.nextIt))
 	put(uint32(len(s.rng)))
@@ -139,13 +175,7 @@ func writeSnapshot(path string, s *snapshot) error {
 
 	put(uint32(len(s.pop)))
 	for _, ind := range s.pop {
-		put(ind.Fitness)
-		put(ind.Snapshot)
-		put(ind.G.Seed)
-		put(uint32(len(ind.G.Variants)))
-		for _, v := range ind.G.Variants {
-			put(uint16(v))
-		}
+		putInd(ind)
 	}
 
 	// The fitness memo makes the resumed run's cache behaviour (and so
@@ -163,6 +193,26 @@ func writeSnapshot(path string, s *snapshot) error {
 		put(k)
 		put(e.fitness)
 		put(e.snap)
+	}
+
+	if version >= snapVersionAdaptive {
+		// Bandit arm state, positional over the portfolio (0 arms when
+		// the run is Pareto-only).
+		if s.bandit != nil {
+			put(uint32(len(s.bandit.Pulls)))
+			for i := range s.bandit.Pulls {
+				put(s.bandit.Pulls[i])
+				put(s.bandit.Rewards[i])
+			}
+		} else {
+			put(uint32(0))
+		}
+		// Pareto archive members; vectors are recomputed from the stored
+		// coverage snapshots on restore.
+		put(uint32(len(s.archive)))
+		for _, ind := range s.archive {
+			putInd(ind)
+		}
 	}
 
 	dir := filepath.Dir(path)
@@ -195,6 +245,7 @@ const (
 	maxSnapPop      = 1 << 20
 	maxSnapVariants = 1 << 24
 	maxSnapMemo     = 1 << 26
+	maxSnapArms     = 1 << 8
 )
 
 // readSnapshot deserializes a snapshot written by writeSnapshot.
@@ -225,6 +276,32 @@ func readSnapshot(r io.Reader) (*snapshot, error) {
 		return out, nil
 	}
 
+	getInd := func() (*Individual, error) {
+		ind := &Individual{G: &gen.Genotype{}}
+		if err := get(&ind.Fitness); err != nil {
+			return nil, err
+		}
+		if err := get(&ind.Snapshot); err != nil {
+			return nil, err
+		}
+		if err := get(&ind.G.Seed); err != nil {
+			return nil, err
+		}
+		nVar, err := getLen(maxSnapVariants, "variant")
+		if err != nil {
+			return nil, err
+		}
+		ind.G.Variants = make([]isa.VariantID, nVar)
+		for j := range ind.G.Variants {
+			var v uint16
+			if err := get(&v); err != nil {
+				return nil, err
+			}
+			ind.G.Variants[j] = isa.VariantID(v)
+		}
+		return ind, nil
+	}
+
 	var magic, version uint32
 	if err := get(&magic); err != nil {
 		return nil, err
@@ -235,7 +312,7 @@ func readSnapshot(r io.Reader) (*snapshot, error) {
 	if err := get(&version); err != nil {
 		return nil, err
 	}
-	if version != snapVersion {
+	if version != snapVersion && version != snapVersionAdaptive {
 		return nil, fmt.Errorf("unsupported version %d", version)
 	}
 
@@ -282,27 +359,9 @@ func readSnapshot(r io.Reader) (*snapshot, error) {
 	}
 	s.pop = make([]*Individual, nPop)
 	for i := range s.pop {
-		ind := &Individual{G: &gen.Genotype{}}
-		if err := get(&ind.Fitness); err != nil {
-			return nil, err
-		}
-		if err := get(&ind.Snapshot); err != nil {
-			return nil, err
-		}
-		if err := get(&ind.G.Seed); err != nil {
-			return nil, err
-		}
-		nVar, err := getLen(maxSnapVariants, "variant")
+		ind, err := getInd()
 		if err != nil {
 			return nil, err
-		}
-		ind.G.Variants = make([]isa.VariantID, nVar)
-		for j := range ind.G.Variants {
-			var v uint16
-			if err := get(&v); err != nil {
-				return nil, err
-			}
-			ind.G.Variants[j] = isa.VariantID(v)
 		}
 		s.pop[i] = ind
 	}
@@ -324,6 +383,40 @@ func readSnapshot(r io.Reader) (*snapshot, error) {
 			return nil, err
 		}
 		s.memo[k] = e
+	}
+
+	if version >= snapVersionAdaptive {
+		nArms, err := getLen(maxSnapArms, "bandit arm")
+		if err != nil {
+			return nil, err
+		}
+		if nArms > 0 {
+			st := &sched.State{
+				Pulls:   make([]uint64, nArms),
+				Rewards: make([]float64, nArms),
+			}
+			for i := uint32(0); i < nArms; i++ {
+				if err := get(&st.Pulls[i]); err != nil {
+					return nil, err
+				}
+				if err := get(&st.Rewards[i]); err != nil {
+					return nil, err
+				}
+			}
+			s.bandit = st
+		}
+		nArch, err := getLen(maxSnapPop, "archive")
+		if err != nil {
+			return nil, err
+		}
+		s.archive = make([]*Individual, nArch)
+		for i := range s.archive {
+			ind, err := getInd()
+			if err != nil {
+				return nil, err
+			}
+			s.archive[i] = ind
+		}
 	}
 	return s, nil
 }

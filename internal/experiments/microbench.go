@@ -28,6 +28,16 @@ type BenchResult struct {
 	// the ns/op ratio against the same campaign with NoDeltaTermination
 	// set (every faulty run simulated to completion).
 	SpeedupVsOff float64 `json:"speedup_vs_off,omitempty"`
+	// Detected, EvaluatedPrograms and DetectionPerKEval are set on the
+	// adaptive-vs-static schedule ablation rows: faults detected by the
+	// evolved program under one fixed SFI campaign, programs evaluated
+	// to evolve it, and detected faults per thousand evaluations.
+	Detected          int     `json:"detected,omitempty"`
+	EvaluatedPrograms int     `json:"evaluated,omitempty"`
+	DetectionPerKEval float64 `json:"detection_per_keval,omitempty"`
+	// DetectionVsStatic is set on the adaptive row: its detected count
+	// over the static schedule's at the same evaluation budget.
+	DetectionVsStatic float64 `json:"detection_vs_static,omitempty"`
 }
 
 // timeOp measures op's wall clock: one calibration run sizes the

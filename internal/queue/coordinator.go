@@ -49,6 +49,13 @@ type Options struct {
 	// completing jobs.
 	LocalExec int
 
+	// CompactWALBytes triggers online WAL compaction: once the log
+	// outgrows this many bytes, the full state is snapshotted atomically
+	// and the log reset — so a long-lived coordinator's recovery cost
+	// stays bounded instead of only shrinking at graceful shutdown.
+	// 0 = default (64 MiB), negative disables.
+	CompactWALBytes int64
+
 	// Obs receives queue.* counters, gauges and histograms; may be nil.
 	Obs *obs.Observer
 }
@@ -65,6 +72,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.LeaseTimeout <= 0 {
 		o.LeaseTimeout = 2 * time.Minute
+	}
+	if o.CompactWALBytes == 0 {
+		o.CompactWALBytes = 64 << 20
 	}
 	return o
 }
@@ -209,7 +219,11 @@ func (c *Coordinator) replayRecord(rec Record) error {
 			return fmt.Errorf("queue: replay submit: %w", err)
 		}
 		if _, ok := c.jobs[ws.ID]; ok {
-			return fmt.Errorf("queue: replay: duplicate job %s", ws.ID)
+			// A crash between the compaction snapshot write and the WAL
+			// reset legitimately leaves records the snapshot already
+			// covers; replay is idempotent, not suspicious.
+			c.ob.Counter("queue.wal.replay_duplicates").Inc()
+			return nil
 		}
 		if err := ws.Req.Validate(); err != nil {
 			return fmt.Errorf("queue: replay job %s: %w", ws.ID, err)
@@ -397,6 +411,7 @@ func (c *Coordinator) Submit(req *dist.JobRequest) (*dist.JobSubmitResponse, err
 
 	c.serveFromCache(j)
 	c.refreshState(j)
+	c.maybeCompactLocked()
 	c.ob.Gauge("queue.jobs.open").Set(float64(c.openJobs()))
 	c.broadcast()
 	return &dist.JobSubmitResponse{ID: id, Shards: len(j.shards), CacheHits: j.cached}, nil
@@ -568,6 +583,7 @@ func (c *Coordinator) Complete(req *dist.CompleteRequest) (*dist.CompleteRespons
 	c.walShardDone(j, req.Shard, value, req.Cached, req.Worker)
 	c.applyDone(j, req.Shard, value, req.Cached, req.Worker, true)
 	c.refreshState(j)
+	c.maybeCompactLocked()
 	c.ob.Gauge("queue.jobs.open").Set(float64(c.openJobs()))
 	c.broadcast()
 	return &dist.CompleteResponse{OK: true}, nil
@@ -819,6 +835,25 @@ drained:
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var firstErr error
+	if err := c.snapshotAndResetLocked(); err != nil {
+		firstErr = err
+	}
+	if err := c.wal.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := c.cache.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// snapshotAndResetLocked atomically writes snapshot.json capturing the
+// full in-memory state, then truncates the WAL — the shared tail of
+// graceful shutdown and online compaction. A crash between the two
+// steps is safe: recovery replays the (now-duplicate) WAL records
+// idempotently on top of the snapshot. Caller holds c.mu.
+func (c *Coordinator) snapshotAndResetLocked() error {
 	snap := snapshot{Version: snapshotVersion, NextSeq: c.nextSeq}
 	for _, j := range c.order {
 		sj := snapJob{
@@ -837,19 +872,24 @@ drained:
 	if err != nil {
 		return fmt.Errorf("queue: marshal snapshot: %w", err)
 	}
-	var firstErr error
 	if err := atomicWrite(filepath.Join(c.opts.DataDir, "snapshot.json"), data); err != nil {
-		firstErr = err
-	} else if err := c.wal.Reset(); err != nil {
-		firstErr = err
+		return err
 	}
-	if err := c.wal.Close(); err != nil && firstErr == nil {
-		firstErr = err
+	return c.wal.Reset()
+}
+
+// maybeCompactLocked runs online WAL compaction once the log outgrows
+// the configured bound. Failures are counted, not fatal: the WAL still
+// holds everything the snapshot would have captured. Caller holds c.mu.
+func (c *Coordinator) maybeCompactLocked() {
+	if c.opts.CompactWALBytes <= 0 || c.wal.Size() < c.opts.CompactWALBytes {
+		return
 	}
-	if err := c.cache.Close(); err != nil && firstErr == nil {
-		firstErr = err
+	if err := c.snapshotAndResetLocked(); err != nil {
+		c.ob.Counter("queue.wal.compact_errors").Inc()
+		return
 	}
-	return firstErr
+	c.ob.Counter("queue.wal.compactions").Inc()
 }
 
 // boundsOf re-derives the persisted bounds slice of a job.

@@ -706,3 +706,238 @@ func TestQueueClientEvaluator(t *testing.T) {
 		}
 	}
 }
+
+// Online WAL compaction: with a 1-byte threshold every submit and
+// completion trips a snapshot + log reset, so the WAL never grows past
+// one durable write and the counter records each compaction.
+func TestWALCompactionBySize(t *testing.T) {
+	c, p := testCampaign(t, 40)
+	local, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	coord, err := NewCoordinator(Options{
+		DataDir:         dir,
+		ShardSize:       8,
+		LeaseTimeout:    30 * time.Second,
+		LocalExec:       2,
+		CompactWALBytes: 1,
+		Obs:             obs.New(reg, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := coord.Submit(campaignJob(t, c, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Wait(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Equal(local) {
+		t.Fatalf("compacted-queue result %+v != local %+v", res.Stats, local)
+	}
+	if got := reg.Counter("queue.wal.compactions").Load(); got < int64(1+sub.Shards) {
+		t.Fatalf("compactions = %d, want >= %d (submit + every completion)", got, 1+sub.Shards)
+	}
+	if got := reg.Counter("queue.wal.compact_errors").Load(); got != 0 {
+		t.Fatalf("compact_errors = %d", got)
+	}
+	// The final completion's compaction left the log at its bare header.
+	info, err := os.Stat(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != walHeaderSize {
+		t.Fatalf("wal.log is %d bytes after compaction, want header-only %d", info.Size(), walHeaderSize)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.json")); err != nil {
+		t.Fatalf("compaction wrote no snapshot: %v", err)
+	}
+
+	// Crash (no graceful drain): recovery must come from the compaction
+	// snapshot alone, with the finished job and its result intact.
+	crashCoordinator(coord)
+	reg2 := obs.NewRegistry()
+	coord2, err := NewCoordinator(Options{
+		DataDir:      dir,
+		ShardSize:    8,
+		LeaseTimeout: 30 * time.Second,
+		LocalExec:    2,
+		Obs:          obs.New(reg2, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeCoordinator(t, coord2)
+	res2, err := coord2.Wait(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.State != dist.JobStateDone || !res2.Stats.Equal(local) {
+		t.Fatalf("post-crash result %+v (%v) != local %+v", res2.Stats, res2.State, local)
+	}
+}
+
+// A crash between the compaction snapshot write and the WAL reset
+// leaves log records the snapshot already covers. Replay must apply
+// them idempotently (counted, not fatal) and the recovered state must
+// still be correct.
+func TestWALCompactionCrashBetweenSnapshotAndReset(t *testing.T) {
+	c, p := testCampaign(t, 24)
+	local, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.log")
+
+	// Phase 1: compaction off — the WAL accumulates job 1's full record
+	// stream, which we save as the "stale" log.
+	coord, err := NewCoordinator(Options{
+		DataDir:         dir,
+		ShardSize:       8,
+		LeaseTimeout:    30 * time.Second,
+		LocalExec:       2,
+		CompactWALBytes: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := coord.Submit(campaignJob(t, c, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Wait(sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashCoordinator(coord)
+
+	// Phase 2: compaction on — recovery replays the log, and the next
+	// state change snapshots everything and resets it.
+	coord2, err := NewCoordinator(Options{
+		DataDir:         dir,
+		ShardSize:       8,
+		LeaseTimeout:    30 * time.Second,
+		LocalExec:       2,
+		CompactWALBytes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, p2 := testCampaign(t, 8)
+	sub2, err := coord2.Submit(campaignJob(t, c2, p2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord2.Wait(sub2.ID); err != nil {
+		t.Fatal(err)
+	}
+	crashCoordinator(coord2)
+
+	// Simulate the crash window: the snapshot is on disk, but the WAL
+	// still holds job 1's records (all covered by the snapshot).
+	if err := os.WriteFile(walPath, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	coord3, err := NewCoordinator(Options{
+		DataDir:      dir,
+		ShardSize:    8,
+		LeaseTimeout: 30 * time.Second,
+		LocalExec:    2,
+		Obs:          obs.New(reg, nil),
+	})
+	if err != nil {
+		t.Fatalf("recovery with a stale pre-compaction WAL failed: %v", err)
+	}
+	defer closeCoordinator(t, coord3)
+	if got := reg.Counter("queue.wal.replay_duplicates").Load(); got < 1 {
+		t.Fatalf("replay_duplicates = %d, want >= 1 (job 1's submit is in both snapshot and WAL)", got)
+	}
+	res, err := coord3.Wait(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Equal(local) {
+		t.Fatalf("post-duplicate-replay result %+v != local %+v", res.Stats, local)
+	}
+	if _, err := coord3.Wait(sub2.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An adaptive+Pareto refinement run grading through the queue-backed
+// evaluator must stay bit-identical to the all-local run (the operator
+// portfolio and Pareto selection both consume only locally drawn
+// randomness; remote grading returns the same fitness values).
+func TestQueueAdaptiveEvaluatorBitIdentical(t *testing.T) {
+	opts := func() core.Options {
+		o := core.Options{Structure: coverage.IntAdder, Seed: 42}
+		o.Gen = gen.DefaultConfig()
+		o.Gen.NumInstrs = 150
+		o.PopSize = 8
+		o.TopK = 2
+		o.MutantsPerParent = 3
+		o.Iterations = 4
+		o.Adaptive = true
+		o.Pareto = true
+		return o
+	}
+	local, err := core.Run(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := newTestCoordinator(t, t.TempDir(), 2, nil)
+	defer closeCoordinator(t, coord)
+	srv := httptest.NewServer(NewServer(coord).Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+	client.PollInterval = 20 * time.Millisecond
+
+	qo := opts()
+	qo.Evaluator = client.Evaluator()
+	remote, err := core.Run(qo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !equalFloats(remote.History.Best, local.History.Best) ||
+		!equalFloats(remote.History.MeanTopK, local.History.MeanTopK) {
+		t.Errorf("queue-evaluated adaptive history diverged:\nremote: %v\nlocal:  %v",
+			remote.History.Best, local.History.Best)
+	}
+	if remote.Best.G.Hash() != local.Best.G.Hash() {
+		t.Errorf("queue-evaluated adaptive best diverged: %#x != %#x",
+			remote.Best.G.Hash(), local.Best.G.Hash())
+	}
+	if len(remote.Front) != len(local.Front) {
+		t.Fatalf("front size %d != local %d", len(remote.Front), len(local.Front))
+	}
+	for i := range remote.Front {
+		if remote.Front[i].G.Hash() != local.Front[i].G.Hash() {
+			t.Errorf("front[%d] diverged: %#x != %#x",
+				i, remote.Front[i].G.Hash(), local.Front[i].G.Hash())
+		}
+	}
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -191,6 +191,22 @@ func (w *WAL) Reset() error {
 	return w.f.Sync()
 }
 
+// Size returns the log's current byte length, header included (0 once
+// closed). The write offset always sits at end-of-file, so the seek
+// position is the size.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0
+	}
+	off, err := w.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0
+	}
+	return off
+}
+
 // Sync flushes the log to stable storage.
 func (w *WAL) Sync() error {
 	w.mu.Lock()

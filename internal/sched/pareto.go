@@ -1,0 +1,200 @@
+// NSGA-II style non-dominated sorting, crowding distance and a bounded
+// global Pareto archive. All orderings are deterministic: fronts are
+// filled in input order, crowding ties break by key, evictions pick the
+// (lowest crowding, highest key) entry.
+package sched
+
+import (
+	"math"
+	"sort"
+)
+
+// Dominates reports whether a Pareto-dominates b: a is no worse in
+// every objective and strictly better in at least one. Objectives are
+// maximized.
+func Dominates(a, b []float64) bool {
+	better := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+// Rank computes each vector's non-dominated front index (0 = the
+// Pareto-optimal front) and its crowding distance within that front.
+// O(n²·m) dominance counting — exact and plenty for GA population
+// sizes.
+func Rank(vecs [][]float64) (rank []int, crowd []float64) {
+	n := len(vecs)
+	rank = make([]int, n)
+	dominatedBy := make([]int, n) // how many vectors dominate i
+	dominates := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case Dominates(vecs[i], vecs[j]):
+				dominates[i] = append(dominates[i], j)
+				dominatedBy[j]++
+			case Dominates(vecs[j], vecs[i]):
+				dominates[j] = append(dominates[j], i)
+				dominatedBy[i]++
+			}
+		}
+	}
+	var front []int
+	for i := 0; i < n; i++ {
+		if dominatedBy[i] == 0 {
+			rank[i] = 0
+			front = append(front, i)
+		}
+	}
+	for r := 0; len(front) > 0; r++ {
+		var next []int
+		for _, i := range front {
+			for _, j := range dominates[i] {
+				dominatedBy[j]--
+				if dominatedBy[j] == 0 {
+					rank[j] = r + 1
+					next = append(next, j)
+				}
+			}
+		}
+		front = next
+	}
+
+	crowd = make([]float64, n)
+	byFront := make(map[int][]int)
+	for i, r := range rank {
+		byFront[r] = append(byFront[r], i)
+	}
+	for _, members := range byFront {
+		crowdingInto(vecs, members, crowd)
+	}
+	return rank, crowd
+}
+
+// crowdingInto writes the NSGA-II crowding distance of each member
+// (indices into vecs) into out. Boundary points per objective get +Inf
+// so extremes are always preserved under crowding-based truncation.
+func crowdingInto(vecs [][]float64, members []int, out []float64) {
+	if len(members) == 0 {
+		return
+	}
+	m := len(vecs[members[0]])
+	for obj := 0; obj < m; obj++ {
+		order := append([]int(nil), members...)
+		sort.SliceStable(order, func(a, b int) bool {
+			return vecs[order[a]][obj] < vecs[order[b]][obj]
+		})
+		lo, hi := vecs[order[0]][obj], vecs[order[len(order)-1]][obj]
+		out[order[0]] = math.Inf(1)
+		out[order[len(order)-1]] = math.Inf(1)
+		if hi == lo {
+			continue
+		}
+		for k := 1; k < len(order)-1; k++ {
+			if math.IsInf(out[order[k]], 1) {
+				continue
+			}
+			out[order[k]] += (vecs[order[k+1]][obj] - vecs[order[k-1]][obj]) / (hi - lo)
+		}
+	}
+}
+
+// ArchiveEntry is one member of the global non-dominated set. Key is
+// the member's stable identity (genotype hash) used for dedup and
+// deterministic tie-breaks.
+type ArchiveEntry struct {
+	Key    uint64
+	Vector []float64
+}
+
+// Archive maintains a bounded, mutually non-dominated set of objective
+// vectors — the cross-generation Pareto front the refinement loop
+// exports to the corpus. Insertion is deterministic; when the bound is
+// exceeded the entry with the lowest crowding distance (ties: highest
+// key) is evicted, preserving objective-space spread.
+type Archive struct {
+	bound   int
+	entries []ArchiveEntry
+}
+
+// NewArchive returns an archive keeping at most bound entries
+// (bound <= 0 means unbounded).
+func NewArchive(bound int) *Archive {
+	return &Archive{bound: bound}
+}
+
+// Len returns the current entry count.
+func (a *Archive) Len() int { return len(a.entries) }
+
+// Entries returns the archive contents sorted by key (a copy).
+func (a *Archive) Entries() []ArchiveEntry {
+	out := append([]ArchiveEntry(nil), a.entries...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Add offers one vector to the archive. It returns whether the entry
+// was admitted and the keys evicted to make room (dominated members
+// and, past the bound, the most crowded one). Duplicate keys and
+// dominated offers are rejected.
+func (a *Archive) Add(key uint64, vec []float64) (added bool, evicted []uint64) {
+	for _, e := range a.entries {
+		if e.Key == key {
+			return false, nil
+		}
+		if Dominates(e.Vector, vec) || vectorEqual(e.Vector, vec) {
+			return false, nil
+		}
+	}
+	kept := a.entries[:0]
+	for _, e := range a.entries {
+		if Dominates(vec, e.Vector) {
+			evicted = append(evicted, e.Key)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	a.entries = append(kept, ArchiveEntry{Key: key, Vector: append([]float64(nil), vec...)})
+
+	if a.bound > 0 && len(a.entries) > a.bound {
+		vecs := make([][]float64, len(a.entries))
+		for i, e := range a.entries {
+			vecs[i] = e.Vector
+		}
+		crowd := make([]float64, len(a.entries))
+		members := make([]int, len(a.entries))
+		for i := range members {
+			members[i] = i
+		}
+		crowdingInto(vecs, members, crowd)
+		victim := 0
+		for i := 1; i < len(a.entries); i++ {
+			if crowd[i] < crowd[victim] ||
+				(crowd[i] == crowd[victim] && a.entries[i].Key > a.entries[victim].Key) {
+				victim = i
+			}
+		}
+		evicted = append(evicted, a.entries[victim].Key)
+		a.entries = append(a.entries[:victim], a.entries[victim+1:]...)
+	}
+	return true, evicted
+}
+
+func vectorEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

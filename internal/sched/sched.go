@@ -1,0 +1,143 @@
+// Package sched holds the adaptive-search machinery of the refinement
+// loop: a UCB1 multi-armed bandit over the mutation-operator portfolio
+// (HiFuzz-style adaptive operator selection), NSGA-II non-dominated
+// sorting plus a bounded Pareto archive for multi-structure search, and
+// greedy marginal-coverage seed scheduling over corpus detected-fault
+// vectors (the INSTILLER observation that seed order matters as much as
+// mutation).
+//
+// Everything here is deterministic: the bandit draws randomness only
+// from the caller-supplied *rand.Rand (the refinement loop's single PCG
+// stream), tie-breaks resolve toward the lowest index or key, and the
+// full bandit state round-trips through State/Restore so a resumed run
+// replays bit-identically.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Config tunes the bandit.
+type Config struct {
+	// Explore is the probability of a uniform exploration draw on every
+	// selection (default 0.1). It is the starvation floor: every arm is
+	// selected with probability at least Explore/NumArms at every step,
+	// so no operator is ever permanently abandoned on early bad luck.
+	Explore float64
+	// UCBC scales the UCB1 confidence width (default 1.0).
+	UCBC float64
+}
+
+// WithDefaults resolves zero fields to their defaults.
+func (c Config) WithDefaults() Config {
+	if c.Explore <= 0 {
+		c.Explore = 0.1
+	}
+	if c.UCBC <= 0 {
+		c.UCBC = 1.0
+	}
+	return c
+}
+
+// Bandit is a deterministic UCB1 multi-armed bandit with an
+// ε-exploration floor. Select consumes randomness only from the
+// caller's generator, and the mutable state is exactly what
+// State/Restore carry, so checkpointed runs resume bit-identically.
+type Bandit struct {
+	cfg   Config
+	pulls []uint64
+	sums  []float64
+	total uint64
+}
+
+// NewBandit returns a bandit over n arms.
+func NewBandit(n int, cfg Config) *Bandit {
+	if n <= 0 {
+		panic("sched: bandit needs at least one arm")
+	}
+	return &Bandit{
+		cfg:   cfg.WithDefaults(),
+		pulls: make([]uint64, n),
+		sums:  make([]float64, n),
+	}
+}
+
+// NumArms returns the arm count.
+func (b *Bandit) NumArms() int { return len(b.pulls) }
+
+// Pulls returns how often arm i has been updated.
+func (b *Bandit) Pulls(i int) uint64 { return b.pulls[i] }
+
+// Mean returns arm i's empirical mean reward (0 before any pull).
+func (b *Bandit) Mean(i int) float64 {
+	if b.pulls[i] == 0 {
+		return 0
+	}
+	return b.sums[i] / float64(b.pulls[i])
+}
+
+// Select picks the next arm. It always consumes exactly one Float64
+// draw, plus one IntN draw when that lands in the exploration band —
+// a fixed consumption pattern per branch, so trajectories are
+// reproducible from the RNG state alone. Outside the exploration band
+// untried arms go first (lowest index), then the UCB1 argmax with
+// lowest-index tie-break.
+func (b *Bandit) Select(rng *rand.Rand) int {
+	if rng.Float64() < b.cfg.Explore {
+		return rng.IntN(len(b.pulls))
+	}
+	for i, p := range b.pulls {
+		if p == 0 {
+			return i
+		}
+	}
+	best, bestScore := 0, math.Inf(-1)
+	lt := math.Log(float64(b.total))
+	for i := range b.pulls {
+		score := b.sums[i]/float64(b.pulls[i]) +
+			b.cfg.UCBC*math.Sqrt(2*lt/float64(b.pulls[i]))
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// Update feeds the reward observed for one pull of arm i.
+func (b *Bandit) Update(i int, reward float64) {
+	b.pulls[i]++
+	b.sums[i] += reward
+	b.total++
+}
+
+// State is the bandit's full mutable state, for checkpoints.
+type State struct {
+	Pulls   []uint64
+	Rewards []float64
+}
+
+// State snapshots the bandit (copies, safe to retain).
+func (b *Bandit) State() State {
+	return State{
+		Pulls:   append([]uint64(nil), b.pulls...),
+		Rewards: append([]float64(nil), b.sums...),
+	}
+}
+
+// Restore replaces the bandit's state with a snapshot taken from a
+// bandit with the same arm count.
+func (b *Bandit) Restore(s State) error {
+	if len(s.Pulls) != len(b.pulls) || len(s.Rewards) != len(b.pulls) {
+		return fmt.Errorf("sched: bandit state has %d/%d arms, want %d",
+			len(s.Pulls), len(s.Rewards), len(b.pulls))
+	}
+	copy(b.pulls, s.Pulls)
+	copy(b.sums, s.Rewards)
+	b.total = 0
+	for _, p := range b.pulls {
+		b.total += p
+	}
+	return nil
+}

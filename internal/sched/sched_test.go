@@ -1,0 +1,286 @@
+package sched
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+// TestBanditDeterministic: identical seeds and reward sequences produce
+// identical selection trajectories.
+func TestBanditDeterministic(t *testing.T) {
+	run := func() []int {
+		rng := rand.New(rand.NewPCG(42, 99))
+		b := NewBandit(5, Config{})
+		var picks []int
+		for i := 0; i < 500; i++ {
+			a := b.Select(rng)
+			picks = append(picks, a)
+			// Arm-dependent deterministic reward.
+			r := 0.0
+			if a == 2 || (a == 4 && i%3 == 0) {
+				r = 1.0
+			}
+			b.Update(a, r)
+		}
+		return picks
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("bandit selection trajectory not deterministic under fixed seed")
+	}
+}
+
+// TestBanditConverges: with one clearly best arm, UCB1 pulls it most.
+func TestBanditConverges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	b := NewBandit(4, Config{})
+	for i := 0; i < 2000; i++ {
+		a := b.Select(rng)
+		r := 0.0
+		if a == 3 {
+			r = 1.0
+		}
+		b.Update(a, r)
+	}
+	for i := 0; i < 3; i++ {
+		if b.Pulls(3) <= b.Pulls(i) {
+			t.Fatalf("best arm pulled %d times, arm %d pulled %d", b.Pulls(3), i, b.Pulls(i))
+		}
+	}
+}
+
+// TestBanditStarvationFloor: under adversarial rewards (one arm always
+// wins), the ε-exploration floor still gives every other arm at least
+// a non-trivial share of pulls — no operator is permanently abandoned.
+func TestBanditStarvationFloor(t *testing.T) {
+	const n, steps = 5, 10000
+	rng := rand.New(rand.NewPCG(1, 2))
+	b := NewBandit(n, Config{Explore: 0.1})
+	for i := 0; i < steps; i++ {
+		a := b.Select(rng)
+		r := 0.0
+		if a == 0 {
+			r = 1.0
+		}
+		b.Update(a, r)
+	}
+	// Expected floor per non-best arm: steps * ε/n = 200 pulls. Allow a
+	// wide margin for the deterministic-but-arbitrary PCG stream.
+	floor := uint64(steps) / (n * 10) / 4 // 50
+	for i := 1; i < n; i++ {
+		if b.Pulls(i) < floor {
+			t.Fatalf("arm %d starved: %d pulls < floor %d", i, b.Pulls(i), floor)
+		}
+	}
+}
+
+// TestBanditStateRoundTrip: State/Restore preserves the exact selection
+// behavior — a restored bandit continues the same trajectory as the
+// original under a shared RNG stream.
+func TestBanditStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	b := NewBandit(4, Config{})
+	for i := 0; i < 300; i++ {
+		a := b.Select(rng)
+		b.Update(a, float64(a%2))
+	}
+	st := b.State()
+
+	b2 := NewBandit(4, Config{})
+	if err := b2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	r1 := rand.New(rand.NewPCG(9, 9))
+	r2 := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 300; i++ {
+		a1, a2 := b.Select(r1), b2.Select(r2)
+		if a1 != a2 {
+			t.Fatalf("step %d: original picked %d, restored picked %d", i, a1, a2)
+		}
+		b.Update(a1, float64(i%3))
+		b2.Update(a2, float64(i%3))
+	}
+
+	if err := b2.Restore(State{Pulls: []uint64{1}, Rewards: []float64{1}}); err == nil {
+		t.Fatal("Restore accepted a state with the wrong arm count")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{0, 0}, true},
+		{[]float64{1, 0}, []float64{0, 0}, true},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: no strict improvement
+		{[]float64{1, 0}, []float64{0, 1}, false}, // incomparable
+		{[]float64{0, 0}, []float64{1, 0}, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	vecs := [][]float64{
+		{1, 5}, // front 0 (boundary)
+		{5, 1}, // front 0 (boundary)
+		{3, 3}, // front 0
+		{1, 1}, // dominated by {3,3}: front 1
+		{0, 0}, // dominated by {1,1}: front 2
+	}
+	rank, crowd := Rank(vecs)
+	want := []int{0, 0, 0, 1, 2}
+	if !reflect.DeepEqual(rank, want) {
+		t.Fatalf("rank = %v, want %v", rank, want)
+	}
+	if !math.IsInf(crowd[0], 1) || !math.IsInf(crowd[1], 1) {
+		t.Fatalf("boundary points must have +Inf crowding, got %v %v", crowd[0], crowd[1])
+	}
+	if math.IsInf(crowd[2], 1) {
+		t.Fatalf("interior point must have finite crowding, got %v", crowd[2])
+	}
+}
+
+// nonDominated verifies the archive invariant: no entry dominates (or
+// equals) another.
+func nonDominated(t *testing.T, a *Archive) {
+	t.Helper()
+	es := a.Entries()
+	for i := range es {
+		for j := range es {
+			if i == j {
+				continue
+			}
+			if Dominates(es[i].Vector, es[j].Vector) {
+				t.Fatalf("archive not mutually non-dominated: %v dominates %v", es[i], es[j])
+			}
+			if vectorEqual(es[i].Vector, es[j].Vector) {
+				t.Fatalf("archive holds duplicate vectors: %v and %v", es[i], es[j])
+			}
+		}
+	}
+}
+
+func TestArchiveNonDominationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	a := NewArchive(0)
+	for k := uint64(0); k < 500; k++ {
+		vec := []float64{
+			math.Floor(rng.Float64() * 10),
+			math.Floor(rng.Float64() * 10),
+			math.Floor(rng.Float64() * 10),
+		}
+		a.Add(k, vec)
+		if k%100 == 99 {
+			nonDominated(t, a)
+		}
+	}
+	nonDominated(t, a)
+}
+
+func TestArchiveDominanceEviction(t *testing.T) {
+	a := NewArchive(0)
+	if added, _ := a.Add(1, []float64{1, 1}); !added {
+		t.Fatal("first entry rejected")
+	}
+	if added, _ := a.Add(2, []float64{0, 0}); added {
+		t.Fatal("dominated offer admitted")
+	}
+	if added, _ := a.Add(3, []float64{1, 1}); added {
+		t.Fatal("vector-equal offer admitted")
+	}
+	if added, _ := a.Add(1, []float64{5, 5}); added {
+		t.Fatal("duplicate key admitted")
+	}
+	added, evicted := a.Add(4, []float64{2, 2})
+	if !added || len(evicted) != 1 || evicted[0] != 1 {
+		t.Fatalf("dominating offer: added=%v evicted=%v, want admitted with [1] evicted", added, evicted)
+	}
+	if a.Len() != 1 {
+		t.Fatalf("archive has %d entries, want 1", a.Len())
+	}
+}
+
+func TestArchiveBound(t *testing.T) {
+	a := NewArchive(3)
+	// Mutually incomparable diagonal: x + y = 10.
+	for k := uint64(0); k < 8; k++ {
+		x := float64(k)
+		added, evicted := a.Add(k, []float64{x, 10 - x})
+		if !added {
+			t.Fatalf("incomparable entry %d rejected", k)
+		}
+		if a.Len() > 3 {
+			t.Fatalf("archive exceeded bound: %d entries", a.Len())
+		}
+		if a.Len() == 3 && k >= 3 && len(evicted) == 0 {
+			t.Fatalf("entry %d: bound eviction did not report a victim", k)
+		}
+	}
+	nonDominated(t, a)
+	// Boundary (extreme) entries have +Inf crowding and survive
+	// truncation: the min and max of the surviving keys must be the
+	// diagonal extremes still seen.
+	es := a.Entries()
+	if es[0].Vector[0] != 0 {
+		t.Fatalf("low-boundary entry evicted: surviving entries %v", es)
+	}
+	if es[len(es)-1].Vector[0] != 7 {
+		t.Fatalf("high-boundary entry evicted: surviving entries %v", es)
+	}
+}
+
+func TestScheduleSeedsGreedyCoverage(t *testing.T) {
+	seeds := []SeedInfo{
+		{Key: "a", Fitness: 0.9, Detected: []int{1, 2}},
+		{Key: "b", Fitness: 0.5, Detected: []int{3, 4, 5}},
+		{Key: "c", Fitness: 0.8, Detected: []int{1, 2, 3}},
+		{Key: "d", Fitness: 0.7, Detected: []int{6}},
+	}
+	// Greedy marginal gain: c gains 3 (ties b's 3, but c's higher
+	// fitness puts it first in the base order and strict > keeps it);
+	// then b adds {4,5}, then d adds {6}; a gains nothing and fills
+	// from the fitness order.
+	got := ScheduleSeeds(seeds, 0)
+	want := []int{2, 1, 3, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ScheduleSeeds = %v, want %v", got, want)
+	}
+}
+
+func TestScheduleSeedsFitnessFallback(t *testing.T) {
+	// Unranked seeds (no Detected vectors) fall back to pure
+	// (fitness desc, key asc) ordering.
+	seeds := []SeedInfo{
+		{Key: "x", Fitness: 0.2},
+		{Key: "y", Fitness: 0.9},
+		{Key: "a", Fitness: 0.2},
+	}
+	got := ScheduleSeeds(seeds, 0)
+	want := []int{1, 2, 0} // y, then a before x on key
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ScheduleSeeds = %v, want %v", got, want)
+	}
+	if got := ScheduleSeeds(seeds, 2); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("ScheduleSeeds(k=2) = %v, want [1 2]", got)
+	}
+}
+
+// TestScheduleSeedsMixedRanked: coverage-bearing seeds are scheduled
+// before unranked ones even when the unranked have higher fitness.
+func TestScheduleSeedsMixedRanked(t *testing.T) {
+	seeds := []SeedInfo{
+		{Key: "unranked", Fitness: 0.99},
+		{Key: "ranked", Fitness: 0.1, Detected: []int{7}},
+	}
+	got := ScheduleSeeds(seeds, 0)
+	want := []int{1, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ScheduleSeeds = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,80 @@
+package sched
+
+import "sort"
+
+// SeedInfo describes one corpus candidate for warm-start scheduling.
+type SeedInfo struct {
+	// Key is a stable identity (corpus content hash) used as the final
+	// deterministic tie-break.
+	Key     string
+	Fitness float64
+	// Detected lists the injection indices this seed's SFI campaign
+	// detected (corpus Meta.Detected). Nil/empty means unranked: the
+	// seed carries no coverage measurement and competes by fitness only.
+	Detected []int
+}
+
+// ScheduleSeeds orders candidates by marginal detected-fault coverage:
+// greedy set cover, where each pick maximizes the number of injection
+// indices not covered by earlier picks (ties: higher fitness, then
+// lower key). Once no candidate adds new coverage, remaining slots fill
+// in (fitness desc, key asc) order, so unranked seeds still warm-start
+// behind the coverage-bearing ones. Returns indices into seeds, at most
+// k of them (k <= 0 means all).
+func ScheduleSeeds(seeds []SeedInfo, k int) []int {
+	if k <= 0 || k > len(seeds) {
+		k = len(seeds)
+	}
+	order := make([]int, len(seeds))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := seeds[order[a]], seeds[order[b]]
+		if sa.Fitness != sb.Fitness {
+			return sa.Fitness > sb.Fitness
+		}
+		return sa.Key < sb.Key
+	})
+
+	picked := make([]int, 0, k)
+	used := make([]bool, len(seeds))
+	covered := make(map[int]struct{})
+	for len(picked) < k {
+		bestPos, bestGain := -1, 0
+		for pos, idx := range order {
+			if used[pos] {
+				continue
+			}
+			gain := 0
+			for _, f := range seeds[idx].Detected {
+				if _, ok := covered[f]; !ok {
+					gain++
+				}
+			}
+			// Strict > keeps the first (highest-fitness, lowest-key)
+			// candidate among equal gains.
+			if gain > bestGain {
+				bestPos, bestGain = pos, gain
+			}
+		}
+		if bestPos < 0 {
+			break // no candidate adds coverage: fall through to fitness order
+		}
+		used[bestPos] = true
+		picked = append(picked, order[bestPos])
+		for _, f := range seeds[order[bestPos]].Detected {
+			covered[f] = struct{}{}
+		}
+	}
+	for pos, idx := range order {
+		if len(picked) >= k {
+			break
+		}
+		if !used[pos] {
+			used[pos] = true
+			picked = append(picked, idx)
+		}
+	}
+	return picked
+}
