@@ -47,6 +47,8 @@ func main() {
 		asJSON = flag.Bool("json", false, "print the campaign result as one JSON object on stdout")
 		list   = flag.Bool("list", false, "list available programs and exit")
 
+		noGoldenCache = flag.Bool("no-golden-cache", false, "disable golden artifact reuse: every campaign (and every worker shard) recomputes its instrumented golden run (ablation)")
+
 		corpusDir = flag.String("corpus", "", "rank a corpus archive: run the campaign on every archived program of the target structure and record detection metadata")
 		resume    = flag.Bool("resume", false, "with -corpus: skip entries already measured with this campaign configuration (resume an interrupted sweep)")
 
@@ -64,6 +66,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	// The -json output always reports the golden-cache counters; when
+	// the CLI observer carries no registry (no -metrics), attach one so
+	// the campaign has somewhere to count.
+	if ob.Registry() == nil {
+		ob = obs.New(obs.NewRegistry(), ob.Tracer())
 	}
 
 	suites := map[string][]*prog.Program{
@@ -111,6 +119,7 @@ func main() {
 			Seed:            *seed,
 			IntermittentLen: *window,
 			Force:           !*resume,
+			NoGoldenCache:   *noGoldenCache,
 			Obs:             ob,
 			Progress: func(m *corpus.Meta, s *inject.Stats) {
 				fmt.Printf("  %s  %s\n", m.Hash, s)
@@ -165,6 +174,9 @@ func main() {
 		BurstLen:        *burst,
 		Seed:            *seed,
 		Cfg:             uarch.DefaultConfig(),
+		GoldenCache:     inject.SharedGoldenCache(),
+		ProgramHash:     corpus.HashProgram(p),
+		NoGoldenCache:   *noGoldenCache,
 		Obs:             ob,
 	}
 	golden := c.Golden()
@@ -213,7 +225,7 @@ func main() {
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
-		if err := enc.Encode(campaignJSON(p.Name, st, ft, *seed, stats)); err != nil {
+		if err := enc.Encode(campaignJSON(p.Name, st, ft, *seed, stats, ob)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -242,22 +254,29 @@ type campaignResult struct {
 	Detected     int     `json:"detected"`
 	Detection    float64 `json:"detection"`
 	GoldenCycles uint64  `json:"golden_cycles"`
+	// Golden-cache counters for this process (always present, so jq
+	// gates can assert reuse without guarding missing fields; 0 in
+	// queue/workers modes, where golden runs happen remotely).
+	GoldenCacheHits   int64 `json:"golden_cache_hits"`
+	GoldenCacheMisses int64 `json:"golden_cache_misses"`
 }
 
-func campaignJSON(name string, st coverage.Structure, ft inject.FaultType, seed uint64, s *inject.Stats) campaignResult {
+func campaignJSON(name string, st coverage.Structure, ft inject.FaultType, seed uint64, s *inject.Stats, ob *obs.Observer) campaignResult {
 	return campaignResult{
-		Program:      name,
-		Target:       st.String(),
-		Type:         ft.String(),
-		Seed:         seed,
-		N:            s.N,
-		Masked:       s.Masked,
-		SDC:          s.SDC,
-		Crash:        s.Crash,
-		Hang:         s.Hang,
-		Trap:         s.Trap,
-		Detected:     s.Detected(),
-		Detection:    s.Detection(),
-		GoldenCycles: s.GoldenCycles,
+		Program:           name,
+		Target:            st.String(),
+		Type:              ft.String(),
+		Seed:              seed,
+		N:                 s.N,
+		Masked:            s.Masked,
+		SDC:               s.SDC,
+		Crash:             s.Crash,
+		Hang:              s.Hang,
+		Trap:              s.Trap,
+		Detected:          s.Detected(),
+		Detection:         s.Detection(),
+		GoldenCycles:      s.GoldenCycles,
+		GoldenCacheHits:   ob.Counter("inject.golden.cache.hits").Load(),
+		GoldenCacheMisses: ob.Counter("inject.golden.cache.misses").Load(),
 	}
 }

@@ -43,9 +43,13 @@ func main() {
 		name         = flag.String("name", "", "worker name reported in leases (default addr)")
 		cacheDir     = flag.String("cache", "", "worker-side content-addressed result cache directory")
 		cacheEntries = flag.Int("cache-entries", 0, "in-memory cache entries (0 = default)")
-		tracePath    = flag.String("trace", "", "write a JSONL event trace to this file")
-		metrics      = flag.Bool("metrics", false, "print a metrics summary at exit")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+
+		goldenCacheDir     = flag.String("golden-cache", "", "persist golden artifact bundles in this directory (restarted workers skip recomputing golden runs)")
+		goldenCacheEntries = flag.Int("golden-cache-entries", 0, "in-memory golden bundles (0 = default)")
+		noGoldenCache      = flag.Bool("no-golden-cache", false, "disable golden artifact reuse on this worker (ablation)")
+		tracePath          = flag.String("trace", "", "write a JSONL event trace to this file")
+		metrics            = flag.Bool("metrics", false, "print a metrics summary at exit")
+		pprofAddr          = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -85,10 +89,13 @@ func main() {
 			wname = ln.Addr().String()
 		}
 		worker, err = queue.NewWorker(*pull, queue.WorkerOptions{
-			Name:         wname,
-			CacheDir:     *cacheDir,
-			CacheEntries: *cacheEntries,
-			Obs:          ob,
+			Name:               wname,
+			CacheDir:           *cacheDir,
+			CacheEntries:       *cacheEntries,
+			GoldenCacheDir:     *goldenCacheDir,
+			GoldenCacheEntries: *goldenCacheEntries,
+			NoGoldenCache:      *noGoldenCache,
+			Obs:                ob,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

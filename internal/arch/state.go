@@ -211,6 +211,11 @@ func (s *State) Signature() uint64 {
 // at the next RDTSC/RDRAND.
 func (s *State) NondetCounter() uint64 { return s.nondetCtr }
 
+// RestoreNondetCounter rewinds the nondeterministic stream to a saved
+// position — for deserializing a checkpointed execution state, whose
+// future nondet values must replay identically.
+func (s *State) RestoreNondetCounter(n uint64) { s.nondetCtr = n }
+
 // nondet produces the next value of the nondeterministic stream
 // (splitmix64 over salt+counter).
 func (s *State) nondet() uint64 {

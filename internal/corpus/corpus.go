@@ -181,13 +181,7 @@ func HashProgram(p *prog.Program) uint64 {
 // every spec hash derived elsewhere (the internal/queue result cache
 // keys programs, configurations and fault specs with it, so cache keys
 // and corpus keys agree about what "same content" means).
-func HashBytes(data []byte) uint64 {
-	h := stats.HashInit
-	for _, b := range data {
-		h = stats.Mix64(h, uint64(b))
-	}
-	return h
-}
+func HashBytes(data []byte) uint64 { return stats.HashBytes(data) }
 
 // Key renders a content hash as the 16-hex-digit store key.
 func Key(h uint64) string { return fmt.Sprintf("%016x", h) }

@@ -8,6 +8,7 @@ import (
 	"harpocrates/internal/inject"
 	"harpocrates/internal/obs"
 	"harpocrates/internal/prog"
+	"harpocrates/internal/stats"
 )
 
 // Protocol v1 extensions for the campaign-as-a-service coordinator
@@ -202,11 +203,22 @@ func NewInjectRequest(c *inject.Campaign, p *prog.Program) (InjectRequest, error
 // execution function shared by the push-mode worker handler, the
 // pull-mode worker loop and the coordinator's local/in-process
 // executors, so every path produces bit-identical shard statistics.
+// Golden artifacts are reused through the process-wide cache: every
+// shard of one campaign (and every campaign on the same program and
+// config) computes the instrumented golden run exactly once.
 func RunInject(req *InjectRequest, ob *obs.Observer) (*inject.Stats, error) {
+	return RunInjectCached(req, ob, inject.SharedGoldenCache())
+}
+
+// RunInjectCached is RunInject against an explicit golden cache —
+// daemons with a disk-backed cache (queue workers) pass their own; nil
+// disables golden reuse for this shard.
+func RunInjectCached(req *InjectRequest, ob *obs.Observer, gc *inject.GoldenCache) (*inject.Stats, error) {
 	c, err := CampaignFor(req, ob)
 	if err != nil {
 		return nil, err
 	}
+	c.GoldenCache = gc
 	return c.RunRange(req.Lo, req.Hi)
 }
 
@@ -325,6 +337,11 @@ func CampaignFor(req *InjectRequest, ob *obs.Observer) (*inject.Campaign, error)
 		NoFastForward:      req.NoFastForward,
 		NoDeltaTermination: req.NoDeltaTermination,
 		DeltaInterval:      req.DeltaInterval,
-		Obs:                ob,
+		// The golden cache key's program component is the content hash
+		// of the wire bytes — the same convention the queue result cache
+		// uses, so both caches agree about what "same program" means.
+		ProgramHash:   stats.HashBytes(req.Program),
+		NoGoldenCache: req.NoGoldenCache,
+		Obs:           ob,
 	}, nil
 }

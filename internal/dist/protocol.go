@@ -53,6 +53,11 @@ type InjectRequest struct {
 	NoFastForward      bool         `json:"no_fast_forward,omitempty"`
 	NoDeltaTermination bool         `json:"no_delta_termination,omitempty"`
 	DeltaInterval      uint64       `json:"delta_interval,omitempty"`
+	// NoGoldenCache disables golden artifact reuse on the executing
+	// side (inject.Campaign.NoGoldenCache) — the ablation knob travels
+	// with the campaign so a submitter's -no-golden-cache means the
+	// same thing on every worker.
+	NoGoldenCache bool `json:"no_golden_cache,omitempty"`
 }
 
 // InjectResponse carries one shard's partial statistics (Stats.N is
@@ -150,5 +155,6 @@ func campaignRequest(c *inject.Campaign, progBytes []byte) InjectRequest {
 		NoFastForward:      c.NoFastForward,
 		NoDeltaTermination: c.NoDeltaTermination,
 		DeltaInterval:      c.DeltaInterval,
+		NoGoldenCache:      c.NoGoldenCache,
 	}
 }

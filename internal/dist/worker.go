@@ -89,12 +89,7 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	c, err := CampaignFor(&req, s.ob)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	st, err := c.RunRange(req.Lo, req.Hi)
+	st, err := RunInject(&req, s.ob)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

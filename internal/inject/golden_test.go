@@ -1,0 +1,582 @@
+package inject
+
+import (
+	"sync"
+	"testing"
+
+	"harpocrates/internal/ace"
+	"harpocrates/internal/coverage"
+	"harpocrates/internal/obs"
+	"harpocrates/internal/stats"
+	"harpocrates/internal/uarch"
+)
+
+// testProgramHash derives a deterministic non-zero content key for a
+// test campaign's program (the real plumbing hashes serialized program
+// bytes; tests only need "same program, same key").
+func testProgramHash(c *Campaign) uint64 {
+	h := stats.HashInit
+	for _, in := range c.Prog {
+		h = stats.Mix64(h, uint64(in.V))
+		h = stats.Mix64(h, uint64(in.NOps))
+		for _, op := range in.Ops {
+			h = stats.Mix64(h, uint64(op.Kind))
+			h = stats.Mix64(h, uint64(op.Reg))
+			h = stats.Mix64(h, uint64(op.X))
+			h = stats.Mix64(h, uint64(op.Imm))
+			h = stats.Mix64(h, uint64(op.Mem.Base))
+			h = stats.Mix64(h, uint64(op.Mem.Disp))
+		}
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// TestGoldenCacheBitIdenticalStats is the acceptance gate of golden
+// artifact reuse: for every structure class and fault type, a campaign
+// served from the cache (including one served from a warm entry another
+// campaign populated) must produce statistics bit-identical to the same
+// campaign with NoGoldenCache. The cached golden run carries more
+// instrumentation than an uncached one (all three recorders, the
+// trajectory, canonical checkpoint spacing), so this pins that all of
+// it is purely observational.
+func TestGoldenCacheBitIdenticalStats(t *testing.T) {
+	cases := []struct {
+		target coverage.Structure
+		typ    FaultType
+		n      int
+	}{
+		{coverage.IRF, Transient, 48},
+		{coverage.FPRF, Transient, 32},
+		{coverage.L1D, Transient, 32},
+		{coverage.Decoder, Transient, 24},
+		{coverage.Gshare, Transient, 24},
+		{coverage.LSQ, Transient, 24},
+		{coverage.IRF, Intermittent, 12},
+		{coverage.L1D, Intermittent, 12},
+		{coverage.IntAdder, Permanent, 10},
+		{coverage.IntAdder, Intermittent, 8},
+		{coverage.FPAdd, Permanent, 8},
+		{coverage.FPMul, Intermittent, 6},
+	}
+	gc, err := NewGoldenCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.target.String()+"/"+tc.typ.String(), func(t *testing.T) {
+			t.Parallel()
+			run := func(noCache bool) *Stats {
+				c := testProgram(t, 350, nil)
+				c.Target = tc.target
+				c.Type = tc.typ
+				c.IntermittentLen = 80
+				c.N = tc.n
+				c.Seed = 11
+				c.GoldenCache = gc
+				c.ProgramHash = testProgramHash(c)
+				c.NoGoldenCache = noCache
+				st, err := c.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			}
+			cold := run(true)
+			cached := run(false)
+			warm := run(false)
+			if !cold.Equal(cached) {
+				t.Fatalf("golden cache changed campaign statistics:\ncold:   %+v\ncached: %+v", cold, cached)
+			}
+			if !cold.Equal(warm) {
+				t.Fatalf("warm golden cache changed campaign statistics:\ncold: %+v\nwarm: %+v", cold, warm)
+			}
+		})
+	}
+}
+
+// TestGoldenCacheSingleComputePerProgram: the whole point — six
+// per-structure campaigns on one program with one shared configuration
+// compute the golden run once. All six targets share the plain golden
+// class, so the second through sixth campaigns hit.
+func TestGoldenCacheSingleComputePerProgram(t *testing.T) {
+	gc, err := NewGoldenCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ob := obs.New(reg, nil)
+	targets := []coverage.Structure{
+		coverage.IRF, coverage.FPRF, coverage.L1D,
+		coverage.Decoder, coverage.Gshare, coverage.LSQ,
+	}
+	for _, target := range targets {
+		c := testProgram(t, 350, nil)
+		c.Target = target
+		c.Type = Transient
+		c.N = 16
+		c.Seed = 11
+		c.GoldenCache = gc
+		c.ProgramHash = testProgramHash(c)
+		c.Obs = ob
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("inject.golden.cache.misses").Load(); got != 1 {
+		t.Fatalf("six same-program campaigns computed the golden %d times, want 1", got)
+	}
+	if got := reg.Counter("inject.golden.cache.hits").Load(); got != int64(len(targets)-1) {
+		t.Fatalf("golden cache hits = %d, want %d", got, len(targets)-1)
+	}
+	if reg.Histogram("inject.golden.compute_ns").Count() != 1 {
+		t.Fatal("golden compute latency histogram did not observe exactly one compute")
+	}
+}
+
+// TestGoldenCacheConcurrentCampaigns: many goroutines racing the same
+// key must single-flight onto one computation and all produce the
+// reference statistics (run under -race in CI).
+func TestGoldenCacheConcurrentCampaigns(t *testing.T) {
+	newCampaign := func(target coverage.Structure, gc *GoldenCache, ob *obs.Observer) *Campaign {
+		c := testProgram(t, 300, nil)
+		c.Target = target
+		c.Type = Transient
+		c.N = 12
+		c.Seed = 11
+		c.Workers = 2
+		c.GoldenCache = gc
+		c.ProgramHash = testProgramHash(c)
+		c.Obs = ob
+		return c
+	}
+	targets := []coverage.Structure{coverage.IRF, coverage.FPRF, coverage.L1D, coverage.Gshare}
+	want := make(map[coverage.Structure]*Stats)
+	for _, target := range targets {
+		c := newCampaign(target, nil, nil)
+		c.NoGoldenCache = true
+		st, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[target] = st
+	}
+
+	gc, err := NewGoldenCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ob := obs.New(reg, nil)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*len(targets))
+	for round := 0; round < 4; round++ {
+		for _, target := range targets {
+			wg.Add(1)
+			go func(target coverage.Structure) {
+				defer wg.Done()
+				st, err := newCampaign(target, gc, ob).Run()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !st.Equal(want[target]) {
+					t.Errorf("concurrent cached campaign on %v diverged from reference", target)
+				}
+			}(target)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("inject.golden.cache.misses").Load(); got != 1 {
+		t.Fatalf("%d golden computes under concurrency, want 1 (single-flight)", got)
+	}
+}
+
+// TestGoldenCachePoolHygiene: bundles hold pooled resources (interval
+// recorders, checkpoint cores, the trajectory) while resident, release
+// them exactly once when purged, and never release them while a
+// campaign still reads them. Not parallel: compares global live
+// counters.
+func TestGoldenCachePoolHygiene(t *testing.T) {
+	baseRec := ace.LiveIntervalRecorders()
+	baseCk := uarch.LiveCheckpoints()
+	baseTraj := uarch.LiveDeltaTrajectories()
+
+	gc, err := NewGoldenCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []coverage.Structure{coverage.IRF, coverage.L1D} {
+		c := testProgram(t, 350, nil)
+		c.Target = target
+		c.Type = Transient
+		c.N = 16
+		c.Seed = 11
+		c.GoldenCache = gc
+		c.ProgramHash = testProgramHash(c)
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if gc.Len() != 1 {
+		t.Fatalf("cache holds %d bundles, want 1", gc.Len())
+	}
+	// The resident bundle must still hold its pooled resources — a
+	// premature release would hand live recorders back to the pool.
+	if got := uarch.LiveDeltaTrajectories(); got != baseTraj+1 {
+		t.Fatalf("resident bundle holds %d trajectories, want 1", got-baseTraj)
+	}
+	if got := ace.LiveIntervalRecorders(); got != baseRec+3 {
+		t.Fatalf("resident bundle holds %d recorders, want 3", got-baseRec)
+	}
+	gc.Purge()
+	if got := ace.LiveIntervalRecorders(); got != baseRec {
+		t.Fatalf("purge leaked %d interval recorders", got-baseRec)
+	}
+	if got := uarch.LiveCheckpoints(); got != baseCk {
+		t.Fatalf("purge leaked %d checkpoints", got-baseCk)
+	}
+	if got := uarch.LiveDeltaTrajectories(); got != baseTraj {
+		t.Fatalf("purge leaked %d delta trajectories", got-baseTraj)
+	}
+	// Purging twice must not double-release (the pools count lives; a
+	// double release would go negative).
+	gc.Purge()
+	if got := uarch.LiveCheckpoints(); got != baseCk {
+		t.Fatalf("double purge corrupted checkpoint accounting by %d", got-baseCk)
+	}
+}
+
+// TestGoldenCacheEvictionWaitsForReaders: an entry evicted while a
+// campaign still holds it must defer the pool release to the last
+// reader. Exercised directly against Acquire with synthetic bundles
+// whose keys collide onto one shard. Not parallel: counts live
+// trajectories.
+func TestGoldenCacheEvictionWaitsForReaders(t *testing.T) {
+	baseTraj := uarch.LiveDeltaTrajectories()
+	gc, err := NewGoldenCache(goldenShards, "") // one entry per shard
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *uarch.GoldenArtifacts {
+		return &uarch.GoldenArtifacts{Trajectory: uarch.GetDeltaTrajectory(0)}
+	}
+	// Same shard (Program % goldenShards == 0), distinct keys.
+	k1 := GoldenKey{Program: 1 * goldenShards}
+	k2 := GoldenKey{Program: 2 * goldenShards}
+	ga1, rel1, err := gc.Acquire(k1, nil, nil, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rel2, err := gc.Acquire(k2, nil, nil, mk); err != nil {
+		t.Fatal(err)
+	} else {
+		rel2() // k2 inserted; its arrival evicted k1, which is still held
+	}
+	if ga1.Trajectory == nil {
+		t.Fatal("evicted bundle released while still referenced")
+	}
+	if got := uarch.LiveDeltaTrajectories(); got != baseTraj+2 {
+		t.Fatalf("live trajectories = %d, want 2 (held evictee + resident)", got-baseTraj)
+	}
+	rel1() // last reader: now the evicted bundle's resources return
+	gc.Purge()
+	if got := uarch.LiveDeltaTrajectories(); got != baseTraj {
+		t.Fatalf("eviction-with-readers leaked %d trajectories", got-baseTraj)
+	}
+}
+
+// TestGoldenKeySensitivity: knobs that change what the golden run
+// computes must change the key; knobs that only steer how faulty runs
+// are accelerated must not.
+func TestGoldenKeySensitivity(t *testing.T) {
+	base := func() *Campaign {
+		c := testProgram(t, 120, nil)
+		c.Target = coverage.IRF
+		c.Type = Transient
+		c.N = 8
+		c.Seed = 11
+		c.ProgramHash = testProgramHash(c)
+		return c
+	}
+	ref := base().goldenKey()
+
+	// Perf-only / fault-spec knobs: same key (bundles interchangeable).
+	same := map[string]*Campaign{}
+	{
+		c := base()
+		c.Cfg.NoCycleSkip = true
+		same["NoCycleSkip"] = c
+	}
+	{
+		c := base()
+		c.CheckpointInterval = 64
+		same["CheckpointInterval"] = c
+	}
+	{
+		c := base()
+		c.DeltaInterval = 64
+		same["DeltaInterval"] = c
+	}
+	{
+		c := base()
+		c.Seed = 999
+		c.N = 100
+		c.Type = Intermittent
+		c.IntermittentLen = 50
+		c.BurstLen = 4
+		same["fault spec"] = c
+	}
+	{
+		c := base()
+		c.Target = coverage.Decoder // same plain golden class
+		same["plain-class target"] = c
+	}
+	for name, c := range same {
+		if got := c.goldenKey(); got != ref {
+			t.Errorf("%s changed the golden key: %x vs %x", name, got, ref)
+		}
+	}
+
+	// Golden-relevant knobs: distinct keys, pairwise.
+	diff := map[string]*Campaign{}
+	{
+		c := base()
+		c.Cfg.MaxCycles = 12345
+		diff["MaxCycles"] = c
+	}
+	{
+		c := base()
+		c.Cfg.NondetSalt = 7
+		diff["NondetSalt"] = c
+	}
+	{
+		c := base()
+		c.Cfg.IntPRF = 200
+		diff["IntPRF"] = c
+	}
+	{
+		c := base()
+		c.Target = coverage.FPAdd // fpadd golden class (netlist hooks)
+		diff["FP class"] = c
+	}
+	{
+		c := base()
+		c.ProgramHash = 2
+		diff["program"] = c
+	}
+	seen := map[GoldenKey]string{ref: "base"}
+	for name, c := range diff {
+		k := c.goldenKey()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s collides with %s on golden key %x", name, prev, k)
+		}
+		seen[k] = name
+	}
+}
+
+// TestGoldenCacheUncacheableConfigs: configurations whose golden cores
+// carry per-run instrumentation must bypass the cache (and still
+// produce a working campaign).
+func TestGoldenCacheUncacheableConfigs(t *testing.T) {
+	gc, err := NewGoldenCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testProgram(t, 120, nil)
+	c.Target = coverage.IRF
+	c.Type = Transient
+	c.N = 8
+	c.GoldenCache = gc
+	c.ProgramHash = testProgramHash(c)
+	c.Cfg.TrackIRF = true
+	if c.goldenCacheable() {
+		t.Fatal("tracker config must not be cacheable")
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gc.Len() != 0 {
+		t.Fatal("uncacheable campaign populated the cache")
+	}
+	c2 := testProgram(t, 120, nil)
+	c2.Target = coverage.IRF
+	c2.Type = Transient
+	c2.N = 8
+	c2.GoldenCache = gc
+	if c2.goldenCacheable() {
+		t.Fatal("zero ProgramHash must not be cacheable")
+	}
+	c2.ProgramHash = 5
+	c2.NoFastForward = true
+	if c2.goldenCacheable() {
+		t.Fatal("NoFastForward must not be cacheable")
+	}
+}
+
+// TestGoldenDiskTierRestart: a fresh cache over the same directory — a
+// restarted worker process — must serve the golden from disk (one
+// decode, zero recomputes) and produce bit-identical statistics. This
+// is the end-to-end exercise of the HXGA codec: the second campaign
+// resumes faulty runs from deserialized checkpoint cores, pre-classifies
+// against a deserialized interval log and delta-terminates against a
+// deserialized trajectory.
+func TestGoldenDiskTierRestart(t *testing.T) {
+	dir := t.TempDir()
+	run := func(gc *GoldenCache, ob *obs.Observer, noCache bool) *Stats {
+		c := testProgram(t, 400, nil)
+		c.Target = coverage.IRF
+		c.Type = Transient
+		c.N = 32
+		c.Seed = 11
+		c.GoldenCache = gc
+		c.ProgramHash = testProgramHash(c)
+		c.NoGoldenCache = noCache
+		c.Obs = ob
+		st, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	want := run(nil, nil, true)
+
+	gc1, err := NewGoldenCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := run(gc1, nil, false)
+	if err := gc1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(cold) {
+		t.Fatalf("disk-backed cache changed statistics:\nwant: %+v\ngot:  %+v", want, cold)
+	}
+
+	gc2, err := NewGoldenCache(0, dir) // "restarted process"
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gc2.Close()
+	reg := obs.NewRegistry()
+	warm := run(gc2, obs.New(reg, nil), false)
+	if !want.Equal(warm) {
+		t.Fatalf("disk-restored golden changed statistics:\nwant: %+v\ngot:  %+v", want, warm)
+	}
+	if got := reg.Counter("inject.golden.cache.disk_hits").Load(); got != 1 {
+		t.Fatalf("restart took %d disk hits, want 1", got)
+	}
+	if got := reg.Histogram("inject.golden.compute_ns").Count(); got != 0 {
+		t.Fatalf("restart recomputed the golden %d times, want 0", got)
+	}
+
+	// Same-process second campaign with the disk bundle resident: pure
+	// memory hit (N/Seed/DeltaInterval are excluded from the key), still
+	// bit-identical to an uncached run of the same spec, and delta
+	// termination must fire — the deserialized trajectory actually
+	// terminates faulty runs early.
+	deltaRun := func(gc *GoldenCache, ob *obs.Observer, noCache bool) *Stats {
+		c := testProgram(t, 400, nil)
+		c.Target = coverage.IRF
+		c.Type = Transient
+		c.N = 64
+		c.Seed = 11
+		c.DeltaInterval = 64
+		c.GoldenCache = gc
+		c.ProgramHash = testProgramHash(c)
+		c.NoGoldenCache = noCache
+		c.Obs = ob
+		st, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	wantDelta := deltaRun(nil, nil, true)
+	again := deltaRun(gc2, obs.New(reg, nil), false)
+	if !wantDelta.Equal(again) {
+		t.Fatal("campaign over the disk-restored bundle diverged from uncached reference")
+	}
+	if got := reg.Histogram("inject.golden.compute_ns").Count(); got != 0 {
+		t.Fatalf("resident bundle missed: %d recomputes", got)
+	}
+	if reg.Counter("inject.delta.converged").Load() == 0 {
+		t.Fatal("no faulty run delta-terminated against the deserialized trajectory")
+	}
+}
+
+// TestGoldenCodecRoundTrip: decode(encode(bundle)) preserves the golden
+// result bit-for-bit and re-encodes to the identical byte stream (the
+// codec is canonical), and a truncated or corrupted stream fails with
+// an error — releasing everything it acquired — rather than panicking.
+// Not parallel: counts pool lives around decode failures.
+func TestGoldenCodecRoundTrip(t *testing.T) {
+	c := testProgram(t, 400, nil)
+	c.Target = coverage.IRF
+	c.Type = Transient
+	c.N = 8
+	ga := c.computeGoldenArtifacts()
+	defer ga.Release()
+	if len(ga.Checkpoints) == 0 || ga.Trajectory == nil || ga.Result.IRFIntervals == nil {
+		t.Fatal("golden bundle missing instrumentation")
+	}
+
+	data, err := uarch.EncodeGoldenArtifacts(ga)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := uarch.DecodeGoldenArtifacts(data, c.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Release()
+	if dec.Result.Cycles != ga.Result.Cycles || dec.Result.Signature != ga.Result.Signature ||
+		dec.Result.Instructions != ga.Result.Instructions {
+		t.Fatalf("decoded golden result diverged: %+v vs %+v", dec.Result, ga.Result)
+	}
+	if len(dec.Checkpoints) != len(ga.Checkpoints) {
+		t.Fatalf("decoded %d checkpoints, want %d", len(dec.Checkpoints), len(ga.Checkpoints))
+	}
+	if len(dec.Trajectory.Points) != len(ga.Trajectory.Points) {
+		t.Fatal("decoded trajectory point count diverged")
+	}
+	again, err := uarch.EncodeGoldenArtifacts(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatal("re-encoding a decoded bundle is not byte-identical")
+	}
+
+	baseRec := ace.LiveIntervalRecorders()
+	baseCk := uarch.LiveCheckpoints()
+	baseTraj := uarch.LiveDeltaTrajectories()
+	for cut := 0; cut < len(data); cut += 257 {
+		if _, err := uarch.DecodeGoldenArtifacts(data[:cut], c.Prog); err == nil {
+			t.Fatalf("decode of %d-byte truncation succeeded", cut)
+		}
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	if dec, err := uarch.DecodeGoldenArtifacts(corrupt, c.Prog); err == nil {
+		// A flipped bit in region payload bytes can decode structurally;
+		// only structural corruption must error. Release and move on.
+		dec.Release()
+	}
+	if got := ace.LiveIntervalRecorders(); got != baseRec {
+		t.Fatalf("failed decodes leaked %d interval recorders", got-baseRec)
+	}
+	if got := uarch.LiveCheckpoints(); got != baseCk {
+		t.Fatalf("failed decodes leaked %d checkpoints", got-baseCk)
+	}
+	if got := uarch.LiveDeltaTrajectories(); got != baseTraj {
+		t.Fatalf("failed decodes leaked %d trajectories", got-baseTraj)
+	}
+}

@@ -175,6 +175,22 @@ type Campaign struct {
 	// compare points; 0 means uarch.DefaultDeltaInterval.
 	DeltaInterval uint64
 
+	// GoldenCache, when set together with a non-zero ProgramHash, lets
+	// the campaign reuse a previously computed golden bundle (result,
+	// checkpoints, delta trajectory, interval logs) keyed by
+	// (ProgramHash, golden config) instead of re-simulating the
+	// fault-free reference. Outcomes are bit-identical either way
+	// (asserted by differential tests); see golden.go.
+	GoldenCache *GoldenCache
+	// ProgramHash is the content hash (stats.HashBytes) of the encoded
+	// program bytes. 0 disables the golden cache — the campaign cannot
+	// derive it from Prog alone, since distinct listings could decode
+	// to equal Inst slices only by accident of the caller.
+	ProgramHash uint64
+	// NoGoldenCache disables golden reuse even when a cache is wired
+	// (the ablation knob behind the -no-golden-cache flags).
+	NoGoldenCache bool
+
 	// Obs, if set, receives campaign metrics (per-phase wall-clock
 	// timings, outcome counts, pre-classification and checkpoint-reuse
 	// rates) and a trace span per campaign. Purely observational; nil
@@ -798,23 +814,17 @@ func (c *Campaign) RunRange(lo, hi int) (*Stats, error) {
 	})
 
 	stopGolden := c.Obs.Phase("inject.phase.golden")
-	golden, cks, traj := c.goldenInstrumented()
+	golden, cks, traj, releaseGolden := c.acquireGolden()
 	stopGolden()
 	// None of the golden instrumentation escapes RunRange (only outcome
-	// counts do), so the interval logs' backing arrays, every checkpoint's
-	// core snapshot and the delta trajectory all go back to their pools for
-	// the next campaign instead of churning the garbage collector. This
-	// defer runs on every exit path, including the golden-timeout and
-	// validation-failure errors, after wg.Wait has quiesced the workers.
-	defer func() {
-		ace.ReleaseIntervalRecorder(golden.IRFIntervals)
-		ace.ReleaseIntervalRecorder(golden.FPRFIntervals)
-		ace.ReleaseIntervalRecorder(golden.L1DIntervals)
-		for _, ck := range cks {
-			ck.Release()
-		}
-		uarch.ReleaseDeltaTrajectory(traj)
-	}()
+	// counts do). On the uncached path the release returns the interval
+	// logs' backing arrays, every checkpoint's core snapshot and the
+	// delta trajectory to their pools for the next campaign; on the
+	// cached path it drops this campaign's reference so the cache can do
+	// the same once the bundle is evicted. This defer runs on every exit
+	// path, including the golden-timeout and validation-failure errors,
+	// after wg.Wait has quiesced the workers.
+	defer releaseGolden()
 	if !golden.Clean() {
 		// A fault-free run that crashes or hangs has no meaningful output
 		// signature: grading faulty runs against it would silently call

@@ -29,6 +29,19 @@ type WorkerOptions struct {
 	CacheEntries int
 	// WaitMs is the long-poll wait per lease request (default 30s).
 	WaitMs int
+	// GoldenCacheDir, if set, persists encoded golden artifact bundles
+	// (inject golden runs: result, checkpoints, trajectory, interval
+	// logs) across worker restarts; empty keeps the golden cache
+	// memory-only. Independent of CacheDir — the result cache skips
+	// whole shards, the golden cache skips the fixed cost of shards
+	// that still simulate.
+	GoldenCacheDir string
+	// GoldenCacheEntries bounds the decoded golden bundles held in
+	// memory (<= 0 means inject.DefaultGoldenCacheEntries).
+	GoldenCacheEntries int
+	// NoGoldenCache disables golden artifact reuse on this worker even
+	// for campaigns that allow it (ablation knob).
+	NoGoldenCache bool
 	// Obs receives worker counters; may be nil.
 	Obs *obs.Observer
 }
@@ -44,6 +57,7 @@ type Worker struct {
 	ob     *obs.Observer
 	client *http.Client
 	cache  *Cache
+	golden *inject.GoldenCache
 }
 
 // NewWorker builds a worker against a coordinator base URL, opening the
@@ -72,14 +86,28 @@ func NewWorker(base string, opts WorkerOptions) (*Worker, error) {
 		}
 		w.cache = cache
 	}
+	if !opts.NoGoldenCache {
+		golden, err := inject.NewGoldenCache(opts.GoldenCacheEntries, opts.GoldenCacheDir)
+		if err != nil {
+			w.cache.Close()
+			return nil, err
+		}
+		w.golden = golden
+	}
 	return w, nil
 }
 
 // Cache exposes the worker-side cache (nil when none was configured).
 func (w *Worker) Cache() *Cache { return w.cache }
 
-// Close releases the worker cache.
-func (w *Worker) Close() error { return w.cache.Close() }
+// Close releases the worker caches.
+func (w *Worker) Close() error {
+	err := w.cache.Close()
+	if gerr := w.golden.Close(); err == nil {
+		err = gerr
+	}
+	return err
+}
 
 // Run pulls and executes shards until ctx is cancelled. Transport
 // errors (coordinator restarting) back off and retry; the loop only
@@ -155,7 +183,7 @@ func (w *Worker) execute(lease *dist.LeaseResponse) *dist.CompleteRequest {
 				return comp
 			}
 		}
-		st, err := dist.RunInject(lease.Inject, w.ob)
+		st, err := dist.RunInjectCached(lease.Inject, w.ob, w.golden)
 		if err != nil {
 			comp.Err = err.Error()
 			return comp

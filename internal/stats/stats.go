@@ -106,6 +106,18 @@ func Mix64(h, v uint64) uint64 {
 	return h
 }
 
+// HashBytes folds arbitrary bytes with the Mix64 chain — the single
+// content-hashing convention shared by corpus filenames, the queue
+// result-cache keys and the golden artifact cache, so every subsystem
+// agrees about what "same content" means.
+func HashBytes(data []byte) uint64 {
+	h := HashInit
+	for _, b := range data {
+		h = Mix64(h, uint64(b))
+	}
+	return h
+}
+
 // Thin returns at most k evenly spaced elements of xs (for plotting long
 // convergence series at the paper's sampling intervals).
 func Thin(xs []float64, k int) []float64 {
